@@ -1,0 +1,59 @@
+// bench_ablation_reexec.cpp - Ablation A2: the value of re-execution.
+//
+// The paper's model forbids migration but allows restarting a job from
+// scratch on another resource. Is that freedom worth anything? This
+// ablation compares SRPT with re-execution enabled (the paper's variant)
+// against a crippled SRPT that never discards progress, across a load
+// sweep. Expected: re-execution helps under contention (a queued job can
+// escape to an idle resource) at the price of some wasted work.
+//
+// Flags: --reps, --seed, --n, --load=0.05,0.25,...
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "sched/factory.hpp"
+#include "util/rng.hpp"
+#include "workloads/random_instances.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ecs;
+  const Args args = Args::parse(argc, argv);
+  const bench::CommonOptions options = bench::parse_common(args, 5);
+  const int n = static_cast<int>(args.get_int("n", 1000));
+  const std::vector<double> loads =
+      args.get_double_list("load", {0.05, 0.25, 0.5, 1.0});
+  const std::vector<std::string> policies = {"srpt", "srpt-noreexec"};
+
+  print_bench_header(std::cout, "Ablation A2: value of re-execution (SRPT)",
+                     "random instances, n = " + std::to_string(n) +
+                         ", CCR = 1, load sweep",
+                     options.sweep.replications, options.sweep.base_seed);
+
+  std::vector<SweepPointResult> points;
+  for (double load : loads) {
+    RandomInstanceConfig cfg;
+    cfg.n = n;
+    cfg.ccr = 1.0;
+    cfg.load = load;
+    const InstanceFactory factory = [cfg](std::uint64_t seed) {
+      Rng rng(seed);
+      return make_random_instance(cfg, rng);
+    };
+    points.push_back(run_sweep_point(format_double(load, 3), factory,
+                                     policies, options.sweep));
+    std::cout << "  [done] load = " << format_double(load, 3) << "\n";
+  }
+  std::cout << "\n";
+  bench::report_sweep(points, policies, options, "load");
+
+  std::cout << "re-executions per instance (mean)\n";
+  Table table({"load", "srpt", "srpt-noreexec"});
+  for (const SweepPointResult& point : points) {
+    table.add_row({point.label,
+                   format_double(point.policy("srpt").reassignments.mean(), 1),
+                   format_double(
+                       point.policy("srpt-noreexec").reassignments.mean(), 1)});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,84 @@
+// bench_common.hpp - Shared plumbing for the figure-reproduction binaries.
+//
+// Every bench binary follows the same pattern: parse the common flags,
+// build one InstanceFactory per sweep point, run the sweep, and print a
+// paper-style table (optionally also CSV). Flags understood by all
+// binaries:
+//
+//   --reps=N        replications per point (paper: 1000; defaults are
+//                   smaller so the whole suite finishes on small hosts)
+//   --seed=S        base seed (default 42)
+//   --threads=T     worker threads (default: hardware concurrency)
+//   --csv=PATH      also write the table as CSV
+//   --stddev        show the standard deviation next to each mean
+//   --no-validate   skip the first-replication schedule validation
+#pragma once
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "exp/report.hpp"
+#include "exp/sweep.hpp"
+#include "util/args.hpp"
+
+namespace ecs::bench {
+
+struct CommonOptions {
+  SweepOptions sweep;
+  std::string csv_path;
+  bool show_stddev = false;
+};
+
+inline CommonOptions parse_common(const Args& args, int default_reps) {
+  CommonOptions options;
+  options.sweep.replications =
+      static_cast<int>(args.get_int("reps", default_reps));
+  options.sweep.base_seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 42));
+  options.sweep.threads =
+      static_cast<unsigned>(args.get_int("threads", 0));
+  options.sweep.validate_first = !args.get_bool("no-validate", false);
+  options.csv_path = args.get_or("csv", "");
+  options.show_stddev = args.get_bool("stddev", false);
+  return options;
+}
+
+/// Prints the stretch table and the scheduling-time table for a finished
+/// sweep, and writes the CSV when requested.
+inline void report_sweep(const std::vector<SweepPointResult>& points,
+                         const std::vector<std::string>& policies,
+                         const CommonOptions& options,
+                         const std::string& x_label) {
+  ReportOptions stretch_options;
+  stretch_options.metric = ReportMetric::kMaxStretch;
+  stretch_options.x_label = x_label;
+  stretch_options.show_stddev = options.show_stddev;
+  const Table stretch_table = make_report(points, policies, stretch_options);
+  std::cout << "max-stretch (mean over replications)\n";
+  stretch_table.print(std::cout);
+
+  ReportOptions time_options;
+  time_options.metric = ReportMetric::kWallSeconds;
+  time_options.x_label = x_label;
+  time_options.precision = 4;
+  const Table time_table = make_report(points, policies, time_options);
+  std::cout << "\nscheduling time per instance [s]\n";
+  time_table.print(std::cout);
+  std::cout << "\n";
+
+  if (!options.csv_path.empty()) {
+    std::ofstream csv(options.csv_path);
+    if (!csv) {
+      std::cerr << "cannot write CSV to " << options.csv_path << "\n";
+    } else {
+      stretch_table.write_csv(csv);
+      csv << "\n";
+      time_table.write_csv(csv);
+      std::cout << "CSV written to " << options.csv_path << "\n";
+    }
+  }
+}
+
+}  // namespace ecs::bench

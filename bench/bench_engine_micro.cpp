@@ -1,0 +1,88 @@
+// bench_engine_micro.cpp - Microbenchmarks of the simulation engine itself
+// (not a paper figure; used to track the substrate's performance).
+//
+// Measures raw event throughput with the cheapest possible policy (fixed
+// allocation and priorities) so the engine's bookkeeping — event queue,
+// activation, interval recording — dominates, plus the marginal cost of
+// schedule recording and of the section III-B validator.
+#include <benchmark/benchmark.h>
+
+#include "core/validate.hpp"
+#include "sched/fixed.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+#include "workloads/random_instances.hpp"
+
+namespace {
+
+ecs::Instance make_instance(int n, std::uint64_t seed) {
+  ecs::RandomInstanceConfig cfg;
+  cfg.n = n;
+  cfg.ccr = 1.0;
+  cfg.load = 0.05;
+  ecs::Rng rng(seed);
+  return make_random_instance(cfg, rng);
+}
+
+/// Round-robin fixed allocation: roughly half the jobs on their edge, the
+/// rest spread over the clouds; priorities by id.
+ecs::FixedPolicy make_fixed_policy(const ecs::Instance& instance) {
+  std::vector<int> alloc(instance.jobs.size());
+  std::vector<double> priority(instance.jobs.size());
+  const int clouds = instance.platform.cloud_count();
+  for (std::size_t i = 0; i < instance.jobs.size(); ++i) {
+    alloc[i] = (i % 2 == 0) ? ecs::kAllocEdge
+                            : static_cast<int>(i / 2 % clouds);
+    priority[i] = static_cast<double>(i);
+  }
+  return ecs::FixedPolicy(std::move(alloc), std::move(priority));
+}
+
+void engine_events(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const ecs::Instance instance = make_instance(n, 7);
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    ecs::FixedPolicy policy = make_fixed_policy(instance);
+    ecs::EngineConfig config;
+    config.record_schedule = false;
+    const ecs::SimResult result = ecs::simulate(instance, policy, config);
+    events = result.stats.events;
+    benchmark::DoNotOptimize(result.completions.data());
+  }
+  state.counters["events_per_s"] = benchmark::Counter(
+      static_cast<double>(events),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(engine_events)->Arg(200)->Arg(1000)->Arg(4000)
+    ->Unit(benchmark::kMillisecond);
+
+void engine_with_recording(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const ecs::Instance instance = make_instance(n, 7);
+  for (auto _ : state) {
+    ecs::FixedPolicy policy = make_fixed_policy(instance);
+    ecs::EngineConfig config;
+    config.record_schedule = true;
+    const ecs::SimResult result = ecs::simulate(instance, policy, config);
+    benchmark::DoNotOptimize(result.schedule.job_count());
+  }
+}
+BENCHMARK(engine_with_recording)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+void validator_cost(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const ecs::Instance instance = make_instance(n, 7);
+  ecs::FixedPolicy policy = make_fixed_policy(instance);
+  const ecs::SimResult result = ecs::simulate(instance, policy);
+  for (auto _ : state) {
+    const auto violations =
+        ecs::validate_schedule(instance, result.schedule);
+    benchmark::DoNotOptimize(violations.size());
+  }
+}
+BENCHMARK(validator_cost)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+#include "core/energy.hpp"
+
+#include <algorithm>
+
+namespace ecs {
+
+EnergyBreakdown compute_energy(const Instance& instance,
+                               const Schedule& schedule,
+                               const EnergyModel& model) {
+  EnergyBreakdown out;
+  Time horizon = 0.0;
+
+  const auto charge_run = [&](const RunRecord& run, bool abandoned) {
+    const double exec = run.exec.measure();
+    const double up = run.uplink.measure();
+    const double down = run.downlink.measure();
+    double run_energy = 0.0;
+    if (run.alloc == kAllocEdge) {
+      run_energy += exec * model.edge_compute_power;
+      out.edge_compute += exec * model.edge_compute_power;
+    } else if (is_cloud_alloc(run.alloc)) {
+      run_energy += exec * model.cloud_compute_power;
+      out.cloud_compute += exec * model.cloud_compute_power;
+      const double comm =
+          up * model.uplink_power + down * model.downlink_power;
+      run_energy += comm;
+      out.communication += comm;
+    }
+    if (abandoned) out.wasted += run_energy;
+    for (const IntervalSet* set : {&run.uplink, &run.exec, &run.downlink}) {
+      if (const auto m = set->max()) horizon = std::max(horizon, *m);
+    }
+  };
+
+  double busy_edge = 0.0;
+  double busy_cloud = 0.0;
+  for (const JobSchedule& js : schedule.jobs()) {
+    charge_run(js.final_run, /*abandoned=*/false);
+    for (const RunRecord& run : js.abandoned) {
+      charge_run(run, /*abandoned=*/true);
+    }
+    const auto busy_of = [&](const RunRecord& run) {
+      if (run.alloc == kAllocEdge) {
+        busy_edge += run.exec.measure();
+      } else if (is_cloud_alloc(run.alloc)) {
+        busy_cloud += run.exec.measure();
+      }
+    };
+    busy_of(js.final_run);
+    for (const RunRecord& run : js.abandoned) busy_of(run);
+  }
+
+  const int pe = instance.platform.edge_count();
+  const int pc = instance.platform.cloud_count();
+  const double edge_idle_time = std::max(0.0, horizon * pe - busy_edge);
+  const double cloud_idle_time = std::max(0.0, horizon * pc - busy_cloud);
+  out.idle = edge_idle_time * model.edge_idle_power +
+             cloud_idle_time * model.cloud_idle_power;
+
+  out.total =
+      out.edge_compute + out.cloud_compute + out.communication + out.idle;
+  return out;
+}
+
+}  // namespace ecs

@@ -1,0 +1,52 @@
+// energy.hpp - Energy accounting for schedules.
+//
+// The paper's introduction singles out energy consumption as the other
+// first-class criterion on edge-cloud platforms and leaves multi-objective
+// optimization as future work. This module implements the accounting side:
+// given a schedule, it charges
+//
+//   * active computation on edge processors (integrated over E_i),
+//   * active computation on cloud processors,
+//   * radio activity at the edge for uplinks and downlinks (the dominant
+//     energy term for battery-powered devices),
+//   * idle power for every processor over the schedule's makespan,
+//
+// including the activity of abandoned runs — energy wasted by
+// re-execution is real and reported separately. The defaults are
+// order-of-magnitude figures for an embedded-device + datacenter setting
+// (edge compute cheap in absolute watts, cloud compute power-hungry,
+// radios expensive relative to edge CPUs); experiments should set their
+// own coefficients.
+#pragma once
+
+#include "core/platform.hpp"
+#include "core/schedule.hpp"
+
+namespace ecs {
+
+struct EnergyModel {
+  double edge_compute_power = 1.0;   ///< W per actively computing edge CPU
+  double cloud_compute_power = 8.0;  ///< W per actively computing cloud CPU
+  double uplink_power = 2.0;         ///< W at the edge radio while sending
+  double downlink_power = 1.2;       ///< W at the edge radio while receiving
+  double edge_idle_power = 0.1;      ///< W per edge processor when idle
+  double cloud_idle_power = 2.0;     ///< W per cloud processor when idle
+};
+
+struct EnergyBreakdown {
+  double edge_compute = 0.0;   ///< J spent computing on edges
+  double cloud_compute = 0.0;  ///< J spent computing on clouds
+  double communication = 0.0;  ///< J spent on edge radios (up + down)
+  double idle = 0.0;           ///< J of idle power over the makespan
+  double wasted = 0.0;         ///< J inside abandoned (re-executed) runs
+  double total = 0.0;          ///< everything incl. idle (wasted is a
+                               ///< subset of the activity terms)
+};
+
+/// Integrates the model over the schedule. The idle term uses the
+/// schedule's makespan as the horizon (0 when no job completed).
+[[nodiscard]] EnergyBreakdown compute_energy(const Instance& instance,
+                                             const Schedule& schedule,
+                                             const EnergyModel& model = {});
+
+}  // namespace ecs

@@ -1,0 +1,139 @@
+#include "core/interval.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ecs {
+
+bool overlaps(const Interval& a, const Interval& b) noexcept {
+  // Positive-measure overlap: strict comparisons with tolerance, so merely
+  // touching endpoints (a.end == b.begin) are not flagged.
+  return time_lt(a.begin, b.end) && time_lt(b.begin, a.end);
+}
+
+std::string to_string(const Interval& iv) {
+  std::ostringstream os;
+  os << "[" << iv.begin << ", " << iv.end << ")";
+  return os.str();
+}
+
+void IntervalSet::add(Time begin, Time end) {
+  // Drop only truly degenerate insertions (floating-point noise). The
+  // tolerance here is deliberately absolute and tiny: a short preemption
+  // slice late in a long simulation is a legitimate interval and its
+  // measure counts toward the job's quantities, so it must not be dropped
+  // just because the *time comparison* tolerance scales with magnitude.
+  if (!(end - begin > 1e-9)) return;
+  Interval merged{begin, end};
+  // Merging uses a tiny *absolute* epsilon: the engine re-opens an
+  // interrupted activity at the exact same double it closed it, so exact
+  // continuations always merge, while a short-but-real gap (another job's
+  // brief preemption slice) must never be bridged — a magnitude-scaled
+  // tolerance would swallow legitimate sub-tolerance slices late in a long
+  // simulation and corrupt the recorded schedule.
+  constexpr double kMergeEps = 1e-9;
+  auto first = std::lower_bound(
+      intervals_.begin(), intervals_.end(), merged,
+      [](const Interval& a, const Interval& b) { return a.end < b.begin; });
+  auto last = first;
+  while (last != intervals_.end() &&
+         last->begin <= merged.end + kMergeEps) {
+    // `last` touches or overlaps; absorb it.
+    merged.begin = std::min(merged.begin, last->begin);
+    merged.end = std::max(merged.end, last->end);
+    ++last;
+  }
+  // Also absorb a predecessor that touches within the epsilon (lower_bound
+  // with exact comparison can miss an epsilon-touching neighbour).
+  while (first != intervals_.begin() &&
+         std::prev(first)->end >= merged.begin - kMergeEps) {
+    --first;
+    merged.begin = std::min(merged.begin, first->begin);
+    merged.end = std::max(merged.end, first->end);
+  }
+  const auto pos = intervals_.erase(first, last);
+  intervals_.insert(pos, merged);
+}
+
+void IntervalSet::add(const IntervalSet& other) {
+  for (const Interval& iv : other.intervals_) add(iv);
+}
+
+double IntervalSet::measure() const noexcept {
+  double total = 0.0;
+  for (const Interval& iv : intervals_) total += iv.length();
+  return total;
+}
+
+std::optional<Time> IntervalSet::min() const noexcept {
+  if (intervals_.empty()) return std::nullopt;
+  return intervals_.front().begin;
+}
+
+std::optional<Time> IntervalSet::max() const noexcept {
+  if (intervals_.empty()) return std::nullopt;
+  return intervals_.back().end;
+}
+
+bool IntervalSet::intersects(const Interval& iv) const noexcept {
+  if (iv.empty()) return false;
+  auto it = std::lower_bound(
+      intervals_.begin(), intervals_.end(), iv,
+      [](const Interval& a, const Interval& b) { return a.end <= b.begin; });
+  return it != intervals_.end() && overlaps(*it, iv);
+}
+
+bool IntervalSet::intersects(const IntervalSet& other) const noexcept {
+  return first_overlap(other).has_value();
+}
+
+std::optional<std::pair<Interval, Interval>> IntervalSet::first_overlap(
+    const IntervalSet& other) const noexcept {
+  // Linear merge over the two sorted lists.
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < intervals_.size() && j < other.intervals_.size()) {
+    const Interval& a = intervals_[i];
+    const Interval& b = other.intervals_[j];
+    if (overlaps(a, b)) return std::make_pair(a, b);
+    if (a.end < b.end) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return std::nullopt;
+}
+
+bool IntervalSet::contains(Time t) const noexcept {
+  for (const Interval& iv : intervals_) {
+    if (time_le(iv.begin, t) && time_lt(t, iv.end)) return true;
+    if (iv.begin > t) break;  // sorted; no later interval can contain t
+  }
+  return false;
+}
+
+bool IntervalSet::covers(const Interval& iv) const noexcept {
+  if (iv.empty()) return true;
+  for (const Interval& member : intervals_) {
+    if (time_le(member.begin, iv.begin) && time_ge(member.end, iv.end)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string to_string(const IntervalSet& set) {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const Interval& iv : set.intervals()) {
+    if (!first) os << ", ";
+    os << to_string(iv);
+    first = false;
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace ecs

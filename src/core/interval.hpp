@@ -1,0 +1,92 @@
+// interval.hpp - Half-open time intervals and disjoint interval sets.
+//
+// Schedules (paper section III-B) are sets of disjoint execution and
+// communication intervals per job. IntervalSet maintains a sorted list of
+// disjoint intervals, merging on insertion, and supports the queries the
+// validator needs: total measure, overlap tests, and extremities
+// (the paper's min(E) / max(E)).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/time.hpp"
+
+namespace ecs {
+
+/// Half-open interval [begin, end). Zero-length intervals are allowed as
+/// values but are never stored inside an IntervalSet.
+struct Interval {
+  Time begin = 0.0;
+  Time end = 0.0;
+
+  [[nodiscard]] double length() const noexcept { return end - begin; }
+  [[nodiscard]] bool empty() const noexcept {
+    return !time_lt(begin, end);
+  }
+  [[nodiscard]] bool operator==(const Interval&) const = default;
+};
+
+/// True when the two intervals overlap on a set of positive measure
+/// (touching endpoints do not count as an overlap).
+[[nodiscard]] bool overlaps(const Interval& a, const Interval& b) noexcept;
+
+[[nodiscard]] std::string to_string(const Interval& iv);
+
+/// Sorted set of pairwise-disjoint intervals. Insertions merge adjacent or
+/// overlapping pieces, so the representation is canonical.
+class IntervalSet {
+ public:
+  IntervalSet() = default;
+
+  /// Adds [begin, end); merges with touching/overlapping members.
+  /// Empty (or inverted within tolerance) intervals are ignored.
+  void add(Time begin, Time end);
+  void add(const Interval& iv) { add(iv.begin, iv.end); }
+
+  /// Union with another set.
+  void add(const IntervalSet& other);
+
+  [[nodiscard]] bool empty() const noexcept { return intervals_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return intervals_.size(); }
+  [[nodiscard]] const std::vector<Interval>& intervals() const noexcept {
+    return intervals_;
+  }
+
+  /// Total measure (sum of lengths).
+  [[nodiscard]] double measure() const noexcept;
+
+  /// Smallest extremity, i.e. the paper's min(E). Empty => nullopt.
+  [[nodiscard]] std::optional<Time> min() const noexcept;
+
+  /// Largest extremity, i.e. the paper's max(E). Empty => nullopt.
+  [[nodiscard]] std::optional<Time> max() const noexcept;
+
+  /// True when some member overlaps [begin, end) with positive measure.
+  [[nodiscard]] bool intersects(const Interval& iv) const noexcept;
+
+  /// True when the two sets overlap with positive measure anywhere.
+  [[nodiscard]] bool intersects(const IntervalSet& other) const noexcept;
+
+  /// First overlapping pair between this set and `other`, if any;
+  /// used to produce precise violation diagnostics.
+  [[nodiscard]] std::optional<std::pair<Interval, Interval>>
+  first_overlap(const IntervalSet& other) const noexcept;
+
+  /// True when every point of [begin, end) is covered by the set.
+  [[nodiscard]] bool covers(const Interval& iv) const noexcept;
+
+  /// True when the point t lies inside a member interval (half-open
+  /// semantics with time tolerance: begin <= t < end).
+  [[nodiscard]] bool contains(Time t) const noexcept;
+
+  [[nodiscard]] bool operator==(const IntervalSet&) const = default;
+
+ private:
+  std::vector<Interval> intervals_;  // sorted by begin, pairwise disjoint
+};
+
+[[nodiscard]] std::string to_string(const IntervalSet& set);
+
+}  // namespace ecs

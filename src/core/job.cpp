@@ -1,0 +1,50 @@
+#include "core/job.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace ecs {
+
+std::string to_string(const Job& job) {
+  std::ostringstream os;
+  os << "J" << job.id << "{origin=" << job.origin << ", w=" << job.work
+     << ", r=" << job.release << ", up=" << job.up << ", dn=" << job.down
+     << "}";
+  return os.str();
+}
+
+std::string validate_job(const Job& job, int edge_count) {
+  std::ostringstream os;
+  // Work below the amount tolerance is indistinguishable from "already
+  // finished" to the engine (its completion detection would never fire),
+  // so such degenerate jobs are rejected up front. 10x the tolerance keeps
+  // a safety margin.
+  if (!(job.work > 10.0 * kAmountEpsilon) || !std::isfinite(job.work)) {
+    os << "job " << job.id << ": work must exceed " << 10.0 * kAmountEpsilon
+       << " (the amount tolerance) and be finite, got " << job.work;
+    return os.str();
+  }
+  if (job.release < 0.0 || !std::isfinite(job.release)) {
+    os << "job " << job.id << ": release date must be >= 0 and finite, got "
+       << job.release;
+    return os.str();
+  }
+  if (job.up < 0.0 || !std::isfinite(job.up)) {
+    os << "job " << job.id << ": uplink time must be >= 0 and finite, got "
+       << job.up;
+    return os.str();
+  }
+  if (job.down < 0.0 || !std::isfinite(job.down)) {
+    os << "job " << job.id << ": downlink time must be >= 0 and finite, got "
+       << job.down;
+    return os.str();
+  }
+  if (job.origin < 0 || job.origin >= edge_count) {
+    os << "job " << job.id << ": origin " << job.origin
+       << " out of range [0, " << edge_count << ")";
+    return os.str();
+  }
+  return {};
+}
+
+}  // namespace ecs

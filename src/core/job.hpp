@@ -1,0 +1,45 @@
+// job.hpp - The job model of the MinMaxStretch-EdgeCloud problem (paper
+// section III-A).
+//
+// A job J_i is described by its origin edge processor o_i, its work w_i
+// (time to execute at cloud speed 1), its release date r_i, and the uplink /
+// downlink communication times up_i / dn_i incurred when delegated to the
+// cloud.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/time.hpp"
+
+namespace ecs {
+
+/// Index of a job within an Instance (0-based).
+using JobId = std::int32_t;
+
+/// Index of an edge processor (0-based; the paper numbers them from 1).
+using EdgeId = std::int32_t;
+
+/// Index of a cloud processor (0-based).
+using CloudId = std::int32_t;
+
+struct Job {
+  JobId id = -1;      ///< Position in the instance's job vector.
+  EdgeId origin = 0;  ///< o_i: the edge processor that generates the job.
+  double work = 0.0;  ///< w_i: work amount (time at cloud speed 1). > 0.
+  Time release = 0.0; ///< r_i: release date. >= 0.
+  double up = 0.0;    ///< up_i: uplink communication time. >= 0.
+  double down = 0.0;  ///< dn_i: downlink communication time. >= 0.
+
+  [[nodiscard]] bool operator==(const Job&) const = default;
+};
+
+/// Human-readable one-line description, for diagnostics.
+[[nodiscard]] std::string to_string(const Job& job);
+
+/// Validates a single job's parameters; returns an empty string when valid,
+/// otherwise a description of the problem.
+[[nodiscard]] std::string validate_job(const Job& job, int edge_count);
+
+}  // namespace ecs

@@ -1,0 +1,111 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace ecs {
+
+double ScheduleMetrics::stretch_norm(double p) const {
+  if (per_job.empty()) return 0.0;
+  if (!(p > 0.0)) {
+    throw std::invalid_argument("stretch_norm: p must be positive");
+  }
+  double sum = 0.0;
+  for (const JobMetrics& jm : per_job) {
+    sum += std::pow(jm.stretch, p);
+  }
+  return std::pow(sum / static_cast<double>(per_job.size()), 1.0 / p);
+}
+
+double ScheduleMetrics::stretch_percentile(double q) const {
+  if (per_job.empty()) return 0.0;
+  std::vector<double> stretches;
+  stretches.reserve(per_job.size());
+  for (const JobMetrics& jm : per_job) stretches.push_back(jm.stretch);
+  return percentile(stretches, q);
+}
+
+double stretch_of(const Platform& platform, const Job& job, Time completion) {
+  return (completion - job.release) / platform.best_time(job);
+}
+
+ScheduleMetrics metrics_from_completions(
+    const Instance& instance, const std::vector<Time>& completions) {
+  if (completions.size() != instance.jobs.size()) {
+    throw std::runtime_error(
+        "metrics_from_completions: completion vector size mismatch");
+  }
+  ScheduleMetrics m;
+  const int n = instance.job_count();
+  m.per_job.reserve(n);
+  double sum_stretch = 0.0;
+  double sum_response = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const Job& job = instance.jobs[i];
+    JobMetrics jm;
+    jm.id = job.id;
+    jm.completion = completions[i];
+    jm.response = completions[i] - job.release;
+    jm.best_time = instance.platform.best_time(job);
+    jm.stretch = jm.response / jm.best_time;
+    sum_stretch += jm.stretch;
+    sum_response += jm.response;
+    m.max_stretch = std::max(m.max_stretch, jm.stretch);
+    m.max_response = std::max(m.max_response, jm.response);
+    m.makespan = std::max(m.makespan, jm.completion);
+    m.per_job.push_back(jm);
+  }
+  if (n > 0) {
+    m.mean_stretch = sum_stretch / n;
+    m.mean_response = sum_response / n;
+  }
+  return m;
+}
+
+ScheduleMetrics compute_metrics(const Instance& instance,
+                                const Schedule& schedule) {
+  // Extract the completion vector, delegate the per-job aggregation to
+  // metrics_from_completions, then add what only the interval history can
+  // provide: re-execution counts and utilization.
+  const int n = instance.job_count();
+  std::vector<Time> completions(n);
+  for (int i = 0; i < n; ++i) {
+    const auto completion = schedule.job(i).completion();
+    if (!completion) {
+      throw std::runtime_error("compute_metrics: job " + std::to_string(i) +
+                               " has no completion time");
+    }
+    completions[i] = *completion;
+  }
+  ScheduleMetrics m = metrics_from_completions(instance, completions);
+
+  double edge_busy = 0.0;
+  double cloud_busy = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const JobSchedule& js = schedule.job(i);
+    m.reexecutions += static_cast<int>(js.abandoned.size());
+    const auto busy_of = [&](const RunRecord& run) {
+      if (run.alloc == kAllocEdge) {
+        edge_busy += run.exec.measure();
+      } else if (is_cloud_alloc(run.alloc)) {
+        cloud_busy += run.exec.measure();
+      }
+    };
+    busy_of(js.final_run);
+    for (const RunRecord& run : js.abandoned) busy_of(run);
+  }
+
+  const double horizon = m.makespan;
+  if (horizon > 0.0) {
+    const int pe = instance.platform.edge_count();
+    const int pc = instance.platform.cloud_count();
+    if (pe > 0) m.edge_utilization = edge_busy / (horizon * pe);
+    if (pc > 0) m.cloud_utilization = cloud_busy / (horizon * pc);
+  }
+  return m;
+}
+
+}  // namespace ecs

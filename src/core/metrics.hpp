@@ -1,0 +1,64 @@
+// metrics.hpp - Objective values of a schedule.
+//
+// The stretch of job J_i is S_i = (C_i - r_i) / min(t^e_i, t^c_i)
+// (paper eq. (1)); the optimization objective is max_i S_i. We also expose
+// the response time (flow time) and aggregate views used by the experiment
+// harness and the tests.
+#pragma once
+
+#include <vector>
+
+#include "core/platform.hpp"
+#include "core/schedule.hpp"
+
+namespace ecs {
+
+struct JobMetrics {
+  JobId id = -1;
+  Time completion = 0.0;   ///< C_i
+  double response = 0.0;   ///< C_i - r_i (flow time)
+  double best_time = 0.0;  ///< min(t^e_i, t^c_i), the stretch denominator
+  double stretch = 0.0;    ///< S_i
+};
+
+struct ScheduleMetrics {
+  std::vector<JobMetrics> per_job;
+  double max_stretch = 0.0;
+  double mean_stretch = 0.0;
+  double max_response = 0.0;
+  double mean_response = 0.0;
+  Time makespan = 0.0;
+  int reexecutions = 0;  ///< total abandoned runs across jobs
+
+  /// l_p norm of the stretch vector divided by n^(1/p) — the "p-norm
+  /// stretch" family from the literature the paper cites: p = 1 is the
+  /// average stretch, p -> infinity approaches the max stretch.
+  [[nodiscard]] double stretch_norm(double p) const;
+
+  /// Linear-interpolated percentile of the per-job stretches, q in [0,1].
+  [[nodiscard]] double stretch_percentile(double q) const;
+
+  /// Fraction of [0, makespan] during which cloud processors execute work.
+  double cloud_utilization = 0.0;
+  /// Fraction of [0, makespan] during which edge processors execute work.
+  double edge_utilization = 0.0;
+};
+
+/// Computes per-job and aggregate metrics. Every job must be complete
+/// (throws std::runtime_error otherwise) — run the validator first for a
+/// diagnosable error.
+[[nodiscard]] ScheduleMetrics compute_metrics(const Instance& instance,
+                                              const Schedule& schedule);
+
+/// Stretch of a hypothetical completion time for one job; used by the
+/// online heuristics when projecting candidate decisions.
+[[nodiscard]] double stretch_of(const Platform& platform, const Job& job,
+                                Time completion);
+
+/// Metrics from a completion-time vector alone (no interval history).
+/// Utilization and re-execution counts are left at zero — used by the
+/// experiment harness when schedules are not recorded to save memory.
+[[nodiscard]] ScheduleMetrics metrics_from_completions(
+    const Instance& instance, const std::vector<Time>& completions);
+
+}  // namespace ecs

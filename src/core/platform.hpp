@@ -1,0 +1,118 @@
+// platform.hpp - The two-level edge-cloud platform (paper section III-A).
+//
+// P^c homogeneous cloud processors of speed 1 and P^e edge processors of
+// speeds s_j <= 1. The platform knows how long a job takes on either side:
+//   t^e_i = w_i / s_{o_i}                 (local execution)
+//   t^c_i = up_i + w_i + dn_i             (delegated execution)
+// and the stretch denominator min(t^e_i, t^c_i).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/interval.hpp"
+#include "core/job.hpp"
+#include "core/time.hpp"
+
+namespace ecs {
+
+class Platform {
+ public:
+  Platform() = default;
+
+  /// Builds the paper's platform: homogeneous cloud processors of speed 1.
+  /// Every edge speed must lie in (0, 1]; cloud_count must be >= 0.
+  Platform(std::vector<double> edge_speeds, int cloud_count);
+
+  /// Extension (paper section II: "it is not difficult to extend our model
+  /// with heterogeneous cloud processors"): explicit per-cloud speeds.
+  /// Cloud speeds must be positive (they may exceed 1).
+  Platform(std::vector<double> edge_speeds,
+           std::vector<double> cloud_speeds);
+
+  [[nodiscard]] int edge_count() const noexcept {
+    return static_cast<int>(edge_speeds_.size());
+  }
+  [[nodiscard]] int cloud_count() const noexcept {
+    return static_cast<int>(cloud_speeds_.size());
+  }
+  [[nodiscard]] int processor_count() const noexcept {
+    return edge_count() + cloud_count();
+  }
+
+  [[nodiscard]] double edge_speed(EdgeId j) const { return edge_speeds_.at(j); }
+  [[nodiscard]] const std::vector<double>& edge_speeds() const noexcept {
+    return edge_speeds_;
+  }
+  [[nodiscard]] double cloud_speed(CloudId k) const {
+    return cloud_speeds_.at(k);
+  }
+  [[nodiscard]] const std::vector<double>& cloud_speeds() const noexcept {
+    return cloud_speeds_;
+  }
+  /// True when every cloud processor has speed exactly 1 (the paper's
+  /// baseline model).
+  [[nodiscard]] bool homogeneous_cloud() const noexcept;
+  /// Speed of the fastest cloud processor (0 when there is no cloud).
+  [[nodiscard]] double max_cloud_speed() const noexcept;
+
+  /// Aggregate speed of all processors; the paper uses it to size the
+  /// release-date horizon for a target load.
+  [[nodiscard]] double total_speed() const noexcept;
+
+  /// t^e_i: execution time of the job on its origin edge processor.
+  [[nodiscard]] double edge_time(const Job& job) const;
+
+  /// t^c_i: best execution time of the job when delegated to the cloud
+  /// (uplink + work on the fastest cloud + downlink).
+  [[nodiscard]] double cloud_time(const Job& job) const;
+
+  /// Execution time of the job when delegated to cloud processor k.
+  [[nodiscard]] double cloud_time_on(const Job& job, CloudId k) const;
+
+  /// min(t^e_i, t^c_i): the best time the job could take on a dedicated
+  /// platform — the stretch denominator.
+  [[nodiscard]] double best_time(const Job& job) const;
+
+  [[nodiscard]] bool operator==(const Platform&) const = default;
+
+ private:
+  std::vector<double> edge_speeds_;
+  std::vector<double> cloud_speeds_;
+};
+
+/// A problem instance: a platform plus its jobs (ids must equal positions).
+///
+/// `cloud_outages` implements the paper's future-work scenario where cloud
+/// processors are "dynamically requested by other applications at certain
+/// time intervals": entry k lists the intervals during which cloud
+/// processor k is unavailable (no computation and no communication
+/// involving it; in-flight activities are preempted at the boundary and
+/// resume afterwards, keeping their progress). Leave empty for the paper's
+/// baseline model of always-available clouds; otherwise it must have
+/// exactly one entry per cloud processor.
+struct Instance {
+  Platform platform;
+  std::vector<Job> jobs;
+  std::vector<IntervalSet> cloud_outages;
+
+  [[nodiscard]] int job_count() const noexcept {
+    return static_cast<int>(jobs.size());
+  }
+
+  /// True when cloud processor k is available at time t.
+  [[nodiscard]] bool cloud_available(CloudId k, Time t) const {
+    if (cloud_outages.empty()) return true;
+    return !cloud_outages.at(k).contains(t);
+  }
+};
+
+/// Checks platform parameters and all jobs; returns a list of problems
+/// (empty when the instance is well-formed).
+[[nodiscard]] std::vector<std::string> validate_instance(
+    const Instance& instance);
+
+/// Convenience: throws std::invalid_argument when the instance is invalid.
+void require_valid_instance(const Instance& instance);
+
+}  // namespace ecs

@@ -1,0 +1,45 @@
+#include "core/schedule.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ecs {
+
+std::optional<Time> Schedule::makespan() const noexcept {
+  Time latest = 0.0;
+  for (const JobSchedule& js : jobs_) {
+    const auto c = js.completion();
+    if (!c) return std::nullopt;
+    latest = std::max(latest, *c);
+  }
+  return latest;
+}
+
+std::string to_string(const Schedule& schedule) {
+  std::ostringstream os;
+  for (int i = 0; i < schedule.job_count(); ++i) {
+    const JobSchedule& js = schedule.job(i);
+    os << "J" << i << ": alloc=";
+    if (js.final_run.alloc == kAllocEdge) {
+      os << "edge";
+    } else if (js.final_run.alloc == kAllocUnassigned) {
+      os << "unassigned";
+    } else {
+      os << "cloud" << js.final_run.alloc;
+    }
+    if (!js.final_run.uplink.empty()) {
+      os << " up=" << to_string(js.final_run.uplink);
+    }
+    os << " exec=" << to_string(js.final_run.exec);
+    if (!js.final_run.downlink.empty()) {
+      os << " down=" << to_string(js.final_run.downlink);
+    }
+    if (!js.abandoned.empty()) {
+      os << " (+" << js.abandoned.size() << " abandoned run(s))";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ecs

@@ -1,0 +1,305 @@
+#include "core/validate.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace ecs {
+namespace {
+
+/// An interval tagged with its owning job, used for sweep-line conflict
+/// detection on a shared resource.
+struct TaggedInterval {
+  Interval iv;
+  JobId job;
+};
+
+/// Sweeps the intervals claimed on one resource (sorted by begin) against
+/// the running farthest end seen so far, so an overlap is reported even
+/// when the two intervals are not sort-adjacent (e.g. a long claim
+/// enclosing several later ones). Members of a single IntervalSet are
+/// disjoint by construction, so any overlap involves two different runs.
+void check_resource(std::vector<TaggedInterval>& claims,
+                    ViolationKind kind, const std::string& resource,
+                    std::vector<Violation>& out) {
+  std::sort(claims.begin(), claims.end(),
+            [](const TaggedInterval& a, const TaggedInterval& b) {
+              return a.iv.begin < b.iv.begin;
+            });
+  if (claims.empty()) return;
+  std::size_t farthest = 0;  // claim with the largest end so far
+  for (std::size_t i = 1; i < claims.size(); ++i) {
+    const TaggedInterval& prev = claims[farthest];
+    const TaggedInterval& cur = claims[i];
+    if (time_lt(cur.iv.begin, prev.iv.end)) {
+      std::ostringstream os;
+      os << resource << ": " << to_string(prev.iv) << " of J" << prev.job
+         << " overlaps " << to_string(cur.iv) << " of J" << cur.job;
+      out.push_back(Violation{kind, prev.job, cur.job, os.str()});
+    }
+    if (cur.iv.end > claims[farthest].iv.end) farthest = i;
+  }
+}
+
+void append_claims(const IntervalSet& set, JobId job,
+                   std::vector<TaggedInterval>& claims) {
+  for (const Interval& iv : set.intervals()) {
+    claims.push_back(TaggedInterval{iv, job});
+  }
+}
+
+void check_run_before_release(const RunRecord& run, const Job& job,
+                              bool abandoned,
+                              std::vector<Violation>& out) {
+  Time earliest = kTimeInfinity;
+  for (const IntervalSet* set : {&run.uplink, &run.exec, &run.downlink}) {
+    if (const auto m = set->min()) earliest = std::min(earliest, *m);
+  }
+  if (earliest < kTimeInfinity && time_lt(earliest, job.release)) {
+    std::ostringstream os;
+    os << "J" << job.id << (abandoned ? " (abandoned run)" : "")
+       << " starts at " << earliest << " before release " << job.release;
+    out.push_back(
+        Violation{ViolationKind::kBeforeRelease, job.id, -1, os.str()});
+  }
+}
+
+void check_final_run(const Instance& instance, const Job& job,
+                     const RunRecord& run, std::vector<Violation>& out) {
+  const Platform& platform = instance.platform;
+  if (run.alloc == kAllocUnassigned) {
+    out.push_back(Violation{ViolationKind::kUnallocated, job.id, -1,
+                            "J" + std::to_string(job.id) + " is unallocated"});
+    return;
+  }
+  if (is_cloud_alloc(run.alloc) && run.alloc >= platform.cloud_count()) {
+    std::ostringstream os;
+    os << "J" << job.id << " allocated to cloud " << run.alloc
+       << " but the platform has only " << platform.cloud_count()
+       << " cloud processors";
+    out.push_back(
+        Violation{ViolationKind::kBadAllocation, job.id, -1, os.str()});
+    return;
+  }
+
+  // Quantity slack: the engine declares an activity complete when its
+  // remaining amount drops below kAmountEpsilon, so a conforming schedule's
+  // recorded measure may legitimately fall short by up to that much (plus
+  // sub-nanosecond recording slivers). 10x covers both with margin while
+  // remaining far below any real shortfall.
+  constexpr double kQuantitySlack = 10.0 * kAmountEpsilon;
+  const auto quantity_short = [&](double got, double need) {
+    return got + kQuantitySlack < need &&
+           time_lt(got, need);  // also magnitude-tolerant for huge values
+  };
+  const auto quantity_violation = [&](const char* what, double got,
+                                      double need) {
+    std::ostringstream os;
+    os << "J" << job.id << ": " << what << " amount " << got
+       << " is below the required " << need;
+    out.push_back(Violation{ViolationKind::kQuantity, job.id, -1, os.str()});
+  };
+
+  if (run.alloc == kAllocEdge) {
+    const double need = platform.edge_time(job);
+    if (quantity_short(run.exec.measure(), need)) {
+      quantity_violation("edge execution", run.exec.measure(), need);
+    }
+    if (!run.uplink.empty() || !run.downlink.empty()) {
+      out.push_back(Violation{
+          ViolationKind::kPrecedence, job.id, -1,
+          "J" + std::to_string(job.id) +
+              " executes on the edge but has communication intervals"});
+    }
+    return;
+  }
+
+  // Cloud execution (at the speed of the allocated cloud processor).
+  if (quantity_short(run.uplink.measure(), job.up)) {
+    quantity_violation("uplink", run.uplink.measure(), job.up);
+  }
+  const double cloud_need = job.work / platform.cloud_speed(run.alloc);
+  if (quantity_short(run.exec.measure(), cloud_need)) {
+    quantity_violation("cloud execution", run.exec.measure(), cloud_need);
+  }
+  if (quantity_short(run.downlink.measure(), job.down)) {
+    quantity_violation("downlink", run.downlink.measure(), job.down);
+  }
+  // Precedence: max(U) <= min(E) <= max(E) <= min(D).
+  if (!run.uplink.empty() && !run.exec.empty() &&
+      time_gt(*run.uplink.max(), *run.exec.min())) {
+    std::ostringstream os;
+    os << "J" << job.id << ": uplink ends at " << *run.uplink.max()
+       << " after execution starts at " << *run.exec.min();
+    out.push_back(Violation{ViolationKind::kPrecedence, job.id, -1, os.str()});
+  }
+  if (!run.exec.empty() && !run.downlink.empty() &&
+      time_gt(*run.exec.max(), *run.downlink.min())) {
+    std::ostringstream os;
+    os << "J" << job.id << ": execution ends at " << *run.exec.max()
+       << " after downlink starts at " << *run.downlink.min();
+    out.push_back(Violation{ViolationKind::kPrecedence, job.id, -1, os.str()});
+  }
+}
+
+void check_self_overlap(const Job& job, const JobSchedule& js,
+                        std::vector<Violation>& out) {
+  std::vector<TaggedInterval> claims;
+  const auto collect = [&](const RunRecord& run) {
+    append_claims(run.uplink, job.id, claims);
+    append_claims(run.exec, job.id, claims);
+    append_claims(run.downlink, job.id, claims);
+  };
+  collect(js.final_run);
+  for (const RunRecord& run : js.abandoned) collect(run);
+  std::vector<Violation> conflicts;
+  check_resource(claims, ViolationKind::kSelfOverlap,
+                 "J" + std::to_string(job.id) + " self-overlap", conflicts);
+  out.insert(out.end(), conflicts.begin(), conflicts.end());
+}
+
+}  // namespace
+
+std::string to_string(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::kUnallocated:
+      return "unallocated";
+    case ViolationKind::kBeforeRelease:
+      return "before-release";
+    case ViolationKind::kQuantity:
+      return "quantity";
+    case ViolationKind::kPrecedence:
+      return "precedence";
+    case ViolationKind::kProcessorConflict:
+      return "processor-conflict";
+    case ViolationKind::kPortConflict:
+      return "port-conflict";
+    case ViolationKind::kSelfOverlap:
+      return "self-overlap";
+    case ViolationKind::kBadAllocation:
+      return "bad-allocation";
+    case ViolationKind::kOutageConflict:
+      return "outage-conflict";
+  }
+  return "unknown";
+}
+
+std::string to_string(const Violation& violation) {
+  return "[" + to_string(violation.kind) + "] " + violation.message;
+}
+
+std::vector<Violation> validate_schedule(const Instance& instance,
+                                         const Schedule& schedule) {
+  std::vector<Violation> out;
+  const Platform& platform = instance.platform;
+  const int n = instance.job_count();
+  if (schedule.job_count() != n) {
+    out.push_back(Violation{
+        ViolationKind::kBadAllocation, -1, -1,
+        "schedule covers " + std::to_string(schedule.job_count()) +
+            " jobs but the instance has " + std::to_string(n)});
+    return out;
+  }
+
+  // Per-job checks.
+  for (int i = 0; i < n; ++i) {
+    const Job& job = instance.jobs[i];
+    const JobSchedule& js = schedule.job(i);
+    check_final_run(instance, job, js.final_run, out);
+    check_run_before_release(js.final_run, job, /*abandoned=*/false, out);
+    for (const RunRecord& run : js.abandoned) {
+      check_run_before_release(run, job, /*abandoned=*/true, out);
+    }
+    check_self_overlap(job, js, out);
+  }
+
+  // Resource exclusivity. Claims are gathered over final AND abandoned runs:
+  // an abandoned execution still occupied its processor and ports.
+  const int pe = platform.edge_count();
+  const int pc = platform.cloud_count();
+  std::vector<std::vector<TaggedInterval>> edge_cpu(pe), edge_send(pe),
+      edge_recv(pe), cloud_cpu(pc), cloud_send(pc), cloud_recv(pc);
+
+  for (int i = 0; i < n; ++i) {
+    const Job& job = instance.jobs[i];
+    const JobSchedule& js = schedule.job(i);
+    const auto claim_run = [&](const RunRecord& run) {
+      if (run.alloc == kAllocEdge) {
+        append_claims(run.exec, job.id, edge_cpu[job.origin]);
+      } else if (is_cloud_alloc(run.alloc) && run.alloc < pc) {
+        append_claims(run.uplink, job.id, edge_send[job.origin]);
+        append_claims(run.uplink, job.id, cloud_recv[run.alloc]);
+        append_claims(run.exec, job.id, cloud_cpu[run.alloc]);
+        append_claims(run.downlink, job.id, cloud_send[run.alloc]);
+        append_claims(run.downlink, job.id, edge_recv[job.origin]);
+      }
+    };
+    claim_run(js.final_run);
+    for (const RunRecord& run : js.abandoned) claim_run(run);
+  }
+
+  for (int j = 0; j < pe; ++j) {
+    check_resource(edge_cpu[j], ViolationKind::kProcessorConflict,
+                   "edge processor " + std::to_string(j), out);
+    check_resource(edge_send[j], ViolationKind::kPortConflict,
+                   "edge " + std::to_string(j) + " send port", out);
+    check_resource(edge_recv[j], ViolationKind::kPortConflict,
+                   "edge " + std::to_string(j) + " receive port", out);
+  }
+  for (int k = 0; k < pc; ++k) {
+    check_resource(cloud_cpu[k], ViolationKind::kProcessorConflict,
+                   "cloud processor " + std::to_string(k), out);
+    check_resource(cloud_recv[k], ViolationKind::kPortConflict,
+                   "cloud " + std::to_string(k) + " receive port", out);
+    check_resource(cloud_send[k], ViolationKind::kPortConflict,
+                   "cloud " + std::to_string(k) + " send port", out);
+  }
+
+  // Cloud availability windows: nothing may involve a cloud processor
+  // while it is requested by another application.
+  if (!instance.cloud_outages.empty()) {
+    for (int i = 0; i < n; ++i) {
+      const JobSchedule& js = schedule.job(i);
+      const auto check_run = [&](const RunRecord& run) {
+        if (!is_cloud_alloc(run.alloc) || run.alloc >= pc ||
+            static_cast<std::size_t>(run.alloc) >=
+                instance.cloud_outages.size()) {
+          return;  // malformed outage table is validate_instance's problem
+        }
+        const IntervalSet& outages = instance.cloud_outages[run.alloc];
+        for (const IntervalSet* set :
+             {&run.uplink, &run.exec, &run.downlink}) {
+          if (const auto overlap = set->first_overlap(outages)) {
+            std::ostringstream os;
+            os << "J" << i << ": " << to_string(overlap->first)
+               << " overlaps cloud " << run.alloc << " outage "
+               << to_string(overlap->second);
+            out.push_back(Violation{ViolationKind::kOutageConflict,
+                                    static_cast<JobId>(i), -1, os.str()});
+          }
+        }
+      };
+      check_run(js.final_run);
+      for (const RunRecord& run : js.abandoned) check_run(run);
+    }
+  }
+  return out;
+}
+
+bool is_valid_schedule(const Instance& instance, const Schedule& schedule) {
+  return validate_schedule(instance, schedule).empty();
+}
+
+void require_valid_schedule(const Instance& instance,
+                            const Schedule& schedule) {
+  const auto violations = validate_schedule(instance, schedule);
+  if (violations.empty()) return;
+  std::string all = "invalid schedule:";
+  for (const Violation& v : violations) {
+    all += "\n  - ";
+    all += to_string(v);
+  }
+  throw std::runtime_error(all);
+}
+
+}  // namespace ecs

@@ -1,0 +1,66 @@
+// validate.hpp - Schedule validity checking (paper section III-B).
+//
+// A schedule is valid when:
+//  * every job is allocated (origin edge processor or a cloud processor)
+//    and nothing of it happens before its release date;
+//  * quantities are fulfilled by the final run: for an edge execution,
+//    |E_i| >= w_i / s_{o_i}; for a cloud execution, |U_i| >= up_i,
+//    |E_i| >= w_i, |D_i| >= dn_i;
+//  * per-job precedence holds: max(U_i) <= min(E_i) <= max(E_i) <= min(D_i);
+//  * processors execute at most one job at a time (edge and cloud), counting
+//    abandoned runs, which physically occupied the processor;
+//  * the one-port full-duplex model holds: per edge processor, all uplinks
+//    (send port) are pairwise disjoint and all downlinks (receive port) are
+//    pairwise disjoint; per cloud processor, all incoming uplinks (receive
+//    port) are pairwise disjoint and all outgoing downlinks (send port) are
+//    pairwise disjoint. Send and receive may overlap (full duplex), and
+//    computation overlaps communication freely;
+//  * a single job never does two things at once (its own intervals, across
+//    all runs and activity kinds, are pairwise disjoint).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/platform.hpp"
+#include "core/schedule.hpp"
+
+namespace ecs {
+
+enum class ViolationKind {
+  kUnallocated,         ///< job has no final allocation
+  kBeforeRelease,       ///< activity starts before the job's release date
+  kQuantity,            ///< work/communication amount not fulfilled
+  kPrecedence,          ///< uplink/exec/downlink order violated
+  kProcessorConflict,   ///< two executions overlap on one processor
+  kPortConflict,        ///< one-port model violated (send or receive port)
+  kSelfOverlap,         ///< one job doing two things at the same time
+  kBadAllocation,       ///< allocation index out of range
+  kOutageConflict,      ///< activity scheduled during a cloud outage
+};
+
+struct Violation {
+  ViolationKind kind;
+  JobId job_a = -1;            ///< primary job involved
+  JobId job_b = -1;            ///< secondary job for conflicts, else -1
+  std::string message;         ///< human-readable diagnostic
+};
+
+[[nodiscard]] std::string to_string(ViolationKind kind);
+[[nodiscard]] std::string to_string(const Violation& violation);
+
+/// Runs every check; returns all violations found (empty == valid).
+[[nodiscard]] std::vector<Violation> validate_schedule(
+    const Instance& instance, const Schedule& schedule);
+
+/// Convenience wrapper.
+[[nodiscard]] bool is_valid_schedule(const Instance& instance,
+                                     const Schedule& schedule);
+
+/// Throws std::runtime_error with all diagnostics when invalid. Used by the
+/// bench harness so that an invalid schedule can never silently contribute
+/// to a reported figure.
+void require_valid_schedule(const Instance& instance,
+                            const Schedule& schedule);
+
+}  // namespace ecs

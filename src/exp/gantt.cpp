@@ -1,0 +1,205 @@
+#include "exp/gantt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace ecs {
+namespace {
+
+char job_glyph(JobId id, bool abandoned) {
+  static const char* kUpper = "0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZ";
+  static const char* kLower = "0123456789abcdefghijklmnopqrstuvwxyz";
+  const int slot = id % 36;
+  return abandoned ? kLower[slot] : kUpper[slot];
+}
+
+/// One horizontal lane of the chart.
+struct Lane {
+  std::string label;
+  std::string cells;
+};
+
+class Canvas {
+ public:
+  Canvas(Time horizon, int width) : horizon_(horizon), width_(width) {}
+
+  [[nodiscard]] int column(Time t) const {
+    if (horizon_ <= 0.0) return 0;
+    const int col = static_cast<int>(std::floor(t / horizon_ * width_));
+    return std::clamp(col, 0, width_ - 1);
+  }
+
+  void paint(Lane& lane, const Interval& iv, char glyph) const {
+    if (lane.cells.empty()) lane.cells.assign(width_, '.');
+    const int from = column(iv.begin);
+    // Round the right edge up so that even very short intervals occupy
+    // one visible cell.
+    int to = column(iv.end);
+    if (to < from) to = from;
+    for (int c = from; c <= to && c < width_; ++c) {
+      lane.cells[c] = glyph;
+    }
+  }
+
+  void paint_set(Lane& lane, const IntervalSet& set, char glyph) const {
+    for (const Interval& iv : set.intervals()) paint(lane, iv, glyph);
+  }
+
+ private:
+  Time horizon_;
+  int width_;
+};
+
+}  // namespace
+
+std::string render_gantt(const Instance& instance, const Schedule& schedule,
+                         const GanttOptions& options) {
+  const Platform& platform = instance.platform;
+  Time horizon = 0.0;
+  const auto extend = [&](const RunRecord& run) {
+    for (const IntervalSet* set : {&run.uplink, &run.exec, &run.downlink}) {
+      if (const auto m = set->max()) horizon = std::max(horizon, *m);
+    }
+  };
+  for (const JobSchedule& js : schedule.jobs()) {
+    extend(js.final_run);
+    for (const RunRecord& run : js.abandoned) extend(run);
+  }
+  if (horizon <= 0.0) horizon = 1.0;
+
+  const Canvas canvas(horizon, options.width);
+  const int pe = platform.edge_count();
+  const int pc = platform.cloud_count();
+
+  std::vector<Lane> edge_cpu(pe), edge_send(pe), edge_recv(pe);
+  std::vector<Lane> cloud_cpu(pc);
+  for (int j = 0; j < pe; ++j) {
+    edge_cpu[j].label = "edge " + std::to_string(j) + " cpu ";
+    edge_send[j].label = "edge " + std::to_string(j) + " send";
+    edge_recv[j].label = "edge " + std::to_string(j) + " recv";
+    edge_cpu[j].cells.assign(options.width, '.');
+    edge_send[j].cells.assign(options.width, '.');
+    edge_recv[j].cells.assign(options.width, '.');
+  }
+  for (int k = 0; k < pc; ++k) {
+    cloud_cpu[k].label = "cloud " + std::to_string(k) + " cpu";
+    cloud_cpu[k].cells.assign(options.width, '.');
+    if (!instance.cloud_outages.empty()) {
+      canvas.paint_set(cloud_cpu[k], instance.cloud_outages[k], '#');
+    }
+  }
+
+  for (int i = 0; i < schedule.job_count(); ++i) {
+    const Job& job = instance.jobs[i];
+    const auto paint_run = [&](const RunRecord& run, bool abandoned) {
+      const char glyph = job_glyph(job.id, abandoned);
+      if (run.alloc == kAllocEdge) {
+        canvas.paint_set(edge_cpu[job.origin], run.exec, glyph);
+      } else if (is_cloud_alloc(run.alloc) && run.alloc < pc) {
+        canvas.paint_set(cloud_cpu[run.alloc], run.exec, glyph);
+        canvas.paint_set(edge_send[job.origin], run.uplink, glyph);
+        canvas.paint_set(edge_recv[job.origin], run.downlink, glyph);
+      }
+    };
+    paint_run(schedule.job(i).final_run, false);
+    if (options.show_abandoned) {
+      for (const RunRecord& run : schedule.job(i).abandoned) {
+        paint_run(run, true);
+      }
+    }
+  }
+
+  std::ostringstream os;
+  {
+    std::ostringstream h;
+    h << std::setprecision(6) << horizon;
+    const std::string right = h.str();
+    const int pad = std::max(
+        1, options.width + 8 - static_cast<int>(right.size()));
+    os << "time 0" << std::string(pad, ' ') << right << "\n";
+  }
+  const auto emit = [&](const Lane& lane) {
+    os << std::setw(12) << std::left << lane.label << " |" << lane.cells
+       << "|\n";
+  };
+  for (int j = 0; j < pe; ++j) {
+    emit(edge_cpu[j]);
+    if (options.show_comm) {
+      emit(edge_send[j]);
+      emit(edge_recv[j]);
+    }
+  }
+  for (int k = 0; k < pc; ++k) emit(cloud_cpu[k]);
+  return os.str();
+}
+
+void write_schedule_json(std::ostream& out, const Instance& instance,
+                         const Schedule& schedule,
+                         const ScheduleMetrics& metrics) {
+  out << std::setprecision(17);
+  const auto intervals_json = [&](const IntervalSet& set) {
+    std::ostringstream os;
+    os << std::setprecision(17) << "[";
+    bool first = true;
+    for (const Interval& iv : set.intervals()) {
+      if (!first) os << ",";
+      os << "[" << iv.begin << "," << iv.end << "]";
+      first = false;
+    }
+    os << "]";
+    return os.str();
+  };
+  const auto run_json = [&](const RunRecord& run) {
+    std::ostringstream os;
+    os << "{\"alloc\":";
+    if (run.alloc == kAllocEdge) {
+      os << "\"edge\"";
+    } else if (run.alloc == kAllocUnassigned) {
+      os << "null";
+    } else {
+      os << run.alloc;
+    }
+    os << ",\"uplink\":" << intervals_json(run.uplink)
+       << ",\"exec\":" << intervals_json(run.exec)
+       << ",\"downlink\":" << intervals_json(run.downlink) << "}";
+    return os.str();
+  };
+
+  out << "{\n  \"platform\": {\"edge_speeds\": [";
+  for (std::size_t j = 0; j < instance.platform.edge_speeds().size(); ++j) {
+    if (j != 0) out << ",";
+    out << instance.platform.edge_speeds()[j];
+  }
+  out << "], \"cloud_speeds\": [";
+  for (int k = 0; k < instance.platform.cloud_count(); ++k) {
+    if (k != 0) out << ",";
+    out << instance.platform.cloud_speed(k);
+  }
+  out << "]},\n  \"max_stretch\": " << metrics.max_stretch
+      << ",\n  \"mean_stretch\": " << metrics.mean_stretch
+      << ",\n  \"makespan\": " << metrics.makespan << ",\n  \"jobs\": [\n";
+  for (int i = 0; i < schedule.job_count(); ++i) {
+    const Job& job = instance.jobs[i];
+    const JobSchedule& js = schedule.job(i);
+    const JobMetrics& jm = metrics.per_job.at(i);
+    out << "    {\"id\": " << job.id << ", \"origin\": " << job.origin
+        << ", \"work\": " << job.work << ", \"release\": " << job.release
+        << ", \"up\": " << job.up << ", \"down\": " << job.down
+        << ", \"completion\": " << jm.completion
+        << ", \"stretch\": " << jm.stretch
+        << ", \"final_run\": " << run_json(js.final_run)
+        << ", \"abandoned\": [";
+    for (std::size_t a = 0; a < js.abandoned.size(); ++a) {
+      if (a != 0) out << ",";
+      out << run_json(js.abandoned[a]);
+    }
+    out << "]}" << (i + 1 < schedule.job_count() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace ecs

@@ -1,0 +1,40 @@
+// gantt.hpp - Schedule rendering and machine-readable export.
+//
+// `render_gantt` draws an ASCII Gantt chart of a schedule: one lane per
+// processor (and optionally per communication port), the time axis scaled
+// to a fixed width. It is the quickest way to eyeball a schedule — the
+// examples use it and it makes validator findings easy to localize.
+//
+// `write_schedule_json` exports the full schedule (allocations, every
+// interval, per-job metrics) as JSON for external tooling.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/metrics.hpp"
+#include "core/platform.hpp"
+#include "core/schedule.hpp"
+
+namespace ecs {
+
+struct GanttOptions {
+  int width = 100;          ///< characters for the time axis
+  bool show_comm = true;    ///< also draw send/receive port lanes
+  bool show_abandoned = true;  ///< include abandoned runs (lowercase)
+};
+
+/// Multi-line ASCII chart. Jobs are labelled 0-9A-Z (mod 36); abandoned
+/// activity uses lowercase letters where possible; '.' is idle time and
+/// '#' marks cloud outage periods.
+[[nodiscard]] std::string render_gantt(const Instance& instance,
+                                       const Schedule& schedule,
+                                       const GanttOptions& options = {});
+
+/// JSON export: platform, per-job allocation, intervals, completion and
+/// stretch. Stable field order, no external dependencies.
+void write_schedule_json(std::ostream& out, const Instance& instance,
+                         const Schedule& schedule,
+                         const ScheduleMetrics& metrics);
+
+}  // namespace ecs

@@ -1,0 +1,106 @@
+#include "exp/report.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace ecs {
+
+void Table::add_row(std::vector<std::string> row) {
+  if (row.size() != headers_.size()) {
+    throw std::invalid_argument("Table::add_row: wrong number of cells");
+  }
+  rows_.push_back(std::move(row));
+}
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "" : "  ");
+      out << row[c];
+      for (std::size_t pad = row[c].size(); pad < widths[c]; ++pad) {
+        out << ' ';
+      }
+    }
+    out << "\n";
+  };
+  print_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  out << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+void Table::write_csv(std::ostream& out) const {
+  const auto write_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) out << ",";
+      out << row[c];
+    }
+    out << "\n";
+  };
+  write_row(headers_);
+  for (const auto& row : rows_) write_row(row);
+}
+
+namespace {
+
+const Accumulator& metric_of(const PolicyAggregate& agg, ReportMetric metric) {
+  switch (metric) {
+    case ReportMetric::kMaxStretch:
+      return agg.max_stretch;
+    case ReportMetric::kMeanStretch:
+      return agg.mean_stretch;
+    case ReportMetric::kWallSeconds:
+      return agg.wall_seconds;
+  }
+  return agg.max_stretch;
+}
+
+}  // namespace
+
+Table make_report(const std::vector<SweepPointResult>& points,
+                  const std::vector<std::string>& policies,
+                  const ReportOptions& options) {
+  std::vector<std::string> headers;
+  headers.push_back(options.x_label);
+  for (const std::string& p : policies) headers.push_back(p);
+  Table table(std::move(headers));
+
+  for (const SweepPointResult& point : points) {
+    std::vector<std::string> row;
+    row.push_back(point.label);
+    for (const std::string& p : policies) {
+      const Accumulator& acc = metric_of(point.policy(p), options.metric);
+      std::string cell = format_double(acc.mean(), options.precision);
+      if (options.show_stddev) {
+        cell += " ±" + format_double(acc.stddev(), options.precision);
+      }
+      row.push_back(std::move(cell));
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+void print_bench_header(std::ostream& out, const std::string& title,
+                        const std::string& description, int replications,
+                        std::uint64_t seed) {
+  out << "=== " << title << " ===\n";
+  out << description << "\n";
+  out << "replications per point: " << replications << "   seed: " << seed
+      << "\n\n";
+}
+
+}  // namespace ecs

@@ -1,0 +1,40 @@
+#include "exp/runner.hpp"
+
+#include <chrono>
+
+#include "core/validate.hpp"
+#include "sched/factory.hpp"
+
+namespace ecs {
+
+RunOutcome run_policy(const Instance& instance, Policy& policy,
+                      const RunOptions& options) {
+  RunOutcome outcome;
+  outcome.policy = policy.name();
+
+  EngineConfig config = options.engine;
+  config.record_schedule = options.validate;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const SimResult sim = simulate(instance, policy, config);
+  const auto t1 = std::chrono::steady_clock::now();
+  outcome.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  outcome.stats = sim.stats;
+
+  if (options.validate) {
+    require_valid_schedule(instance, sim.schedule);
+    outcome.validated = true;
+    outcome.metrics = compute_metrics(instance, sim.schedule);
+  } else {
+    outcome.metrics = metrics_from_completions(instance, sim.completions);
+  }
+  return outcome;
+}
+
+RunOutcome run_policy(const Instance& instance, const std::string& policy_name,
+                      const RunOptions& options) {
+  const auto policy = make_policy(policy_name);
+  return run_policy(instance, *policy, options);
+}
+
+}  // namespace ecs

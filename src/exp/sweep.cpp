@@ -1,0 +1,86 @@
+#include "exp/sweep.hpp"
+
+#include <mutex>
+#include <stdexcept>
+
+#include "exp/parallel.hpp"
+#include "sched/factory.hpp"
+#include "util/rng.hpp"
+
+namespace ecs {
+
+const PolicyAggregate& SweepPointResult::policy(
+    const std::string& name) const {
+  for (const PolicyAggregate& agg : per_policy) {
+    if (agg.policy == name) return agg;
+  }
+  throw std::out_of_range("no aggregate for policy " + name);
+}
+
+std::uint64_t replication_seed(std::uint64_t base, const std::string& label,
+                               int replication) {
+  return derive_seed(derive_seed(base, hash_tag(label)),
+                     static_cast<std::uint64_t>(replication));
+}
+
+SweepPointResult run_sweep_point(const std::string& label,
+                                 const InstanceFactory& factory,
+                                 const std::vector<std::string>& policies,
+                                 const SweepOptions& options) {
+  SweepPointResult result;
+  result.label = label;
+  result.per_policy.resize(policies.size());
+  for (std::size_t p = 0; p < policies.size(); ++p) {
+    result.per_policy[p].policy = policies[p];
+  }
+
+  const int reps = options.replications;
+  // One outcome slot per (replication, policy); filled concurrently, merged
+  // serially so aggregation order is deterministic.
+  struct Slot {
+    double max_stretch = 0.0;
+    double mean_stretch = 0.0;
+    double wall_seconds = 0.0;
+    double reassignments = 0.0;
+    double events = 0.0;
+  };
+  std::vector<Slot> slots(static_cast<std::size_t>(reps) * policies.size());
+
+  parallel_for(
+      static_cast<std::size_t>(reps),
+      [&](std::size_t rep) {
+        const std::uint64_t seed =
+            replication_seed(options.base_seed, label, static_cast<int>(rep));
+        const Instance instance = factory(seed);
+        for (std::size_t p = 0; p < policies.size(); ++p) {
+          RunOptions run_options;
+          run_options.engine = options.engine;
+          run_options.validate = options.validate_first && rep == 0;
+          const RunOutcome outcome =
+              run_policy(instance, policies[p], run_options);
+          Slot& slot = slots[rep * policies.size() + p];
+          slot.max_stretch = outcome.metrics.max_stretch;
+          slot.mean_stretch = outcome.metrics.mean_stretch;
+          slot.wall_seconds = outcome.wall_seconds;
+          slot.reassignments =
+              static_cast<double>(outcome.stats.reassignments);
+          slot.events = static_cast<double>(outcome.stats.events);
+        }
+      },
+      options.threads);
+
+  for (int rep = 0; rep < reps; ++rep) {
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+      const Slot& slot = slots[rep * policies.size() + p];
+      PolicyAggregate& agg = result.per_policy[p];
+      agg.max_stretch.add(slot.max_stretch);
+      agg.mean_stretch.add(slot.mean_stretch);
+      agg.wall_seconds.add(slot.wall_seconds);
+      agg.reassignments.add(slot.reassignments);
+      agg.events.add(slot.events);
+    }
+  }
+  return result;
+}
+
+}  // namespace ecs

@@ -1,0 +1,63 @@
+// sweep.hpp - Parameter sweeps with replication, the backbone of every
+// figure reproduction.
+//
+// A sweep point is one x-axis value of a paper figure (a CCR, a load, a job
+// count). For each point we draw `replications` independent instances
+// (seeded deterministically from base_seed, point label and replication
+// index), run every requested policy on each instance, and aggregate the
+// per-instance metrics. Paper points average 1000 instances; the bench
+// defaults are smaller so the suite finishes on modest hardware, and every
+// binary accepts --reps to raise them.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/platform.hpp"
+#include "exp/runner.hpp"
+#include "util/stats.hpp"
+
+namespace ecs {
+
+/// Builds the instance for one replication from a derived seed.
+using InstanceFactory = std::function<Instance(std::uint64_t seed)>;
+
+struct PolicyAggregate {
+  std::string policy;
+  Accumulator max_stretch;
+  Accumulator mean_stretch;
+  Accumulator wall_seconds;
+  Accumulator reassignments;
+  Accumulator events;
+};
+
+struct SweepPointResult {
+  std::string label;
+  std::vector<PolicyAggregate> per_policy;
+
+  [[nodiscard]] const PolicyAggregate& policy(const std::string& name) const;
+};
+
+struct SweepOptions {
+  int replications = 30;
+  std::uint64_t base_seed = 42;
+  unsigned threads = 0;  ///< 0 = hardware concurrency
+  /// Validate the recorded schedule on the first replication of each
+  /// (point, policy) pair; throws if any constraint of section III-B fails.
+  bool validate_first = true;
+  EngineConfig engine;
+};
+
+/// Runs one sweep point: `factory(seed)` provides the instances, every
+/// policy in `policies` runs on every replication.
+[[nodiscard]] SweepPointResult run_sweep_point(
+    const std::string& label, const InstanceFactory& factory,
+    const std::vector<std::string>& policies, const SweepOptions& options);
+
+/// Derives the replication seed for (base, point label, replication).
+[[nodiscard]] std::uint64_t replication_seed(std::uint64_t base,
+                                             const std::string& label,
+                                             int replication);
+
+}  // namespace ecs

@@ -1,0 +1,114 @@
+#include "sched/common.hpp"
+
+namespace ecs {
+
+std::pair<int, Time> best_target_sticky(const Platform& platform,
+                                        const ResourceClock& clock,
+                                        const JobState& state) {
+  // Candidate order matters: the current allocation is evaluated first and
+  // other targets must be *strictly* better (beyond tolerance) to win.
+  int best_target = kAllocEdge;
+  Time best = kTimeInfinity;
+  const auto consider = [&](int target) {
+    const Time done = clock.project(platform, state, target);
+    if (done < best - kDecisionMargin) {
+      best = done;
+      best_target = target;
+    }
+  };
+  if (state.alloc != kAllocUnassigned) {
+    best_target = state.alloc;
+    best = clock.project(platform, state, state.alloc);
+    if (state.alloc != kAllocEdge) consider(kAllocEdge);
+  } else {
+    consider(kAllocEdge);
+  }
+  for (CloudId k = 0; k < platform.cloud_count(); ++k) {
+    if (k == state.alloc) continue;
+    consider(k);
+  }
+  return {best_target, best};
+}
+
+std::vector<Directive> list_assign_directives(
+    const SimView& view, const std::vector<OrderedJob>& order) {
+  const Platform& platform = view.platform();
+  const Time now = view.now();
+  // Outage-aware: projections mirror the engine's availability windows.
+  ResourceClock clock(view.instance(), now);
+  std::vector<Directive> directives;
+  directives.reserve(order.size());
+  double priority = 0.0;
+  for (const OrderedJob& entry : order) {
+    const JobState& s = view.state(entry.id);
+    const auto [target, done] = best_target_sticky(platform, clock, s);
+    (void)done;
+    const bool immediate = clock.starts_now(platform, s, target, now);
+    clock.commit(platform, s, target);
+    directives.push_back(
+        Directive{entry.id, immediate ? target : kTargetKeep, priority});
+    priority += 1.0;
+  }
+  return directives;
+}
+
+void sort_ordered(std::vector<OrderedJob>& order) {
+  std::sort(order.begin(), order.end(),
+            [](const OrderedJob& a, const OrderedJob& b) {
+              return a.key != b.key ? a.key < b.key : a.id < b.id;
+            });
+}
+
+int pick_fresh_cloud(const SimView& view,
+                     const std::vector<char>& cloud_free) {
+  const Platform& platform = view.platform();
+  const Time now = view.now();
+  int best = -1;
+  double speed = 0.0;
+  int fallback = -1;
+  double fallback_speed = 0.0;
+  for (CloudId k = 0; k < platform.cloud_count(); ++k) {
+    if (!cloud_free[k]) continue;
+    if (view.instance().cloud_available(k, now)) {
+      if (platform.cloud_speed(k) > speed) {
+        speed = platform.cloud_speed(k);
+        best = k;
+      }
+    } else if (platform.cloud_speed(k) > fallback_speed) {
+      fallback_speed = platform.cloud_speed(k);
+      fallback = k;
+    }
+  }
+  return best >= 0 ? best : fallback;
+}
+
+double min_feasible_stretch(double lo, double epsilon, int max_iterations,
+                            const std::function<bool(double)>& feasible) {
+  double hi = std::max(lo, 1.0);
+  int iterations = 0;
+  while (!feasible(hi) && iterations < max_iterations) {
+    hi *= 2.0;
+    ++iterations;
+  }
+  double best = hi;
+  double cursor = lo;
+  while ((best - cursor) > epsilon * best && iterations < max_iterations) {
+    const double mid = 0.5 * (cursor + best);
+    if (feasible(mid)) {
+      best = mid;
+    } else {
+      cursor = mid;
+    }
+    ++iterations;
+  }
+  return best;
+}
+
+bool contains_release(const std::vector<Event>& events) {
+  for (const Event& e : events) {
+    if (e.kind == EventKind::kRelease) return true;
+  }
+  return false;
+}
+
+}  // namespace ecs

@@ -1,0 +1,63 @@
+// common.hpp - Shared helpers for the scheduling policies.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "sim/policy.hpp"
+#include "sim/projection.hpp"
+
+namespace ecs {
+
+/// Picks the target minimizing the projected completion of `state` against
+/// `clock`, preferring the job's current allocation on ties (so that a
+/// policy that is merely re-confirming its decisions never discards
+/// progress through the re-execution rule).
+[[nodiscard]] std::pair<int, Time> best_target_sticky(
+    const Platform& platform, const ResourceClock& clock,
+    const JobState& state);
+
+/// True when the event batch contains a job release.
+[[nodiscard]] bool contains_release(const std::vector<Event>& events);
+
+/// A job with its ordering key (deadline for SSF-EDF, release for FCFS).
+struct OrderedJob {
+  JobId id = -1;
+  double key = 0.0;
+};
+
+/// Sorts by (key, id) — the canonical tie-break every ordered pass uses,
+/// so decide() and feasibility probes can never disagree on ordering.
+void sort_ordered(std::vector<OrderedJob>& order);
+
+/// Fastest cloud still marked free in `cloud_free`, preferring clouds
+/// available right now; clouds inside an availability outage serve only as
+/// a fallback when nothing else is free. Returns -1 when no cloud is free.
+/// Shared by the Greedy and SRPT pick loops.
+[[nodiscard]] int pick_fresh_cloud(const SimView& view,
+                                   const std::vector<char>& cloud_free);
+
+/// Exponential doubling followed by bisection for the smallest stretch
+/// accepted by `feasible`, starting from the lower bound `lo`, to relative
+/// precision `epsilon`, spending at most `max_iterations` probes overall.
+/// Returns the smallest stretch that was actually verified feasible (if the
+/// doubling phase exhausts the probe budget, the last — largest — probe is
+/// returned even if unverified; callers treat the result as best-effort).
+/// Shared by SSF-EDF and Edge-Only.
+[[nodiscard]] double min_feasible_stretch(
+    double lo, double epsilon, int max_iterations,
+    const std::function<bool(double)>& feasible);
+
+/// List assignment shared by the EDF-style policies: walks jobs in the
+/// given order through a contention-aware projection, placing each on the
+/// processor where it completes earliest. Only jobs whose next activity
+/// would start *immediately* receive an explicit (re)allocation directive;
+/// queued jobs get kTargetKeep, so their progress is never discarded just
+/// because the projection shuffled the queue behind the running jobs. All
+/// directives carry the rank in `order` as priority.
+[[nodiscard]] std::vector<Directive> list_assign_directives(
+    const SimView& view, const std::vector<OrderedJob>& order);
+
+}  // namespace ecs

@@ -1,0 +1,95 @@
+#include "sched/edge_only.hpp"
+
+#include <algorithm>
+
+namespace ecs {
+
+void EdgeOnlyPolicy::reset(const Instance& instance) {
+  deadlines_.assign(instance.jobs.size(), kTimeInfinity);
+}
+
+bool EdgeOnlyPolicy::feasible_on_edge(
+    const SimView& view, EdgeId j, double stretch,
+    std::vector<double>* deadlines_out) const {
+  // On a single machine with every candidate job already released,
+  // preemptive EDF is optimal and feasibility reduces to: process jobs by
+  // deadline; the cumulative remaining execution time must meet each
+  // deadline.
+  struct Entry {
+    JobId id;
+    double deadline;
+    double exec_time;  // remaining execution time on this edge
+  };
+  const Platform& platform = view.platform();
+  const double speed = platform.edge_speed(j);
+  std::vector<Entry> entries;
+  for (const JobState& s : view.states()) {
+    if (!s.live() || s.job.origin != j) continue;
+    // Edge-Only never allocates elsewhere, so remaining work is meaningful
+    // only for an edge allocation; an unassigned job is fresh.
+    const double rem_work =
+        (s.alloc == kAllocEdge) ? clamp_amount(s.rem_work) : s.job.work;
+    entries.push_back(Entry{s.job.id,
+                            s.job.release + stretch * s.best_time,
+                            rem_work / speed});
+  }
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    return a.deadline != b.deadline ? a.deadline < b.deadline : a.id < b.id;
+  });
+  Time cursor = view.now();
+  for (const Entry& e : entries) {
+    cursor += e.exec_time;
+    if (time_gt(cursor, e.deadline)) return false;
+  }
+  if (deadlines_out != nullptr) {
+    for (const Entry& e : entries) (*deadlines_out)[e.id] = e.deadline;
+  }
+  return true;
+}
+
+void EdgeOnlyPolicy::recompute_edge_deadlines(const SimView& view, EdgeId j) {
+  const Platform& platform = view.platform();
+  const double speed = platform.edge_speed(j);
+  double lo = 1.0;
+  bool any = false;
+  for (const JobState& s : view.states()) {
+    if (!s.live() || s.job.origin != j) continue;
+    any = true;
+    const double rem_work =
+        (s.alloc == kAllocEdge) ? clamp_amount(s.rem_work) : s.job.work;
+    const Time best_done = view.now() + rem_work / speed;
+    lo = std::max(lo, (best_done - s.job.release) / s.best_time);
+  }
+  if (!any) return;
+
+  const double best = min_feasible_stretch(
+      lo, config_.epsilon, config_.max_iterations,
+      [&](double s) { return feasible_on_edge(view, j, s, nullptr); });
+  (void)feasible_on_edge(view, j, best, &deadlines_);
+}
+
+std::vector<Directive> EdgeOnlyPolicy::decide(
+    const SimView& view, const std::vector<Event>& events) {
+  // Recompute deadlines only for edges that saw a release in this batch.
+  std::vector<char> touched(view.platform().edge_count(), 0);
+  for (const Event& e : events) {
+    if (e.kind == EventKind::kRelease) {
+      touched[view.state(e.job).job.origin] = 1;
+    }
+  }
+  for (EdgeId j = 0; j < view.platform().edge_count(); ++j) {
+    if (touched[j]) recompute_edge_deadlines(view, j);
+  }
+
+  // EDF on every edge: priority = deadline; the engine runs, per edge, the
+  // allocated job with the smallest priority (preempting as needed).
+  std::vector<Directive> directives;
+  for (const JobState& s : view.states()) {
+    if (!s.live()) continue;
+    directives.push_back(
+        Directive{s.job.id, kAllocEdge, deadlines_[s.job.id]});
+  }
+  return directives;
+}
+
+}  // namespace ecs

@@ -1,0 +1,57 @@
+#include "sched/factory.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sched/edge_only.hpp"
+#include "sched/fcfs.hpp"
+#include "sched/greedy.hpp"
+#include "sched/srpt.hpp"
+#include "sched/ssf_edf.hpp"
+
+namespace ecs {
+namespace {
+
+std::string canonicalize(std::string name) {
+  std::transform(name.begin(), name.end(), name.begin(), [](unsigned char c) {
+    return c == '_' ? '-' : static_cast<char>(std::tolower(c));
+  });
+  return name;
+}
+
+}  // namespace
+
+std::unique_ptr<Policy> make_policy(const std::string& name) {
+  const std::string canon = canonicalize(name);
+  if (canon == "edge-only" || canon == "edgeonly") {
+    return std::make_unique<EdgeOnlyPolicy>();
+  }
+  if (canon == "greedy") {
+    return std::make_unique<GreedyPolicy>();
+  }
+  if (canon == "srpt") {
+    return std::make_unique<SrptPolicy>();
+  }
+  if (canon == "srpt-noreexec") {
+    SrptConfig config;
+    config.allow_reexecution = false;
+    return std::make_unique<SrptPolicy>(config);
+  }
+  if (canon == "ssf-edf" || canon == "ssfedf") {
+    return std::make_unique<SsfEdfPolicy>();
+  }
+  if (canon == "fcfs") {
+    return std::make_unique<FcfsPolicy>();
+  }
+  throw std::invalid_argument("unknown policy name: " + name);
+}
+
+std::vector<std::string> policy_names() {
+  return {"edge-only", "greedy", "srpt", "ssf-edf", "fcfs"};
+}
+
+std::vector<std::string> paper_policy_names() {
+  return {"edge-only", "greedy", "srpt", "ssf-edf"};
+}
+
+}  // namespace ecs

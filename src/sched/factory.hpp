@@ -1,0 +1,27 @@
+// factory.hpp - Name-based construction of scheduling policies.
+//
+// The bench and example binaries select heuristics by name (e.g.
+// `--algos=srpt,ssf-edf`); this factory is the single registry mapping
+// names to implementations.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/policy.hpp"
+
+namespace ecs {
+
+/// Canonical names: "edge-only", "greedy", "srpt", "ssf-edf", "fcfs".
+/// Matching is case-insensitive and tolerant of '_' vs '-'.
+/// Throws std::invalid_argument for unknown names.
+[[nodiscard]] std::unique_ptr<Policy> make_policy(const std::string& name);
+
+/// All canonical policy names, in the order the paper presents them.
+[[nodiscard]] std::vector<std::string> policy_names();
+
+/// The paper's four heuristics (without the extra FCFS control).
+[[nodiscard]] std::vector<std::string> paper_policy_names();
+
+}  // namespace ecs

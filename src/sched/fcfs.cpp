@@ -1,0 +1,21 @@
+#include "sched/fcfs.hpp"
+
+#include <algorithm>
+
+namespace ecs {
+
+std::vector<Directive> FcfsPolicy::decide(const SimView& view,
+                                          const std::vector<Event>& events) {
+  (void)events;
+  const Platform& platform = view.platform();
+
+  std::vector<OrderedJob> order;
+  for (const JobState& s : view.states()) {
+    if (!s.live()) continue;
+    order.push_back(OrderedJob{s.job.id, s.job.release});
+  }
+  sort_ordered(order);
+  return list_assign_directives(view, order);
+}
+
+}  // namespace ecs

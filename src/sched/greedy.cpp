@@ -1,0 +1,113 @@
+#include "sched/greedy.hpp"
+
+#include <limits>
+
+namespace ecs {
+namespace {
+
+/// Relative improvement a relocation must offer over continuing on the
+/// current allocation before Greedy discards progress (the re-execution
+/// rule makes moves expensive: the uncontended estimates cannot see the
+/// contention a marginal move creates, so near-tie moves systematically
+/// thrash). Unassigned jobs have nothing to lose and are exempt.
+constexpr double kSwitchMargin = 0.10;
+
+}  // namespace
+
+std::vector<Directive> GreedyPolicy::decide(const SimView& view,
+                                            const std::vector<Event>& events) {
+  (void)events;  // Greedy recomputes its choices from scratch at each event.
+  const Platform& platform = view.platform();
+  const Time now = view.now();
+
+  std::vector<JobId> candidates = view.live_jobs();
+  std::vector<char> edge_free(platform.edge_count(), 1);
+  std::vector<char> cloud_free(platform.cloud_count(), 1);
+
+  std::vector<Directive> directives;
+  directives.reserve(candidates.size());
+  double priority = 0.0;
+
+
+  while (!candidates.empty()) {
+    // For each unselected job: the minimum stretch achievable on a still
+    // available resource, starting right now.
+    double best_value = -1.0;  // max over jobs of min-stretch
+    double best_tiebreak = std::numeric_limits<double>::infinity();
+    std::size_t best_pos = candidates.size();
+    int best_resource = kAllocUnassigned;
+    const int fresh = pick_fresh_cloud(view, cloud_free);
+
+    for (std::size_t pos = 0; pos < candidates.size(); ++pos) {
+      const JobState& s = view.state(candidates[pos]);
+      double min_stretch = std::numeric_limits<double>::infinity();
+      int argmin = kAllocUnassigned;
+      double keep_stretch = std::numeric_limits<double>::infinity();
+      const auto stretch_on = [&](int target) {
+        const Time done = uncontended_completion(
+            view.instance(), s, target == kTargetKeep ? s.alloc : target,
+            now);
+        return stretch_of(platform, s.job, done);
+      };
+      const auto consider = [&](int target) {
+        const double stretch = stretch_on(target);
+        if (stretch < min_stretch - kDecisionMargin) {
+          min_stretch = stretch;
+          argmin = target;
+        }
+      };
+      // Continuing on the current allocation (progress intact) is the
+      // baseline; when that resource was claimed by an earlier pick,
+      // waiting for it (kTargetKeep) remains an option.
+      int keep_target = kAllocUnassigned;
+      if (s.alloc != kAllocUnassigned) {
+        const bool own_free =
+            s.alloc == kAllocEdge ? edge_free[s.job.origin] != 0
+                                  : cloud_free[s.alloc] != 0;
+        keep_target = own_free ? s.alloc : kTargetKeep;
+        keep_stretch = stretch_on(keep_target);
+        min_stretch = keep_stretch;
+        argmin = keep_target;
+      }
+      if (edge_free[s.job.origin] && s.alloc != kAllocEdge) {
+        consider(kAllocEdge);
+      }
+      if (fresh >= 0 && fresh != s.alloc) consider(fresh);
+      if (argmin == kAllocUnassigned) continue;  // nothing available for it
+      // Moving away from the current allocation discards progress; demand
+      // a real improvement, not a near-tie (see kSwitchMargin).
+      if (keep_target != kAllocUnassigned && argmin != keep_target &&
+          min_stretch > keep_stretch * (1.0 - kSwitchMargin)) {
+        argmin = keep_target;
+        min_stretch = keep_stretch;
+      }
+      // Select the job with the highest achievable min-stretch; on ties,
+      // the job with the smallest best-case time — short jobs are the most
+      // stretch-sensitive, so delaying them is costlier.
+      const bool wins =
+          min_stretch > best_value + kDecisionMargin ||
+          (min_stretch > best_value - kDecisionMargin &&
+           s.best_time < best_tiebreak);
+      if (wins) {
+        best_value = min_stretch;
+        best_tiebreak = s.best_time;
+        best_pos = pos;
+        best_resource = argmin;
+      }
+    }
+
+    if (best_pos == candidates.size()) break;  // no job can be placed
+    const JobId chosen = candidates[best_pos];
+    directives.push_back(Directive{chosen, best_resource, priority});
+    priority += 1.0;
+    if (best_resource == kAllocEdge) {
+      edge_free[view.state(chosen).job.origin] = 0;
+    } else if (best_resource != kTargetKeep) {
+      cloud_free[best_resource] = 0;
+    }
+    candidates.erase(candidates.begin() + static_cast<std::ptrdiff_t>(best_pos));
+  }
+  return directives;
+}
+
+}  // namespace ecs

@@ -1,0 +1,180 @@
+#include "sched/offline/bnb.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace ecs {
+namespace {
+
+constexpr double kEps = 1e-12;
+
+/// Jobs on one machine, assigned in descending work order. Since service
+/// is SPT (Lemma 2), adding a (shorter) job of work w delays every job
+/// already present by w: stretch_i += w / w_i.
+class MachineState {
+ public:
+  void add(double w) {
+    for (std::size_t i = 0; i < works_.size(); ++i) {
+      stretch_[i] += w / works_[i];
+    }
+    works_.push_back(w);
+    stretch_.push_back(1.0);  // runs first among current members
+    recompute_max();
+  }
+
+  void remove_last() {
+    const double w = works_.back();
+    works_.pop_back();
+    stretch_.pop_back();
+    for (std::size_t i = 0; i < works_.size(); ++i) {
+      stretch_[i] -= w / works_[i];
+    }
+    recompute_max();
+  }
+
+  [[nodiscard]] double max_stretch() const noexcept { return max_stretch_; }
+  [[nodiscard]] bool empty() const noexcept { return works_.empty(); }
+
+ private:
+  void recompute_max() {
+    max_stretch_ = 0.0;
+    for (double s : stretch_) max_stretch_ = std::max(max_stretch_, s);
+  }
+
+  std::vector<double> works_;
+  std::vector<double> stretch_;
+  double max_stretch_ = 0.0;
+};
+
+class Solver {
+ public:
+  Solver(std::vector<double> works_desc, int machines)
+      : works_(std::move(works_desc)), states_(machines) {}
+
+  BnbResult solve() {
+    assignment_.assign(works_.size(), 0);
+    best_assignment_.assign(works_.size(), 0);
+    seed_incumbent();
+    dfs(0, 0);
+    BnbResult result;
+    result.max_stretch = incumbent_;
+    result.machine_of = best_assignment_;
+    result.nodes = nodes_;
+    return result;
+  }
+
+ private:
+  [[nodiscard]] double global_max() const {
+    double worst = 0.0;
+    for (const MachineState& m : states_) {
+      worst = std::max(worst, m.max_stretch());
+    }
+    return worst;
+  }
+
+  /// Greedy longest-first seeding: place each job on the machine where the
+  /// resulting global max-stretch is smallest. Provides the initial upper
+  /// bound the search prunes against.
+  void seed_incumbent() {
+    std::vector<int> greedy(works_.size());
+    for (std::size_t t = 0; t < works_.size(); ++t) {
+      int best_machine = 0;
+      double best_value = std::numeric_limits<double>::infinity();
+      for (std::size_t m = 0; m < states_.size(); ++m) {
+        states_[m].add(works_[t]);
+        const double value = global_max();
+        states_[m].remove_last();
+        if (value < best_value - kEps) {
+          best_value = value;
+          best_machine = static_cast<int>(m);
+        }
+        if (states_[m].empty()) break;  // further empty machines identical
+      }
+      states_[best_machine].add(works_[t]);
+      greedy[t] = best_machine;
+    }
+    incumbent_ = global_max();
+    best_assignment_ = greedy;
+    // Unwind the greedy state before the exact search starts.
+    for (std::size_t t = works_.size(); t-- > 0;) {
+      states_[greedy[t]].remove_last();
+    }
+  }
+
+  void dfs(std::size_t t, int used_machines) {
+    ++nodes_;
+    if (t == works_.size()) {
+      const double value = global_max();
+      if (value < incumbent_ - kEps) {
+        incumbent_ = value;
+        best_assignment_ = assignment_;
+      }
+      return;
+    }
+    const double w = works_[t];
+    const int limit = std::min(static_cast<int>(states_.size()),
+                               used_machines + 1);
+    for (int m = 0; m < limit; ++m) {
+      // Equal jobs are interchangeable: force non-decreasing machine
+      // indices within a run of equal works.
+      if (t > 0 && works_[t - 1] == w && m < assignment_[t - 1]) continue;
+      states_[m].add(w);
+      assignment_[t] = m;
+      if (global_max() < incumbent_ - kEps) {
+        dfs(t + 1, std::max(used_machines, m + 1));
+      }
+      states_[m].remove_last();
+    }
+  }
+
+  std::vector<double> works_;
+  std::vector<MachineState> states_;
+  std::vector<int> assignment_;
+  std::vector<int> best_assignment_;
+  double incumbent_ = std::numeric_limits<double>::infinity();
+  std::uint64_t nodes_ = 0;
+};
+
+}  // namespace
+
+BnbResult bnb_mmsh(const std::vector<double>& works, int machines) {
+  if (works.empty()) {
+    throw std::invalid_argument("bnb_mmsh: no jobs");
+  }
+  if (machines < 1) {
+    throw std::invalid_argument("bnb_mmsh: need at least one machine");
+  }
+  for (double w : works) {
+    if (!(w > 0.0)) {
+      throw std::invalid_argument("bnb_mmsh: works must be positive");
+    }
+  }
+
+  // Sort descending, remembering the original positions.
+  std::vector<std::size_t> order(works.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return works[a] != works[b] ? works[a] > works[b] : a < b;
+  });
+  std::vector<double> sorted;
+  sorted.reserve(works.size());
+  for (std::size_t idx : order) sorted.push_back(works[idx]);
+
+  Solver solver(std::move(sorted), machines);
+  BnbResult internal = solver.solve();
+
+  BnbResult result;
+  result.max_stretch = internal.max_stretch;
+  result.nodes = internal.nodes;
+  result.machine_of.assign(works.size(), 0);
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    result.machine_of[order[pos]] = internal.machine_of[pos];
+  }
+  return result;
+}
+
+}  // namespace ecs

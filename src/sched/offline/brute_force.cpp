@@ -1,0 +1,132 @@
+#include "sched/offline/brute_force.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/validate.hpp"
+#include "sched/fixed.hpp"
+#include "sched/offline/spt.hpp"
+#include "sim/engine.hpp"
+
+namespace ecs {
+namespace {
+
+/// Max-stretch of one machine's job set, evaluated in SPT order (optimal by
+/// Lemma 2). `works` need not be sorted.
+double machine_cost(std::vector<double> works) {
+  if (works.empty()) return 0.0;
+  return max_stretch_spt(std::move(works));
+}
+
+void mmsh_search(const std::vector<double>& works, int machines,
+                 std::size_t pos, std::vector<int>& assignment,
+                 int used_machines, std::vector<std::vector<double>>& loads,
+                 MmshResult& best) {
+  if (pos == works.size()) {
+    double worst = 0.0;
+    for (const auto& load : loads) {
+      worst = std::max(worst, machine_cost(load));
+    }
+    if (best.machine_of.empty() || worst < best.max_stretch) {
+      best.max_stretch = worst;
+      best.machine_of = assignment;
+    }
+    return;
+  }
+  // Symmetry breaking: job `pos` may go on any machine already in use, or
+  // on exactly one fresh machine.
+  const int limit = std::min(machines, used_machines + 1);
+  for (int m = 0; m < limit; ++m) {
+    assignment[pos] = m;
+    loads[m].push_back(works[pos]);
+    mmsh_search(works, machines, pos + 1, assignment,
+                std::max(used_machines, m + 1), loads, best);
+    loads[m].pop_back();
+  }
+}
+
+}  // namespace
+
+MmshResult exact_mmsh(const std::vector<double>& works, int machines) {
+  if (works.empty()) {
+    throw std::invalid_argument("exact_mmsh: no jobs");
+  }
+  if (machines < 1) {
+    throw std::invalid_argument("exact_mmsh: need at least one machine");
+  }
+  for (double w : works) {
+    if (!(w > 0.0)) {
+      throw std::invalid_argument("exact_mmsh: works must be positive");
+    }
+  }
+  if (works.size() > 14) {
+    throw std::length_error(
+        "exact_mmsh: instance too large for exhaustive search (n > 14)");
+  }
+  MmshResult best;
+  std::vector<int> assignment(works.size(), 0);
+  std::vector<std::vector<double>> loads(machines);
+  mmsh_search(works, machines, 0, assignment, 0, loads, best);
+  return best;
+}
+
+BruteForceResult brute_force_edge_cloud(const Instance& instance,
+                                        int max_jobs) {
+  require_valid_instance(instance);
+  const int n = instance.job_count();
+  if (n > max_jobs) {
+    throw std::length_error(
+        "brute_force_edge_cloud: instance too large for exhaustive search");
+  }
+
+  const int pc = instance.platform.cloud_count();
+  BruteForceResult best;
+  best.max_stretch = kTimeInfinity;
+
+  std::vector<int> alloc(n, kAllocEdge);
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  // Enumerate allocations recursively with cloud symmetry breaking (the
+  // cloud index assigned to a job is at most one past the largest index
+  // used by earlier jobs), then priority permutations.
+  const auto evaluate_allocation = [&]() {
+    std::vector<int> perm = order;
+    std::sort(perm.begin(), perm.end());
+    do {
+      std::vector<double> priority(n);
+      for (int rank = 0; rank < n; ++rank) {
+        priority[perm[rank]] = static_cast<double>(rank);
+      }
+      FixedPolicy policy(alloc, priority);
+      const SimResult sim = simulate(instance, policy);
+      const ScheduleMetrics metrics = compute_metrics(instance, sim.schedule);
+      if (metrics.max_stretch < best.max_stretch - 1e-12) {
+        best.max_stretch = metrics.max_stretch;
+        best.alloc = alloc;
+        best.priority = priority;
+        best.schedule = sim.schedule;
+      }
+    } while (std::next_permutation(perm.begin(), perm.end()));
+  };
+
+  const auto recurse = [&](auto&& self, int pos, int max_cloud_used) -> void {
+    if (pos == n) {
+      evaluate_allocation();
+      return;
+    }
+    alloc[pos] = kAllocEdge;
+    self(self, pos + 1, max_cloud_used);
+    const int cloud_limit = std::min(pc, max_cloud_used + 1);
+    for (int k = 0; k < cloud_limit; ++k) {
+      alloc[pos] = k;
+      self(self, pos + 1, std::max(max_cloud_used, k + 1));
+    }
+    alloc[pos] = kAllocEdge;
+  };
+  recurse(recurse, 0, 0);
+  return best;
+}
+
+}  // namespace ecs

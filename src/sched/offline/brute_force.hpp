@@ -1,0 +1,55 @@
+// brute_force.hpp - Exact solvers for tiny offline instances.
+//
+// Two exhaustive searches back the test suite:
+//
+//  * `exact_mmsh` solves MMSH (max-stretch, homogeneous machines, no
+//    release dates — the problem whose NP-hardness the paper establishes)
+//    exactly: it enumerates job-to-machine partitions with machine-symmetry
+//    breaking and evaluates each machine in SPT order, which Lemma 2 proves
+//    optimal per machine. Exponential in n; intended for n <= ~12.
+//
+//  * `brute_force_edge_cloud` searches the edge-cloud problem over the
+//    class of *fixed-priority preemptive schedules*: it enumerates every
+//    allocation (origin edge or one of the cloud processors, with cloud
+//    symmetry breaking) and every global priority order, simulating each
+//    with the engine. The result is the best schedule in that rich class —
+//    an upper bound on the true optimum that matches it on the instances
+//    used in the tests (e.g. the paper's Figure 1 example). Exponential
+//    (n! * (1+P^c)^n); intended for n <= ~6.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/platform.hpp"
+#include "core/schedule.hpp"
+
+namespace ecs {
+
+struct MmshResult {
+  double max_stretch = 0.0;
+  std::vector<int> machine_of;  ///< optimal machine per job
+};
+
+/// Exact MMSH optimum: `works` on `machines` identical unit-speed machines,
+/// all release dates zero. Throws std::invalid_argument on empty input,
+/// non-positive work, or machines < 1, and std::length_error when the
+/// search space is unreasonably large (n > 14).
+[[nodiscard]] MmshResult exact_mmsh(const std::vector<double>& works,
+                                    int machines);
+
+struct BruteForceResult {
+  double max_stretch = 0.0;
+  std::vector<int> alloc;        ///< kAllocEdge or cloud index per job
+  std::vector<double> priority;  ///< priority per job (rank in best order)
+  Schedule schedule;             ///< the realized best schedule
+};
+
+/// Best fixed-priority preemptive schedule of the instance, by exhaustive
+/// search. Throws std::length_error when the instance has more than
+/// `max_jobs` jobs (default 7) to keep runtimes sane.
+[[nodiscard]] BruteForceResult brute_force_edge_cloud(const Instance& instance,
+                                                      int max_jobs = 7);
+
+}  // namespace ecs

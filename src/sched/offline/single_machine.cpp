@@ -1,0 +1,111 @@
+#include "sched/offline/single_machine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace ecs {
+namespace {
+
+double denom_of(const SmJob& job) {
+  return job.denom > 0.0 ? job.denom : job.proc;
+}
+
+}  // namespace
+
+bool edf_feasible_single_machine(std::span<const SmJob> jobs,
+                                 std::span<const double> deadlines) {
+  assert(jobs.size() == deadlines.size());
+  const std::size_t n = jobs.size();
+  if (n == 0) return true;
+
+  // Order of release; EDF selection among released jobs.
+  std::vector<std::size_t> by_release(n);
+  for (std::size_t i = 0; i < n; ++i) by_release[i] = i;
+  std::sort(by_release.begin(), by_release.end(),
+            [&](std::size_t a, std::size_t b) {
+              return jobs[a].release < jobs[b].release;
+            });
+
+  std::vector<double> remaining(n);
+  for (std::size_t i = 0; i < n; ++i) remaining[i] = jobs[i].proc;
+
+  // Released & unfinished jobs, scanned linearly for the earliest deadline
+  // (n is small in every use of this oracle).
+  std::vector<std::size_t> active;
+  std::size_t next_release = 0;
+  Time t = jobs[by_release[0]].release;
+
+  while (true) {
+    while (next_release < n &&
+           time_le(jobs[by_release[next_release]].release, t)) {
+      active.push_back(by_release[next_release]);
+      ++next_release;
+    }
+    if (active.empty()) {
+      if (next_release == n) return true;  // everything done
+      t = jobs[by_release[next_release]].release;
+      continue;
+    }
+    // Earliest-deadline job among the active ones.
+    std::size_t best = active[0];
+    std::size_t best_pos = 0;
+    for (std::size_t pos = 1; pos < active.size(); ++pos) {
+      if (deadlines[active[pos]] < deadlines[best]) {
+        best = active[pos];
+        best_pos = pos;
+      }
+    }
+    const Time horizon = next_release < n
+                             ? jobs[by_release[next_release]].release
+                             : kTimeInfinity;
+    const double slice = std::min(remaining[best], horizon - t);
+    t += slice;
+    remaining[best] -= slice;
+    if (amount_done(remaining[best])) {
+      if (time_gt(t, deadlines[best])) return false;
+      active.erase(active.begin() + static_cast<std::ptrdiff_t>(best_pos));
+    } else if (time_gt(t, deadlines[best])) {
+      // The most urgent job already missed its deadline.
+      return false;
+    }
+  }
+}
+
+SingleMachineResult optimal_max_stretch_single_machine(
+    std::span<const SmJob> jobs, double eps, int max_iterations) {
+  SingleMachineResult result;
+  result.deadlines.assign(jobs.size(), kTimeInfinity);
+  if (jobs.empty()) {
+    result.max_stretch = 1.0;
+    return result;
+  }
+
+  std::vector<double> deadlines(jobs.size());
+  const auto probe = [&](double stretch) {
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      deadlines[i] = jobs[i].release + stretch * denom_of(jobs[i]);
+    }
+    ++result.iterations;
+    return edf_feasible_single_machine(jobs, deadlines);
+  };
+
+  double lo = 1.0;
+  double hi = 1.0;
+  while (!probe(hi) && result.iterations < max_iterations) hi *= 2.0;
+  while ((hi - lo) > eps * hi && result.iterations < max_iterations) {
+    const double mid = 0.5 * (lo + hi);
+    if (probe(mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  result.max_stretch = hi;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    result.deadlines[i] = jobs[i].release + hi * denom_of(jobs[i]);
+  }
+  return result;
+}
+
+}  // namespace ecs

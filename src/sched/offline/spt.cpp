@@ -1,0 +1,25 @@
+#include "sched/offline/spt.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ecs {
+
+double max_stretch_in_order(std::span<const double> works, double speed) {
+  assert(speed > 0.0);
+  double completion = 0.0;
+  double worst = 0.0;
+  for (double w : works) {
+    assert(w > 0.0);
+    completion += w / speed;
+    worst = std::max(worst, completion / (w / speed));
+  }
+  return worst;
+}
+
+double max_stretch_spt(std::vector<double> works, double speed) {
+  std::sort(works.begin(), works.end());
+  return max_stretch_in_order(works, speed);
+}
+
+}  // namespace ecs

@@ -1,0 +1,28 @@
+// spt.hpp - Shortest-Processing-Time ordering utilities (paper Lemma 2).
+//
+// On a single machine without release dates, some max-stretch-optimal
+// schedule processes jobs from shortest to longest without preemption
+// (Lemma 2). These helpers evaluate the max-stretch of a given order and of
+// the SPT order; the test suite uses them to verify the lemma exhaustively
+// on small instances, and the MMSH brute-force solver relies on them to
+// reduce a partition to its cost.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace ecs {
+
+/// Max-stretch of executing `works` in the given order on one machine of
+/// the given speed, starting at time 0, without preemption, all release
+/// dates 0. The stretch denominator of a job is its own execution time, so
+/// the k-th job's stretch is (prefix sum) / w_k.
+[[nodiscard]] double max_stretch_in_order(std::span<const double> works,
+                                          double speed = 1.0);
+
+/// Max-stretch of the SPT (non-decreasing works) order; by Lemma 2 this is
+/// the single-machine optimum without release dates.
+[[nodiscard]] double max_stretch_spt(std::vector<double> works,
+                                     double speed = 1.0);
+
+}  // namespace ecs

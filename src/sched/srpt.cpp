@@ -1,0 +1,74 @@
+#include "sched/srpt.hpp"
+
+#include <limits>
+
+namespace ecs {
+
+std::vector<Directive> SrptPolicy::decide(const SimView& view,
+                                          const std::vector<Event>& events) {
+  (void)events;  // SRPT recomputes its choices from scratch at each event.
+  const Platform& platform = view.platform();
+  const Time now = view.now();
+
+  std::vector<JobId> candidates = view.live_jobs();
+  std::vector<char> edge_free(platform.edge_count(), 1);
+  std::vector<char> cloud_free(platform.cloud_count(), 1);
+
+  std::vector<Directive> directives;
+  directives.reserve(candidates.size());
+  double priority = 0.0;
+
+
+  while (!candidates.empty()) {
+    Time best_done = kTimeInfinity;
+    std::size_t best_pos = candidates.size();
+    int best_resource = kAllocUnassigned;
+    const int fresh = pick_fresh_cloud(view, cloud_free);
+
+    for (std::size_t pos = 0; pos < candidates.size(); ++pos) {
+      const JobState& s = view.state(candidates[pos]);
+      const auto consider = [&](int target) {
+        const Time done = uncontended_completion(
+            view.instance(), s, target == kTargetKeep ? s.alloc : target,
+            now);
+        if (done < best_done - kDecisionMargin) {
+          best_done = done;
+          best_pos = pos;
+          best_resource = target;
+        }
+      };
+      // Current allocation first: on equal completion times, continuing
+      // (keeping progress) wins over any restart. If the job's own
+      // resource was claimed earlier this round, waiting for it
+      // (kTargetKeep) competes against restarting from scratch elsewhere.
+      if (s.alloc != kAllocUnassigned) {
+        const bool own_free =
+            s.alloc == kAllocEdge ? edge_free[s.job.origin] != 0
+                                  : cloud_free[s.alloc] != 0;
+        consider(own_free ? s.alloc : kTargetKeep);
+      }
+      const bool may_restart =
+          config_.allow_reexecution || s.alloc == kAllocUnassigned;
+      if (may_restart) {
+        if (edge_free[s.job.origin] && s.alloc != kAllocEdge) {
+          consider(kAllocEdge);
+        }
+        if (fresh >= 0 && fresh != s.alloc) consider(fresh);
+      }
+    }
+
+    if (best_pos == candidates.size()) break;  // nothing placeable
+    const JobId chosen = candidates[best_pos];
+    directives.push_back(Directive{chosen, best_resource, priority});
+    priority += 1.0;
+    if (best_resource == kAllocEdge) {
+      edge_free[view.state(chosen).job.origin] = 0;
+    } else if (best_resource != kTargetKeep) {
+      cloud_free[best_resource] = 0;
+    }
+    candidates.erase(candidates.begin() + static_cast<std::ptrdiff_t>(best_pos));
+  }
+  return directives;
+}
+
+}  // namespace ecs

@@ -1,0 +1,466 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/validate.hpp"
+
+namespace ecs {
+namespace {
+
+/// Per-job recording of the currently open activity interval plus the
+/// in-progress run record.
+struct Recorder {
+  RunRecord current;
+  Activity open_activity = Activity::kNone;
+  Time open_start = 0.0;
+
+  void open(Activity activity, Time now) {
+    open_activity = activity;
+    open_start = now;
+  }
+
+  void close(Time now) {
+    if (open_activity == Activity::kNone) return;
+    switch (open_activity) {
+      case Activity::kUplink:
+        current.uplink.add(open_start, now);
+        break;
+      case Activity::kCompute:
+        current.exec.add(open_start, now);
+        break;
+      case Activity::kDownlink:
+        current.downlink.add(open_start, now);
+        break;
+      case Activity::kNone:
+        break;
+    }
+    open_activity = Activity::kNone;
+  }
+
+  [[nodiscard]] bool has_history() const noexcept {
+    return !current.uplink.empty() || !current.exec.empty() ||
+           !current.downlink.empty();
+  }
+};
+
+/// Busy markers for one decision round: which job holds each resource.
+struct BusyMap {
+  std::vector<JobId> edge_cpu, edge_send, edge_recv;
+  std::vector<JobId> cloud_cpu, cloud_send, cloud_recv;
+
+  explicit BusyMap(const Platform& platform)
+      : edge_cpu(platform.edge_count(), -1),
+        edge_send(platform.edge_count(), -1),
+        edge_recv(platform.edge_count(), -1),
+        cloud_cpu(platform.cloud_count(), -1),
+        cloud_send(platform.cloud_count(), -1),
+        cloud_recv(platform.cloud_count(), -1) {}
+
+  void clear() {
+    std::fill(edge_cpu.begin(), edge_cpu.end(), -1);
+    std::fill(edge_send.begin(), edge_send.end(), -1);
+    std::fill(edge_recv.begin(), edge_recv.end(), -1);
+    std::fill(cloud_cpu.begin(), cloud_cpu.end(), -1);
+    std::fill(cloud_send.begin(), cloud_send.end(), -1);
+    std::fill(cloud_recv.begin(), cloud_recv.end(), -1);
+  }
+};
+
+class Engine {
+ public:
+  Engine(const Instance& instance, Policy& policy, const EngineConfig& config)
+      : instance_(instance),
+        platform_(instance.platform),
+        policy_(policy),
+        config_(config),
+        busy_(instance.platform) {
+    require_valid_instance(instance_);
+    max_events_ = config_.max_events != 0
+                      ? config_.max_events
+                      : std::max<std::uint64_t>(
+                            10'000, 512ULL * instance_.jobs.size());
+  }
+
+  SimResult run() {
+    init();
+    while (remaining_jobs_ > 0) {
+      step();
+    }
+    return finish();
+  }
+
+ private:
+  void init() {
+    const int n = instance_.job_count();
+    states_.resize(n);
+    recorders_.resize(n);
+    for (int i = 0; i < n; ++i) {
+      JobState& s = states_[i];
+      s.job = instance_.jobs[i];
+      s.best_time = platform_.best_time(s.job);
+    }
+    // Outage boundaries (cloud availability windows): every begin and end
+    // is a wake-up point where the engine re-arbitrates, so an in-flight
+    // activity on a cloud that becomes unavailable is preempted exactly at
+    // the boundary and can resume at the next one.
+    for (const IntervalSet& outages : instance_.cloud_outages) {
+      for (const Interval& iv : outages.intervals()) {
+        boundaries_.push_back(iv.begin);
+        boundaries_.push_back(iv.end);
+      }
+    }
+    std::sort(boundaries_.begin(), boundaries_.end());
+    next_boundary_ = 0;
+
+    release_order_.resize(n);
+    for (int i = 0; i < n; ++i) release_order_[i] = i;
+    std::sort(release_order_.begin(), release_order_.end(),
+              [&](JobId a, JobId b) {
+                const Time ra = states_[a].job.release;
+                const Time rb = states_[b].job.release;
+                return ra != rb ? ra < rb : a < b;
+              });
+    next_release_ = 0;
+    remaining_jobs_ = n;
+    // Jump to the first release.
+    now_ = n > 0 ? states_[release_order_[0]].job.release : 0.0;
+    fire_releases();
+    stats_.events += events_.size();
+  }
+
+  /// Releases every job whose release date is <= now (within tolerance).
+  void fire_releases() {
+    while (next_release_ < release_order_.size()) {
+      JobState& s = states_[release_order_[next_release_]];
+      if (!time_le(s.job.release, now_)) break;
+      s.released = true;
+      events_.push_back(Event{EventKind::kRelease, s.job.id, now_});
+      ++next_release_;
+    }
+  }
+
+  void step() {
+    decide_and_activate();
+    advance_to_next_event();
+  }
+
+  void decide_and_activate() {
+    // 1. Ask the policy what to do about the events that just fired.
+    const SimView view(instance_, states_, now_);
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<Directive> directives = policy_.decide(view, events_);
+    const auto t1 = std::chrono::steady_clock::now();
+    stats_.policy_seconds +=
+        std::chrono::duration<double>(t1 - t0).count();
+    ++stats_.decisions;
+    events_.clear();
+
+    // 2. Close all open intervals; they will reopen seamlessly below
+    //    (IntervalSet::add merges touching pieces).
+    for (JobState& s : states_) {
+      if (s.active != Activity::kNone) {
+        recorders_[s.job.id].close(now_);
+        s.active = Activity::kNone;
+      }
+    }
+
+    // 3. Apply allocation changes (the re-execution rule).
+    for (const Directive& d : directives) {
+      apply_directive(d);
+    }
+
+    // 4. Activate activities in priority order. Jobs without an explicit
+    //    directive keep their allocation at the lowest priority, ordered by
+    //    id, so the engine stays work-conserving and deterministic.
+    order_.clear();
+    for (const Directive& d : directives) {
+      if (d.job >= 0 && d.job < static_cast<JobId>(states_.size()) &&
+          states_[d.job].live()) {
+        order_.push_back({d.priority, d.job});
+      }
+    }
+    seen_.assign(states_.size(), false);
+    for (const auto& [prio, id] : order_) seen_[id] = true;
+    for (const JobState& s : states_) {
+      if (s.live() && !seen_[s.job.id]) {
+        order_.push_back({kTimeInfinity, s.job.id});
+      }
+    }
+    std::stable_sort(order_.begin(), order_.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first != b.first ? a.first < b.first
+                                                 : a.second < b.second;
+                     });
+
+    busy_.clear();
+    for (const auto& [prio, id] : order_) {
+      try_activate(states_[id]);
+    }
+  }
+
+  void apply_directive(const Directive& d) {
+    if (d.target == kTargetKeep) return;
+    if (d.job < 0 || d.job >= static_cast<JobId>(states_.size())) {
+      throw std::runtime_error("policy " + policy_.name() +
+                               " issued a directive for unknown job " +
+                               std::to_string(d.job));
+    }
+    JobState& s = states_[d.job];
+    if (!s.live()) return;
+    if (d.target != kAllocEdge &&
+        (!is_cloud_alloc(d.target) || d.target >= platform_.cloud_count())) {
+      throw std::runtime_error("policy " + policy_.name() +
+                               " issued invalid target " +
+                               std::to_string(d.target) + " for job " +
+                               std::to_string(d.job));
+    }
+    if (d.target == s.alloc) return;
+
+    Recorder& rec = recorders_[d.job];
+    rec.close(now_);
+    if (s.alloc != kAllocUnassigned) {
+      // Abandon the current run; its history stays on the books because it
+      // physically occupied resources.
+      ++s.reassignments;
+      ++stats_.reassignments;
+      if (config_.record_schedule && rec.has_history()) {
+        abandoned_runs_.emplace_back(d.job, std::move(rec.current));
+      }
+      rec.current = RunRecord{};
+    }
+    s.alloc = d.target;
+    rec.current.alloc = d.target;
+    if (d.target == kAllocEdge) {
+      s.rem_up = 0.0;
+      s.rem_work = s.job.work;
+      s.rem_down = 0.0;
+    } else {
+      s.rem_up = s.job.up;
+      s.rem_work = s.job.work;
+      s.rem_down = s.job.down;
+    }
+  }
+
+  void try_activate(JobState& s) {
+    if (!s.live()) return;
+    const Activity needed = s.next_activity();
+    if (needed == Activity::kNone) return;
+    const EdgeId o = s.job.origin;
+    const JobId id = s.job.id;
+    // A cloud processor inside an availability outage serves nothing —
+    // neither computation nor communication involving it.
+    if (is_cloud_alloc(s.alloc) &&
+        !instance_.cloud_available(s.alloc, now_)) {
+      return;
+    }
+    switch (needed) {
+      case Activity::kCompute:
+        if (s.alloc == kAllocEdge) {
+          if (busy_.edge_cpu[o] != -1) return;
+          busy_.edge_cpu[o] = id;
+        } else {
+          if (busy_.cloud_cpu[s.alloc] != -1) return;
+          busy_.cloud_cpu[s.alloc] = id;
+        }
+        break;
+      case Activity::kUplink:
+        if (busy_.edge_send[o] != -1 || busy_.cloud_recv[s.alloc] != -1) {
+          return;
+        }
+        busy_.edge_send[o] = id;
+        busy_.cloud_recv[s.alloc] = id;
+        break;
+      case Activity::kDownlink:
+        if (busy_.cloud_send[s.alloc] != -1 || busy_.edge_recv[o] != -1) {
+          return;
+        }
+        busy_.cloud_send[s.alloc] = id;
+        busy_.edge_recv[o] = id;
+        break;
+      case Activity::kNone:
+        return;
+    }
+    s.active = needed;
+    recorders_[id].open(needed, now_);
+  }
+
+  [[nodiscard]] Time activity_end(const JobState& s) const {
+    switch (s.active) {
+      case Activity::kUplink:
+        return now_ + clamp_amount(s.rem_up);
+      case Activity::kCompute:
+        if (s.alloc == kAllocEdge) {
+          return now_ +
+                 clamp_amount(s.rem_work) / platform_.edge_speed(s.job.origin);
+        }
+        return now_ + clamp_amount(s.rem_work) / platform_.cloud_speed(s.alloc);
+      case Activity::kDownlink:
+        return now_ + clamp_amount(s.rem_down);
+      case Activity::kNone:
+        return kTimeInfinity;
+    }
+    return kTimeInfinity;
+  }
+
+  void advance_to_next_event() {
+    Time next = kTimeInfinity;
+    for (const JobState& s : states_) {
+      if (s.active != Activity::kNone) {
+        next = std::min(next, activity_end(s));
+      }
+    }
+    if (next_release_ < release_order_.size()) {
+      next = std::min(next,
+                      states_[release_order_[next_release_]].job.release);
+    }
+    while (next_boundary_ < boundaries_.size() &&
+           time_le(boundaries_[next_boundary_], now_)) {
+      ++next_boundary_;
+    }
+    if (next_boundary_ < boundaries_.size()) {
+      next = std::min(next, boundaries_[next_boundary_]);
+    }
+    if (next == kTimeInfinity) {
+      std::ostringstream os;
+      os << "simulation stalled at t=" << now_ << " with " << remaining_jobs_
+         << " unfinished job(s): policy " << policy_.name()
+         << " left every live job without a runnable activity";
+      throw std::runtime_error(os.str());
+    }
+
+    const double dt = std::max(0.0, next - now_);
+    for (JobState& s : states_) {
+      if (s.active == Activity::kNone) continue;
+      switch (s.active) {
+        case Activity::kUplink:
+          s.rem_up = clamp_amount(s.rem_up - dt);
+          break;
+        case Activity::kCompute:
+          if (s.alloc == kAllocEdge) {
+            s.rem_work = clamp_amount(
+                s.rem_work - dt * platform_.edge_speed(s.job.origin));
+          } else {
+            s.rem_work = clamp_amount(
+                s.rem_work - dt * platform_.cloud_speed(s.alloc));
+          }
+          break;
+        case Activity::kDownlink:
+          s.rem_down = clamp_amount(s.rem_down - dt);
+          break;
+        case Activity::kNone:
+          break;
+      }
+    }
+    now_ = next;
+
+    // Fire completions.
+    for (JobState& s : states_) {
+      if (s.active == Activity::kNone) continue;
+      bool fired = false;
+      switch (s.active) {
+        case Activity::kUplink:
+          if (amount_done(s.rem_up)) {
+            s.rem_up = 0.0;
+            events_.push_back(Event{EventKind::kUplinkDone, s.job.id, now_});
+            fired = true;
+          }
+          break;
+        case Activity::kCompute:
+          if (amount_done(s.rem_work)) {
+            s.rem_work = 0.0;
+            events_.push_back(Event{EventKind::kComputeDone, s.job.id, now_});
+            fired = true;
+          }
+          break;
+        case Activity::kDownlink:
+          if (amount_done(s.rem_down)) {
+            s.rem_down = 0.0;
+            events_.push_back(
+                Event{EventKind::kDownlinkDone, s.job.id, now_});
+            fired = true;
+          }
+          break;
+        case Activity::kNone:
+          break;
+      }
+      if (fired) {
+        recorders_[s.job.id].close(now_);
+        s.active = Activity::kNone;
+        if (s.all_amounts_done()) {
+          s.done = true;
+          s.completion = now_;
+          --remaining_jobs_;
+        }
+      }
+    }
+    fire_releases();
+
+    stats_.events += events_.size();
+    if (stats_.events > max_events_) {
+      std::ostringstream os;
+      os << "event cap (" << max_events_ << ") exceeded at t=" << now_
+         << " by policy " << policy_.name()
+         << "; the policy is likely thrashing re-executions";
+      throw std::runtime_error(os.str());
+    }
+  }
+
+  SimResult finish() {
+    SimResult result;
+    result.stats = stats_;
+    result.completions.resize(states_.size());
+    for (const JobState& s : states_) {
+      result.completions[s.job.id] = s.completion;
+    }
+    if (config_.record_schedule) {
+      result.schedule = Schedule(instance_.job_count());
+      for (auto& [id, run] : abandoned_runs_) {
+        result.schedule.job(id).abandoned.push_back(std::move(run));
+      }
+      for (JobState& s : states_) {
+        Recorder& rec = recorders_[s.job.id];
+        rec.close(now_);
+        result.schedule.job(s.job.id).final_run = std::move(rec.current);
+      }
+    }
+    return result;
+  }
+
+  const Instance& instance_;
+  const Platform& platform_;
+  Policy& policy_;
+  EngineConfig config_;
+  BusyMap busy_;
+  std::uint64_t max_events_ = 0;
+
+  std::vector<JobState> states_;
+  std::vector<Recorder> recorders_;
+  std::vector<std::pair<JobId, RunRecord>> abandoned_runs_;
+  std::vector<JobId> release_order_;
+  std::size_t next_release_ = 0;
+  std::vector<Time> boundaries_;  ///< sorted outage begin/end wake-ups
+  std::size_t next_boundary_ = 0;
+  int remaining_jobs_ = 0;
+  Time now_ = 0.0;
+  std::vector<Event> events_;
+  SimStats stats_;
+
+  // Scratch buffers reused across decision rounds.
+  std::vector<std::pair<double, JobId>> order_;
+  std::vector<char> seen_;
+};
+
+}  // namespace
+
+SimResult simulate(const Instance& instance, Policy& policy,
+                   const EngineConfig& config) {
+  policy.reset(instance);
+  Engine engine(instance, policy, config);
+  return engine.run();
+}
+
+}  // namespace ecs

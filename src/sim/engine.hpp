@@ -1,0 +1,66 @@
+// engine.hpp - Event-driven simulator for MinMaxStretch-EdgeCloud.
+//
+// The engine advances continuous time from event to event. An event is a
+// job release or the completion of an activity (uplink, execution,
+// downlink). At each event it queries the policy for directives, applies
+// allocation changes (implementing the paper's re-execution rule), then
+// activates activities in priority order subject to the model's resource
+// constraints:
+//
+//  * each edge / cloud processor executes at most one job at a time
+//    (preemption happens naturally when priorities change);
+//  * one-port full-duplex: an edge processor participates in at most one
+//    uplink (its send port) and one downlink (its receive port) at a time,
+//    a cloud processor in at most one incoming uplink (receive port) and
+//    one outgoing downlink (send port); communications are preemptible;
+//  * computation overlaps communication freely;
+//  * per job: uplink completes before execution starts, execution before
+//    the downlink starts.
+//
+// Between events every active activity progresses linearly, so the next
+// event time is computed analytically. The full activity history is
+// recorded into a core::Schedule, which the section III-B validator can
+// then check independently — the engine and the validator are two separate
+// implementations of the model, and the test suite plays them against each
+// other.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/platform.hpp"
+#include "core/schedule.hpp"
+#include "sim/policy.hpp"
+
+namespace ecs {
+
+struct EngineConfig {
+  /// Hard cap on processed events; 0 selects max(10'000, 512 * n). The cap
+  /// exists to turn a thrashing policy (endless re-executions) into a
+  /// diagnosable error instead of a hang.
+  std::uint64_t max_events = 0;
+  /// Record the full interval history. Disable to save memory on very large
+  /// instances when only completion times are needed.
+  bool record_schedule = true;
+};
+
+struct SimStats {
+  std::uint64_t events = 0;        ///< releases + activity completions
+  std::uint64_t decisions = 0;     ///< policy invocations
+  std::uint64_t reassignments = 0; ///< progress-discarding moves
+  double policy_seconds = 0.0;     ///< wall time spent inside the policy
+};
+
+struct SimResult {
+  Schedule schedule;          ///< interval history (if recorded)
+  std::vector<Time> completions;  ///< C_i per job (always filled)
+  SimStats stats;
+};
+
+/// Runs `policy` over `instance` until every job completes.
+/// Throws std::runtime_error on policy stalls (every live job left
+/// unallocated with no pending event) or when the event cap is hit.
+[[nodiscard]] SimResult simulate(const Instance& instance, Policy& policy,
+                                 const EngineConfig& config = {});
+
+}  // namespace ecs

@@ -1,0 +1,94 @@
+// policy.hpp - The event-triggered scheduling-policy interface.
+//
+// All the paper's heuristics (section V) are event-based: they reconsider
+// their decisions only when a job is released or when an uplink, execution
+// or downlink completes. At each such point the engine asks the policy for
+// *directives*: for each live job, a target location and a priority.
+//
+//  * target = kAllocEdge        -> run locally on the origin edge processor;
+//  * target = k >= 0            -> delegate to cloud processor k;
+//  * target = kTargetKeep       -> keep the current allocation and progress.
+//
+// Changing a job's location discards its progress (the paper's re-execution
+// rule). Priorities (lower value = more urgent) drive the engine's resource
+// arbitration: at each event the engine walks jobs in priority order and
+// activates each job's next needed activity if its processor/ports are
+// free — this uniformly realizes preemption, one-port serialization and the
+// uplink -> compute -> downlink pipeline for every policy.
+//
+// Jobs for which the policy returns no directive implicitly keep their
+// allocation with the lowest priority (the engine stays work-conserving).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/platform.hpp"
+#include "sim/state.hpp"
+
+namespace ecs {
+
+/// Directive target sentinel: keep the job where it is, progress intact.
+inline constexpr int kTargetKeep = -3;
+
+struct Directive {
+  JobId job = -1;
+  int target = kTargetKeep;  ///< kAllocEdge, cloud index, or kTargetKeep
+  double priority = 0.0;     ///< lower = scheduled first
+};
+
+/// Read-only view of the simulation passed to policies.
+class SimView {
+ public:
+  SimView(const Instance& instance, const std::vector<JobState>& states,
+          Time now)
+      : instance_(&instance), states_(&states), now_(now) {}
+
+  [[nodiscard]] const Instance& instance() const noexcept {
+    return *instance_;
+  }
+  [[nodiscard]] const Platform& platform() const noexcept {
+    return instance_->platform;
+  }
+  [[nodiscard]] Time now() const noexcept { return now_; }
+  [[nodiscard]] const std::vector<JobState>& states() const noexcept {
+    return *states_;
+  }
+  [[nodiscard]] const JobState& state(JobId id) const {
+    return states_->at(id);
+  }
+
+  /// Ids of released, unfinished jobs.
+  [[nodiscard]] std::vector<JobId> live_jobs() const {
+    std::vector<JobId> out;
+    for (const JobState& s : *states_) {
+      if (s.live()) out.push_back(s.job.id);
+    }
+    return out;
+  }
+
+ private:
+  const Instance* instance_;
+  const std::vector<JobState>* states_;
+  Time now_;
+};
+
+/// Base class for scheduling policies. Policies are stateful across one
+/// simulation (reset() is called at the start) but must not retain state
+/// across simulations.
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Called once before the simulation starts.
+  virtual void reset(const Instance& instance) { (void)instance; }
+
+  /// Called at every event batch. `events` holds everything that fired at
+  /// the current time (several completions and releases can coincide).
+  [[nodiscard]] virtual std::vector<Directive> decide(
+      const SimView& view, const std::vector<Event>& events) = 0;
+};
+
+}  // namespace ecs

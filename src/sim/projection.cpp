@@ -1,0 +1,218 @@
+#include "sim/projection.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace ecs {
+
+RemainingAmounts remaining_on(const JobState& state, int target) {
+  assert(target != kTargetKeep);
+  RemainingAmounts rem;
+  if (target == state.alloc) {
+    rem.up = clamp_amount(state.rem_up);
+    rem.work = clamp_amount(state.rem_work);
+    rem.down = clamp_amount(state.rem_down);
+    return rem;
+  }
+  // Re-execution from scratch (progress on the old resource is lost; when
+  // the target is a different cloud processor the uplink must be resent).
+  if (target == kAllocEdge) {
+    rem.work = state.job.work;
+  } else {
+    rem.up = state.job.up;
+    rem.work = state.job.work;
+    rem.down = state.job.down;
+  }
+  return rem;
+}
+
+Time advance_through_outages(const IntervalSet* outages, Time start,
+                             double duration) {
+  // A zero-length leg does not need the resource at all: it must not be
+  // pushed through an outage the cursor happens to sit inside.
+  if (duration <= 0.0) return start;
+  if (outages == nullptr || outages->empty()) return start + duration;
+  Time cursor = start;
+  double left = duration;
+  for (const Interval& iv : outages->intervals()) {
+    if (time_le(iv.end, cursor)) continue;  // outage already past
+    // Available window before this outage.
+    if (time_lt(cursor, iv.begin)) {
+      const double window = iv.begin - cursor;
+      if (left <= window + kAmountEpsilon) return cursor + left;
+      left -= window;
+    }
+    cursor = std::max(cursor, iv.end);  // suspended through the outage
+  }
+  return cursor + left;
+}
+
+Time uncontended_completion(const Platform& platform, const JobState& state,
+                            int target, Time now) {
+  const RemainingAmounts rem = remaining_on(state, target);
+  if (target == kAllocEdge) {
+    return now + rem.work / platform.edge_speed(state.job.origin);
+  }
+  return now + rem.up + rem.work / platform.cloud_speed(target) + rem.down;
+}
+
+Time uncontended_completion(const Instance& instance, const JobState& state,
+                            int target, Time now) {
+  if (target == kAllocEdge || instance.cloud_outages.empty()) {
+    return uncontended_completion(instance.platform, state, target, now);
+  }
+  const RemainingAmounts rem = remaining_on(state, target);
+  const IntervalSet* outages = &instance.cloud_outages.at(target);
+  // Uplink, execution and downlink all involve the cloud processor, so
+  // each leg suspends during its outages.
+  Time cursor = advance_through_outages(outages, now, rem.up);
+  cursor = advance_through_outages(
+      outages, cursor, rem.work / instance.platform.cloud_speed(target));
+  cursor = advance_through_outages(outages, cursor, rem.down);
+  return cursor;
+}
+
+CloudId fastest_cloud(const Platform& platform) {
+  CloudId best = -1;
+  double speed = 0.0;
+  for (CloudId k = 0; k < platform.cloud_count(); ++k) {
+    if (platform.cloud_speed(k) > speed) {
+      speed = platform.cloud_speed(k);
+      best = k;
+    }
+  }
+  return best;
+}
+
+Time best_uncontended_completion(const Platform& platform,
+                                 const JobState& state, Time now) {
+  Time best = uncontended_completion(platform, state, kAllocEdge, now);
+  if (platform.cloud_count() > 0) {
+    // Idle cloud processors of equal speed are interchangeable; the
+    // fastest one is the best fresh representative. The current
+    // allocation (if any) is probed separately to account for progress.
+    best = std::min(best, uncontended_completion(
+                              platform, state, fastest_cloud(platform), now));
+    if (is_cloud_alloc(state.alloc)) {
+      best = std::min(best,
+                      uncontended_completion(platform, state, state.alloc, now));
+    }
+  }
+  return best;
+}
+
+ResourceClock::ResourceClock(const Platform& platform, Time now)
+    : edge_cpu_(platform.edge_count(), now),
+      edge_send_(platform.edge_count(), now),
+      edge_recv_(platform.edge_count(), now),
+      cloud_cpu_(platform.cloud_count(), now),
+      cloud_send_(platform.cloud_count(), now),
+      cloud_recv_(platform.cloud_count(), now),
+      now_(now) {}
+
+ResourceClock::ResourceClock(const Instance& instance, Time now)
+    : ResourceClock(instance.platform, now) {
+  if (!instance.cloud_outages.empty()) {
+    outages_ = &instance.cloud_outages;
+  }
+}
+
+ResourceClock::Projection ResourceClock::project_detail(
+    const Platform& platform, const JobState& state, int target) const {
+  const RemainingAmounts rem = remaining_on(state, target);
+  const EdgeId o = state.job.origin;
+  Projection p{};
+  if (target == kAllocEdge) {
+    p.up_end = edge_cpu_[o];
+    p.exec_end = edge_cpu_[o] + rem.work / platform.edge_speed(o);
+    p.done = p.exec_end;
+    return p;
+  }
+  const CloudId k = target;
+  const IntervalSet* outages = outages_of(k);
+  // An already-uploaded job (rem.up == 0) has no uplink leg: it must not
+  // inherit delays from other jobs' committed uplinks on the same ports
+  // (commit() guards the port clocks the same way).
+  const Time cursor = rem.up > 0.0
+                          ? std::max(edge_send_[o], cloud_recv_[k])
+                          : now_;
+  p.up_end = advance_through_outages(outages, cursor, rem.up);
+  p.exec_end =
+      advance_through_outages(outages, std::max(p.up_end, cloud_cpu_[k]),
+                              rem.work / platform.cloud_speed(k));
+  if (rem.down > 0.0) {
+    const Time dn_start =
+        std::max({p.exec_end, cloud_send_[k], edge_recv_[o]});
+    p.done = advance_through_outages(outages, dn_start, rem.down);
+  } else {
+    p.done = p.exec_end;
+  }
+  return p;
+}
+
+Time ResourceClock::project(const Platform& platform, const JobState& state,
+                            int target) const {
+  return project_detail(platform, state, target).done;
+}
+
+Time ResourceClock::commit(const Platform& platform, const JobState& state,
+                           int target) {
+  const Projection p = project_detail(platform, state, target);
+  const EdgeId o = state.job.origin;
+  if (target == kAllocEdge) {
+    edge_cpu_[o] = p.exec_end;
+    return p.done;
+  }
+  const CloudId k = target;
+  const RemainingAmounts rem = remaining_on(state, target);
+  if (rem.up > 0.0) {
+    edge_send_[o] = p.up_end;
+    cloud_recv_[k] = p.up_end;
+  }
+  cloud_cpu_[k] = p.exec_end;
+  if (rem.down > 0.0) {
+    cloud_send_[k] = p.done;
+    edge_recv_[o] = p.done;
+  }
+  return p.done;
+}
+
+bool ResourceClock::starts_now(const Platform& platform,
+                               const JobState& state, int target,
+                               Time now) const {
+  const RemainingAmounts rem = remaining_on(state, target);
+  const EdgeId o = state.job.origin;
+  if (target == kAllocEdge) {
+    return time_le(edge_cpu_[o], now);
+  }
+  const CloudId k = target;
+  // Nothing starts on a cloud inside one of its availability outages.
+  if (const IntervalSet* outages = outages_of(k);
+      outages != nullptr && outages->contains(now)) {
+    return false;
+  }
+  if (rem.up > 0.0) {
+    return time_le(edge_send_[o], now) && time_le(cloud_recv_[k], now);
+  }
+  if (rem.work > 0.0) {
+    return time_le(cloud_cpu_[k], now);
+  }
+  return time_le(cloud_send_[k], now) && time_le(edge_recv_[o], now);
+}
+
+std::pair<int, Time> ResourceClock::best_target(
+    const Platform& platform, const JobState& state) const {
+  int best_target_id = kAllocEdge;
+  Time best = project(platform, state, kAllocEdge);
+  for (CloudId k = 0; k < platform.cloud_count(); ++k) {
+    const Time done = project(platform, state, k);
+    if (done < best - kDecisionMargin) {
+      best = done;
+      best_target_id = k;
+    }
+  }
+  return {best_target_id, best};
+}
+
+}  // namespace ecs

@@ -1,0 +1,125 @@
+// projection.hpp - Completion-time projection for online heuristics.
+//
+// The paper's heuristics need to estimate when a job would finish on a
+// candidate resource. Two levels of fidelity are provided:
+//
+//  * `uncontended_completion` ignores other jobs entirely: it is the
+//    earliest conceivable finish time, matching the O(1) estimate behind
+//    the complexity figures of Greedy / SRPT (section V-B, V-C).
+//
+//  * `ResourceClock` + `project` performs a non-preemptive list projection:
+//    per-resource next-free counters (edge/cloud CPUs and the four one-port
+//    directions) are advanced as candidate jobs are committed in priority
+//    order. SSF-EDF's feasibility test (section V-D) walks jobs in deadline
+//    order through this projection.
+//
+// Both honour the re-execution rule: projecting a job onto its *current*
+// allocation uses its remaining amounts, any other target uses the full
+// amounts from scratch.
+#pragma once
+
+#include <vector>
+
+#include "core/platform.hpp"
+#include "sim/state.hpp"
+
+namespace ecs {
+
+/// Completion time of an activity of length `duration` started at `start`
+/// when the resource is unavailable during `outages` (may be nullptr or
+/// empty): processing suspends inside outage windows and resumes after
+/// them — the engine's preempt-and-resume semantics.
+[[nodiscard]] Time advance_through_outages(const IntervalSet* outages,
+                                           Time start, double duration);
+
+/// Earliest finish time of `state`'s job on `target`, starting at `now`,
+/// assuming no contention. `target` is kAllocEdge or a cloud index.
+[[nodiscard]] Time uncontended_completion(const Platform& platform,
+                                          const JobState& state, int target,
+                                          Time now);
+
+/// Outage-aware overload: accounts for the announced availability windows
+/// of the target cloud processor (Instance::cloud_outages).
+[[nodiscard]] Time uncontended_completion(const Instance& instance,
+                                          const JobState& state, int target,
+                                          Time now);
+
+/// Best uncontended finish time over all resources (origin edge, the
+/// fastest cloud processor, or the job's current allocation).
+[[nodiscard]] Time best_uncontended_completion(const Platform& platform,
+                                               const JobState& state,
+                                               Time now);
+
+/// Index of the fastest cloud processor, or -1 when the platform has none.
+[[nodiscard]] CloudId fastest_cloud(const Platform& platform);
+
+/// Per-resource next-free times used by the list projection.
+class ResourceClock {
+ public:
+  ResourceClock(const Platform& platform, Time now);
+
+  /// Outage-aware construction: projections suspend inside the announced
+  /// availability windows of each cloud processor, exactly mirroring the
+  /// engine's enforcement.
+  ResourceClock(const Instance& instance, Time now);
+
+  /// Completion time of the job on `target` given current clocks; does not
+  /// modify the clocks.
+  [[nodiscard]] Time project(const Platform& platform, const JobState& state,
+                             int target) const;
+
+  /// Commits the job to `target`: advances the involved clocks and returns
+  /// the completion time.
+  Time commit(const Platform& platform, const JobState& state, int target);
+
+  /// Target (kAllocEdge or cloud id) minimizing the projected completion,
+  /// together with that completion time.
+  [[nodiscard]] std::pair<int, Time> best_target(const Platform& platform,
+                                                 const JobState& state) const;
+
+  [[nodiscard]] Time edge_cpu(EdgeId j) const { return edge_cpu_.at(j); }
+  [[nodiscard]] Time cloud_cpu(CloudId k) const { return cloud_cpu_.at(k); }
+
+  /// True when the job's *next* activity on `target` could begin
+  /// immediately (at `now`) given the current clocks — i.e. the job would
+  /// not merely be queued behind earlier commitments. Policies use this to
+  /// restrict explicit (re)allocation directives to jobs that actually
+  /// start, leaving queued jobs' progress untouched.
+  [[nodiscard]] bool starts_now(const Platform& platform,
+                                const JobState& state, int target,
+                                Time now) const;
+
+ private:
+  struct Projection {
+    Time up_end;
+    Time exec_end;
+    Time done;
+  };
+  [[nodiscard]] Projection project_detail(const Platform& platform,
+                                          const JobState& state,
+                                          int target) const;
+  [[nodiscard]] const IntervalSet* outages_of(CloudId k) const {
+    return outages_ == nullptr || outages_->empty() ? nullptr
+                                                    : &outages_->at(k);
+  }
+
+  std::vector<Time> edge_cpu_;
+  std::vector<Time> edge_send_;
+  std::vector<Time> edge_recv_;
+  std::vector<Time> cloud_cpu_;
+  std::vector<Time> cloud_send_;
+  std::vector<Time> cloud_recv_;
+  const std::vector<IntervalSet>* outages_ = nullptr;
+  Time now_ = 0.0;
+};
+
+/// Remaining amounts of the job if (re)started on `target`:
+/// {uplink time, work, downlink time}. Applies the re-execution rule.
+struct RemainingAmounts {
+  double up = 0.0;
+  double work = 0.0;
+  double down = 0.0;
+};
+[[nodiscard]] RemainingAmounts remaining_on(const JobState& state, int target);
+
+}  // namespace ecs

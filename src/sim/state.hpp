@@ -1,0 +1,71 @@
+// state.hpp - Dynamic per-job state inside the event-driven simulator.
+//
+// A live job is, at any instant, either idle (waiting for a resource) or
+// performing exactly one activity: its uplink communication, its execution,
+// or its downlink communication. The state tracks the remaining amounts for
+// the job's *current* allocation; the paper's re-execution rule (no
+// migration, restart from scratch allowed) is implemented by resetting these
+// amounts whenever the allocation changes.
+#pragma once
+
+#include <string>
+
+#include "core/job.hpp"
+#include "core/schedule.hpp"
+#include "core/time.hpp"
+
+namespace ecs {
+
+enum class Activity { kNone, kUplink, kCompute, kDownlink };
+
+[[nodiscard]] std::string to_string(Activity activity);
+
+/// The four event kinds of the paper (section V): release, end of uplink,
+/// end of execution, end of downlink.
+enum class EventKind { kRelease, kUplinkDone, kComputeDone, kDownlinkDone };
+
+struct Event {
+  EventKind kind;
+  JobId job;
+  Time time;
+};
+
+[[nodiscard]] std::string to_string(EventKind kind);
+
+struct JobState {
+  Job job;                      ///< static parameters (copy for locality)
+  double best_time = 0.0;       ///< min(t^e, t^c): stretch denominator
+  int alloc = kAllocUnassigned; ///< current allocation (kAllocEdge / cloud)
+  double rem_up = 0.0;          ///< remaining uplink time (cloud alloc only)
+  double rem_work = 0.0;        ///< remaining work, in work units
+  double rem_down = 0.0;        ///< remaining downlink time
+  Activity active = Activity::kNone;  ///< what the job is doing right now
+  bool released = false;
+  bool done = false;
+  Time completion = -1.0;
+  int reassignments = 0;        ///< times progress was discarded
+
+  [[nodiscard]] bool live() const noexcept { return released && !done; }
+
+  /// The next activity the job needs on its current allocation, given its
+  /// remaining amounts; kNone when everything is finished (or unallocated).
+  [[nodiscard]] Activity next_activity() const noexcept {
+    if (alloc == kAllocUnassigned || done) return Activity::kNone;
+    if (alloc == kAllocEdge) {
+      return amount_done(rem_work) ? Activity::kNone : Activity::kCompute;
+    }
+    if (!amount_done(rem_up)) return Activity::kUplink;
+    if (!amount_done(rem_work)) return Activity::kCompute;
+    if (!amount_done(rem_down)) return Activity::kDownlink;
+    return Activity::kNone;
+  }
+
+  /// True when every amount of the current allocation is exhausted.
+  [[nodiscard]] bool all_amounts_done() const noexcept {
+    if (alloc == kAllocEdge) return amount_done(rem_work);
+    return amount_done(rem_up) && amount_done(rem_work) &&
+           amount_done(rem_down);
+  }
+};
+
+}  // namespace ecs

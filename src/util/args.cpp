@@ -1,0 +1,117 @@
+#include "util/args.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+namespace ecs {
+namespace {
+
+bool looks_like_flag(const std::string& s) {
+  return s.size() > 2 && s[0] == '-' && s[1] == '-';
+}
+
+std::string to_lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+}  // namespace
+
+Args Args::parse(int argc, const char* const* argv) {
+  Args args;
+  if (argc > 0) args.program_ = argv[0];
+  bool rest_positional = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string tok = argv[i];
+    if (rest_positional) {
+      args.positional_.push_back(std::move(tok));
+      continue;
+    }
+    if (tok == "--") {
+      rest_positional = true;
+      continue;
+    }
+    if (!looks_like_flag(tok)) {
+      args.positional_.push_back(std::move(tok));
+      continue;
+    }
+    std::string key = tok.substr(2);
+    std::string value;
+    const auto eq = key.find('=');
+    if (eq != std::string::npos) {
+      value = key.substr(eq + 1);
+      key = key.substr(0, eq);
+    } else if (i + 1 < argc && !looks_like_flag(argv[i + 1])) {
+      value = argv[++i];
+    }
+    args.values_[key] = value;
+  }
+  return args;
+}
+
+bool Args::has(const std::string& key) const {
+  return values_.count(key) != 0;
+}
+
+std::optional<std::string> Args::get(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Args::get_or(const std::string& key,
+                         const std::string& fallback) const {
+  return get(key).value_or(fallback);
+}
+
+std::int64_t Args::get_int(const std::string& key,
+                           std::int64_t fallback) const {
+  const auto v = get(key);
+  if (!v || v->empty()) return fallback;
+  return std::strtoll(v->c_str(), nullptr, 10);
+}
+
+double Args::get_double(const std::string& key, double fallback) const {
+  const auto v = get(key);
+  if (!v || v->empty()) return fallback;
+  return std::strtod(v->c_str(), nullptr);
+}
+
+bool Args::get_bool(const std::string& key, bool fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  if (v->empty()) return true;  // bare --flag
+  const std::string lower = to_lower(*v);
+  return !(lower == "0" || lower == "false" || lower == "no" ||
+           lower == "off");
+}
+
+std::vector<double> Args::get_double_list(
+    const std::string& key, const std::vector<double>& fallback) const {
+  const auto v = get(key);
+  if (!v || v->empty()) return fallback;
+  std::vector<double> out;
+  std::stringstream ss(*v);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(std::strtod(item.c_str(), nullptr));
+  }
+  return out.empty() ? fallback : out;
+}
+
+std::vector<std::int64_t> Args::get_int_list(
+    const std::string& key, const std::vector<std::int64_t>& fallback) const {
+  const auto v = get(key);
+  if (!v || v->empty()) return fallback;
+  std::vector<std::int64_t> out;
+  std::stringstream ss(*v);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(std::strtoll(item.c_str(), nullptr, 10));
+  }
+  return out.empty() ? fallback : out;
+}
+
+}  // namespace ecs

@@ -1,0 +1,57 @@
+// args.hpp - Minimal command-line argument parsing for bench and example
+// binaries.
+//
+// Supports `--key=value`, `--key value` and boolean `--flag` forms. Unknown
+// arguments are collected so callers can reject or forward them (the bench
+// binaries forward leftovers to google-benchmark).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ecs {
+
+class Args {
+ public:
+  Args() = default;
+
+  /// Parses argv. Arguments after a literal `--` are left in positional().
+  static Args parse(int argc, const char* const* argv);
+
+  /// True when --key was supplied (with or without a value).
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
+  [[nodiscard]] std::string get_or(const std::string& key,
+                                   const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  /// Boolean flags: present without value => true; "0"/"false"/"no" => false.
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Comma-separated list of doubles, e.g. --ccr=0.1,1,10.
+  [[nodiscard]] std::vector<double> get_double_list(
+      const std::string& key, const std::vector<double>& fallback) const;
+  /// Comma-separated list of integers.
+  [[nodiscard]] std::vector<std::int64_t> get_int_list(
+      const std::string& key, const std::vector<std::int64_t>& fallback) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  /// Name of the executable (argv[0]) if parsing saw one.
+  [[nodiscard]] const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ecs

@@ -1,0 +1,48 @@
+// log.hpp - Lightweight leveled logging to stderr.
+//
+// The simulator itself never logs on hot paths; logging is for the
+// experiment harness (progress lines) and for validator diagnostics.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ecs {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Emits one line to stderr with a level prefix. Thread-safe.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_message(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+#define ECS_LOG_DEBUG ::ecs::detail::LogLine(::ecs::LogLevel::kDebug)
+#define ECS_LOG_INFO ::ecs::detail::LogLine(::ecs::LogLevel::kInfo)
+#define ECS_LOG_WARN ::ecs::detail::LogLine(::ecs::LogLevel::kWarn)
+#define ECS_LOG_ERROR ::ecs::detail::LogLine(::ecs::LogLevel::kError)
+
+}  // namespace ecs

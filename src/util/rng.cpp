@@ -1,0 +1,62 @@
+#include "util/rng.hpp"
+
+#include <cassert>
+
+namespace ecs {
+
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  // SplitMix64 finalizer (Steele, Lea, Flood 2014).
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t tag) noexcept {
+  return mix64(base ^ mix64(tag));
+}
+
+std::uint64_t hash_tag(std::string_view tag) noexcept {
+  // FNV-1a, then mixed for avalanche.
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (unsigned char c : tag) {
+    h ^= c;
+    h *= 0x100000001B3ULL;
+  }
+  return mix64(h);
+}
+
+double Rng::uniform(double lo, double hi) {
+  assert(lo <= hi);
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+double Rng::truncated_normal(double mean, double stddev, double lo) {
+  // Resample a bounded number of times, then clamp. The workloads we model
+  // have mean >> stddev, so resampling almost never triggers; the clamp is a
+  // safety net that keeps the draw count deterministic and bounded.
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    const double x = normal(mean, stddev);
+    if (x >= lo) return x;
+  }
+  return lo;
+}
+
+bool Rng::bernoulli(double p) {
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+}  // namespace ecs

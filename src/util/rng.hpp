@@ -1,0 +1,70 @@
+// rng.hpp - Deterministic random number generation for reproducible
+// simulations.
+//
+// All randomness in the library flows through an `ecs::Rng` instance so that
+// every experiment is bit-reproducible given a seed. Replications of a sweep
+// point derive independent streams with `Rng::fork` / `derive_seed`, which
+// mixes the base seed with a point/replication tag (SplitMix64 finalizer).
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string_view>
+
+namespace ecs {
+
+/// Mixes a 64-bit value through the SplitMix64 finalizer. Used to derive
+/// statistically independent seeds from (base seed, tag) pairs.
+[[nodiscard]] std::uint64_t mix64(std::uint64_t x) noexcept;
+
+/// Derives a child seed from a base seed and an arbitrary tag.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t base,
+                                        std::uint64_t tag) noexcept;
+
+/// Hashes a string tag (e.g. an experiment name) into a 64-bit value so that
+/// seeds can be derived from human-readable labels.
+[[nodiscard]] std::uint64_t hash_tag(std::string_view tag) noexcept;
+
+/// Seeded pseudo-random generator wrapping std::mt19937_64 with convenience
+/// draws for the distributions used by the workload generators.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed), seed_(seed) {}
+
+  /// The seed this generator was constructed with.
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Creates an independent child generator; children with distinct tags
+  /// produce independent streams.
+  [[nodiscard]] Rng fork(std::uint64_t tag) const {
+    return Rng(derive_seed(seed_, tag));
+  }
+
+  /// Uniform real in [lo, hi). Requires lo <= hi.
+  [[nodiscard]] double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Normal draw with the given mean and standard deviation.
+  [[nodiscard]] double normal(double mean, double stddev);
+
+  /// Normal draw truncated (by resampling, capped, then clamped) to
+  /// [lo, +inf). Used for job durations that must stay positive.
+  [[nodiscard]] double truncated_normal(double mean, double stddev, double lo);
+
+  /// Bernoulli draw with probability p of true.
+  [[nodiscard]] bool bernoulli(double p);
+
+  /// Raw 64-bit draw.
+  [[nodiscard]] std::uint64_t next_u64() { return engine_(); }
+
+  /// Access to the underlying engine for std distributions.
+  [[nodiscard]] std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uint64_t seed_;
+};
+
+}  // namespace ecs

@@ -1,0 +1,66 @@
+// stats.hpp - Descriptive statistics over samples of doubles.
+//
+// Used by the experiment harness to aggregate per-replication metrics
+// (e.g. the max-stretch of each simulated instance) into the mean /
+// deviation rows that the paper's figures plot.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ecs {
+
+/// Streaming accumulator (Welford) for mean and variance plus extrema.
+/// Numerically stable for long runs of replications.
+class Accumulator {
+ public:
+  void add(double x) noexcept;
+  void merge(const Accumulator& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] bool empty() const noexcept { return n_ == 0; }
+  [[nodiscard]] double mean() const noexcept;
+  /// Sample variance (n-1 denominator); 0 when fewer than 2 samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept;
+  [[nodiscard]] double max() const noexcept;
+  [[nodiscard]] double sum() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Summary of a finished sample: all the order statistics the reporting
+/// layer prints. Computed in one pass over a copy of the data.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+};
+
+/// Computes the full summary of a sample. Empty input yields a
+/// default-initialized Summary with count == 0.
+[[nodiscard]] Summary summarize(std::span<const double> xs);
+
+/// Linear-interpolated percentile of a sample, q in [0, 1].
+/// Requires a non-empty sample.
+[[nodiscard]] double percentile(std::span<const double> xs, double q);
+
+/// Formats a double with the given precision, trimming trailing zeros.
+[[nodiscard]] std::string format_double(double x, int precision = 4);
+
+}  // namespace ecs

@@ -1,0 +1,100 @@
+#include "workloads/kang_instances.hpp"
+
+#include <stdexcept>
+
+#include "workloads/load.hpp"
+
+namespace ecs {
+
+std::string to_string(ComputeType type) {
+  return type == ComputeType::kGpu ? "GPU" : "CPU";
+}
+
+std::string to_string(ChannelType type) {
+  switch (type) {
+    case ChannelType::kWifi:
+      return "Wi-Fi";
+    case ChannelType::kLte:
+      return "LTE";
+    case ChannelType::k3g:
+      return "3G";
+  }
+  return "?";
+}
+
+double channel_up_mean(const KangInstanceConfig& cfg, ChannelType channel) {
+  switch (channel) {
+    case ChannelType::kWifi:
+      return cfg.wifi_up_mean;
+    case ChannelType::kLte:
+      return cfg.lte_up_mean;
+    case ChannelType::k3g:
+      return cfg.threeg_up_mean;
+  }
+  return cfg.wifi_up_mean;
+}
+
+double compute_speed(const KangInstanceConfig& cfg, ComputeType compute) {
+  return compute == ComputeType::kGpu ? cfg.gpu_speed : cfg.cpu_speed;
+}
+
+std::vector<KangEdgeProfile> make_kang_profiles(const KangInstanceConfig& cfg,
+                                                Rng& rng) {
+  static constexpr ComputeType kComputes[] = {ComputeType::kGpu,
+                                              ComputeType::kCpu};
+  static constexpr ChannelType kChannels[] = {ChannelType::kWifi,
+                                              ChannelType::kLte,
+                                              ChannelType::k3g};
+  std::vector<KangEdgeProfile> profiles;
+  profiles.reserve(cfg.edge_count);
+  for (int j = 0; j < cfg.edge_count; ++j) {
+    KangEdgeProfile profile;
+    if (cfg.randomize_profiles) {
+      profile.compute = kComputes[rng.uniform_int(0, 1)];
+      profile.channel = kChannels[rng.uniform_int(0, 2)];
+    } else {
+      profile.compute = kComputes[(j / 3) % 2];
+      profile.channel = kChannels[j % 3];
+    }
+    profiles.push_back(profile);
+  }
+  return profiles;
+}
+
+Instance make_kang_instance(const KangInstanceConfig& cfg, Rng& rng) {
+  if (cfg.n < 1 || cfg.edge_count < 1) {
+    throw std::invalid_argument(
+        "make_kang_instance: need at least one job and one edge processor");
+  }
+  const std::vector<KangEdgeProfile> profiles = make_kang_profiles(cfg, rng);
+
+  Instance instance;
+  std::vector<double> speeds;
+  speeds.reserve(cfg.edge_count);
+  for (const KangEdgeProfile& p : profiles) {
+    speeds.push_back(compute_speed(cfg, p.compute));
+  }
+  instance.platform = Platform(std::move(speeds), cfg.cloud_count);
+
+  // Durations must stay positive; the truncation floor is far below the
+  // means (mean/100), so the distribution shape is effectively untouched.
+  const double exec_floor = cfg.exec_mean / 100.0;
+  instance.jobs.reserve(cfg.n);
+  for (int i = 0; i < cfg.n; ++i) {
+    Job job;
+    job.id = i;
+    job.origin = static_cast<EdgeId>(rng.uniform_int(0, cfg.edge_count - 1));
+    job.work = rng.truncated_normal(cfg.exec_mean,
+                                    cfg.exec_mean * cfg.rel_stddev,
+                                    exec_floor);
+    const double up_mean = channel_up_mean(cfg, profiles[job.origin].channel);
+    job.up = rng.truncated_normal(up_mean, up_mean * cfg.rel_stddev,
+                                  up_mean / 100.0);
+    job.down = 0.0;
+    instance.jobs.push_back(job);
+  }
+  assign_release_dates_for_load(instance, cfg.load, rng);
+  return instance;
+}
+
+}  // namespace ecs

@@ -1,0 +1,76 @@
+// kang_instances.hpp - The paper's "Kang instances" (section VI-A), modeled
+// on the measurements of Kang et al. [24] for deep-learning inference
+// offloading from mobile devices.
+//
+// Each edge processor has a compute type (GPU or CPU) and a communication
+// channel (Wi-Fi, LTE, or 3G):
+//   * job execution time (work at cloud speed): normal, mean 6,
+//     relative standard deviation 1/4;
+//   * uplink time: normal with mean 95 (Wi-Fi), 180 (LTE) or 870 (3G),
+//     relative standard deviation 1/4;
+//   * downlink time: 0 (the paper: the place of delivery is irrelevant for
+//     this workload);
+//   * edge speed: 6/11 for GPU devices, 6/37 for CPU devices.
+//
+// The paper does not state how device types are distributed over the edge
+// processors; we cycle deterministically through the six (compute, channel)
+// combinations by default, which keeps every scenario's device mix balanced
+// across replications, and offer a uniformly random assignment as an
+// option.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/platform.hpp"
+#include "util/rng.hpp"
+
+namespace ecs {
+
+enum class ComputeType { kGpu, kCpu };
+enum class ChannelType { kWifi, kLte, k3g };
+
+[[nodiscard]] std::string to_string(ComputeType type);
+[[nodiscard]] std::string to_string(ChannelType type);
+
+struct KangEdgeProfile {
+  ComputeType compute = ComputeType::kGpu;
+  ChannelType channel = ChannelType::kWifi;
+};
+
+struct KangInstanceConfig {
+  int n = 1000;          ///< number of jobs
+  int edge_count = 20;   ///< paper: 20 or 100
+  int cloud_count = 10;  ///< paper: 10
+  double load = 0.05;
+
+  double exec_mean = 6.0;
+  double rel_stddev = 0.25;  ///< relative sigma of every normal draw
+  double wifi_up_mean = 95.0;
+  double lte_up_mean = 180.0;
+  double threeg_up_mean = 870.0;
+  double gpu_speed = 6.0 / 11.0;
+  double cpu_speed = 6.0 / 37.0;
+
+  /// false: cycle deterministically through the 6 device combinations;
+  /// true: draw each edge's profile uniformly at random.
+  bool randomize_profiles = false;
+};
+
+/// Mean uplink time of a channel under `cfg`.
+[[nodiscard]] double channel_up_mean(const KangInstanceConfig& cfg,
+                                     ChannelType channel);
+
+/// Edge speed of a compute type under `cfg`.
+[[nodiscard]] double compute_speed(const KangInstanceConfig& cfg,
+                                   ComputeType compute);
+
+/// Device profiles for the platform's edge processors.
+[[nodiscard]] std::vector<KangEdgeProfile> make_kang_profiles(
+    const KangInstanceConfig& cfg, Rng& rng);
+
+/// Draws a full instance (platform + jobs); deterministic given Rng state.
+[[nodiscard]] Instance make_kang_instance(const KangInstanceConfig& cfg,
+                                          Rng& rng);
+
+}  // namespace ecs

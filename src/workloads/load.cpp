@@ -1,0 +1,76 @@
+#include "workloads/load.hpp"
+
+#include <algorithm>
+#include <random>
+#include <stdexcept>
+
+namespace ecs {
+
+double release_horizon(double total_work, double total_speed, double load) {
+  if (!(load > 0.0)) {
+    throw std::invalid_argument("release_horizon: load must be positive");
+  }
+  if (!(total_speed > 0.0)) {
+    throw std::invalid_argument(
+        "release_horizon: total speed must be positive");
+  }
+  return total_work / (load * total_speed);
+}
+
+void assign_release_dates(std::vector<Job>& jobs, double horizon, Rng& rng) {
+  for (Job& job : jobs) {
+    job.release = rng.uniform(0.0, horizon);
+  }
+}
+
+void assign_release_dates(std::vector<Job>& jobs, double horizon,
+                          ReleaseProcess process, Rng& rng) {
+  if (jobs.empty()) return;
+  switch (process) {
+    case ReleaseProcess::kUniform:
+      assign_release_dates(jobs, horizon, rng);
+      return;
+    case ReleaseProcess::kPoisson: {
+      // Exponential gaps with mean horizon / n keep the average rate of
+      // the uniform process.
+      const double mean_gap = horizon / static_cast<double>(jobs.size());
+      std::exponential_distribution<double> gap(1.0 / mean_gap);
+      double t = 0.0;
+      for (Job& job : jobs) {
+        t += gap(rng.engine());
+        job.release = t;
+      }
+      return;
+    }
+    case ReleaseProcess::kBursty: {
+      // Clusters of ~8 jobs released within one time unit, separated by
+      // gaps sized to preserve the overall mean rate.
+      constexpr int kBurstSize = 8;
+      const double bursts =
+          std::max(1.0, static_cast<double>(jobs.size()) / kBurstSize);
+      const double mean_gap = horizon / bursts;
+      double t = 0.0;
+      std::size_t i = 0;
+      while (i < jobs.size()) {
+        t += rng.uniform(0.5 * mean_gap, 1.5 * mean_gap);
+        const std::size_t burst_end =
+            std::min(jobs.size(), i + kBurstSize);
+        for (; i < burst_end; ++i) {
+          jobs[i].release = t + rng.uniform(0.0, 1.0);
+        }
+      }
+      return;
+    }
+  }
+}
+
+void assign_release_dates_for_load(Instance& instance, double load, Rng& rng,
+                                   ReleaseProcess process) {
+  double total_work = 0.0;
+  for (const Job& job : instance.jobs) total_work += job.work;
+  const double horizon =
+      release_horizon(total_work, instance.platform.total_speed(), load);
+  assign_release_dates(instance.jobs, horizon, process, rng);
+}
+
+}  // namespace ecs

@@ -1,0 +1,48 @@
+// load.hpp - Release-date control for a target system load (paper
+// section VI-A).
+//
+// The paper draws release dates uniformly in [0, H] where the horizon H is
+//
+//     H = (sum of works) / (load * aggregate speed)
+//
+// so that `load` approximates the average number of jobs simultaneously in
+// the system per unit of aggregate capacity: load 0.05 leaves the platform
+// mostly idle between arrivals, load 2 oversubscribes it by 2x.
+#pragma once
+
+#include <vector>
+
+#include "core/job.hpp"
+#include "core/platform.hpp"
+#include "util/rng.hpp"
+
+namespace ecs {
+
+/// The paper's horizon formula. Requires positive load and total_speed.
+[[nodiscard]] double release_horizon(double total_work, double total_speed,
+                                     double load);
+
+/// Release-date processes. The paper draws releases uniformly over the
+/// horizon; the alternatives keep the same mean arrival rate and are used
+/// by the arrival-model robustness ablation:
+///  * kPoisson — exponential inter-arrival times (memoryless traffic);
+///  * kBursty — arrivals in clusters: bursts of several jobs released
+///    nearly together, separated by long gaps.
+enum class ReleaseProcess { kUniform, kPoisson, kBursty };
+
+/// Draws a uniform release date in [0, horizon] for every job.
+void assign_release_dates(std::vector<Job>& jobs, double horizon, Rng& rng);
+
+/// Draws release dates from the given process with mean rate
+/// n / horizon. Job order is preserved (ids keep matching positions);
+/// the dates themselves are sorted in time for the sequential processes.
+void assign_release_dates(std::vector<Job>& jobs, double horizon,
+                          ReleaseProcess process, Rng& rng);
+
+/// Convenience: computes the horizon from the instance's own jobs and
+/// platform, then assigns the release dates.
+void assign_release_dates_for_load(
+    Instance& instance, double load, Rng& rng,
+    ReleaseProcess process = ReleaseProcess::kUniform);
+
+}  // namespace ecs

@@ -1,0 +1,39 @@
+#include "workloads/outages.hpp"
+
+#include <stdexcept>
+
+namespace ecs {
+
+std::vector<IntervalSet> make_cloud_outages(int cloud_count,
+                                            const OutageConfig& config,
+                                            Rng& rng) {
+  if (config.fraction < 0.0 || config.fraction >= 1.0) {
+    throw std::invalid_argument(
+        "make_cloud_outages: fraction must lie in [0, 1)");
+  }
+  if (!(config.mean_duration > 0.0) || !(config.horizon > 0.0)) {
+    throw std::invalid_argument(
+        "make_cloud_outages: durations must be positive");
+  }
+  std::vector<IntervalSet> outages(cloud_count);
+  if (config.fraction == 0.0) return outages;
+
+  // Available gaps between outages have mean d * (1 - f) / f, which makes
+  // the long-run unavailable fraction equal to f.
+  const double mean_gap =
+      config.mean_duration * (1.0 - config.fraction) / config.fraction;
+  for (int k = 0; k < cloud_count; ++k) {
+    // Start each cloud at a random phase so outages are not synchronized.
+    double t = rng.uniform(0.0, 2.0 * mean_gap);
+    while (t < config.horizon) {
+      const double duration =
+          rng.uniform(0.5 * config.mean_duration, 1.5 * config.mean_duration);
+      outages[k].add(t, t + duration);
+      t += duration;
+      t += rng.uniform(0.5 * mean_gap, 1.5 * mean_gap);
+    }
+  }
+  return outages;
+}
+
+}  // namespace ecs

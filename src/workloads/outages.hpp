@@ -1,0 +1,29 @@
+// outages.hpp - Cloud availability-window generation (the paper's
+// future-work scenario: "cloud processors may be dynamically requested by
+// other applications at certain time intervals").
+//
+// Each cloud processor independently alternates between available periods
+// and outages. Durations are uniform around their means, and the means are
+// chosen so that the expected unavailable fraction of the horizon equals
+// `fraction`.
+#pragma once
+
+#include <vector>
+
+#include "core/interval.hpp"
+#include "util/rng.hpp"
+
+namespace ecs {
+
+struct OutageConfig {
+  double fraction = 0.2;       ///< expected unavailable fraction in [0, 1)
+  double mean_duration = 50.0; ///< expected length of one outage
+  double horizon = 1000.0;     ///< time span to cover with the pattern
+};
+
+/// One IntervalSet of outages per cloud processor. Deterministic given the
+/// Rng state. fraction == 0 yields empty sets.
+[[nodiscard]] std::vector<IntervalSet> make_cloud_outages(
+    int cloud_count, const OutageConfig& config, Rng& rng);
+
+}  // namespace ecs

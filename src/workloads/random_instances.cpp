@@ -1,0 +1,52 @@
+#include "workloads/random_instances.hpp"
+
+#include <stdexcept>
+
+#include "workloads/load.hpp"
+
+namespace ecs {
+
+Platform make_random_platform(const RandomInstanceConfig& cfg) {
+  std::vector<double> speeds;
+  speeds.reserve(cfg.slow_edges + cfg.fast_edges);
+  for (int i = 0; i < cfg.slow_edges; ++i) speeds.push_back(cfg.slow_speed);
+  for (int i = 0; i < cfg.fast_edges; ++i) speeds.push_back(cfg.fast_speed);
+  return Platform(std::move(speeds), cfg.cloud_count);
+}
+
+Instance make_random_instance(const RandomInstanceConfig& cfg, Rng& rng) {
+  if (cfg.n < 1) {
+    throw std::invalid_argument("make_random_instance: n must be >= 1");
+  }
+  if (!(cfg.work_min > 0.0) || cfg.work_max < cfg.work_min) {
+    throw std::invalid_argument(
+        "make_random_instance: need 0 < work_min <= work_max");
+  }
+  if (!(cfg.ccr > 0.0)) {
+    throw std::invalid_argument("make_random_instance: ccr must be positive");
+  }
+
+  Instance instance;
+  instance.platform = make_random_platform(cfg);
+  const int edge_count = instance.platform.edge_count();
+  if (edge_count == 0) {
+    throw std::invalid_argument(
+        "make_random_instance: platform needs at least one edge processor");
+  }
+
+  instance.jobs.reserve(cfg.n);
+  for (int i = 0; i < cfg.n; ++i) {
+    Job job;
+    job.id = i;
+    job.origin = static_cast<EdgeId>(rng.uniform_int(0, edge_count - 1));
+    job.work = rng.uniform(cfg.work_min, cfg.work_max);
+    job.up = rng.uniform(cfg.ccr * cfg.work_min, cfg.ccr * cfg.work_max);
+    job.down = rng.uniform(cfg.ccr * cfg.work_min, cfg.ccr * cfg.work_max);
+    instance.jobs.push_back(job);
+  }
+  assign_release_dates_for_load(instance, cfg.load, rng,
+                                cfg.release_process);
+  return instance;
+}
+
+}  // namespace ecs

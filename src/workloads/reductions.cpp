@@ -1,0 +1,156 @@
+#include "workloads/reductions.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace ecs {
+namespace {
+
+std::int64_t sum_of(const std::vector<std::int64_t>& a) {
+  return std::accumulate(a.begin(), a.end(), std::int64_t{0});
+}
+
+}  // namespace
+
+MmshGadget mmsh_from_two_partition_eq(const std::vector<std::int64_t>& a) {
+  if (a.empty() || a.size() % 2 != 0) {
+    throw std::invalid_argument(
+        "mmsh_from_two_partition_eq: need a nonempty even-sized multiset");
+  }
+  for (std::int64_t v : a) {
+    if (v <= 0) {
+      throw std::invalid_argument(
+          "mmsh_from_two_partition_eq: entries must be positive");
+    }
+  }
+  const std::int64_t total = sum_of(a);
+  if (total % 2 != 0) {
+    throw std::invalid_argument(
+        "mmsh_from_two_partition_eq: sum must be even (2S)");
+  }
+  const auto n = static_cast<std::int64_t>(a.size() / 2);
+  const std::int64_t S = total / 2;
+
+  MmshGadget gadget;
+  gadget.machines = 2;
+  gadget.works.reserve(a.size() + 2);
+  for (std::int64_t v : a) {
+    gadget.works.push_back(static_cast<double>(n * S + v));
+  }
+  gadget.works.push_back(static_cast<double>((n + 1) * S));
+  gadget.works.push_back(static_cast<double>((n + 1) * S));
+  gadget.target_stretch =
+      static_cast<double>(n * n + n + 2) / static_cast<double>(n + 1);
+  return gadget;
+}
+
+MmshGadget mmsh_from_three_partition(const std::vector<std::int64_t>& a) {
+  if (a.empty() || a.size() % 3 != 0) {
+    throw std::invalid_argument(
+        "mmsh_from_three_partition: need 3n entries");
+  }
+  const auto n = static_cast<std::int64_t>(a.size() / 3);
+  const std::int64_t total = sum_of(a);
+  if (total % n != 0) {
+    throw std::invalid_argument(
+        "mmsh_from_three_partition: sum must be divisible by n");
+  }
+  const std::int64_t B = total / n;
+  if (B % 2 != 0) {
+    throw std::invalid_argument(
+        "mmsh_from_three_partition: B must be even so that B/2 is integral");
+  }
+  for (std::int64_t v : a) {
+    if (!(4 * v > B && 4 * v < 2 * B)) {
+      throw std::invalid_argument(
+          "mmsh_from_three_partition: entries must satisfy B/4 < a_i < B/2");
+    }
+  }
+
+  MmshGadget gadget;
+  gadget.machines = static_cast<int>(n);
+  gadget.works.reserve(a.size() + n);
+  for (std::int64_t v : a) gadget.works.push_back(static_cast<double>(v));
+  for (std::int64_t i = 0; i < n; ++i) {
+    gadget.works.push_back(static_cast<double>(B) / 2.0);
+  }
+  gadget.target_stretch = 3.0;
+  return gadget;
+}
+
+Instance edge_cloud_from_mmsh(const std::vector<double>& works,
+                              int machines) {
+  if (machines < 1) {
+    throw std::invalid_argument("edge_cloud_from_mmsh: machines must be >= 1");
+  }
+  Instance instance;
+  instance.platform = Platform({1.0}, machines - 1);
+  instance.jobs.reserve(works.size());
+  for (std::size_t i = 0; i < works.size(); ++i) {
+    Job job;
+    job.id = static_cast<JobId>(i);
+    job.origin = 0;
+    job.work = works[i];
+    job.release = 0.0;
+    job.up = 0.0;
+    job.down = 0.0;
+    instance.jobs.push_back(job);
+  }
+  return instance;
+}
+
+bool has_two_partition_eq(const std::vector<std::int64_t>& a) {
+  const std::size_t m = a.size();
+  if (m == 0 || m % 2 != 0 || m > 24) return false;
+  const std::int64_t total = sum_of(a);
+  if (total % 2 != 0) return false;
+  const std::int64_t target = total / 2;
+  const std::size_t half = m / 2;
+  for (std::uint64_t mask = 0; mask < (1ULL << m); ++mask) {
+    if (static_cast<std::size_t>(__builtin_popcountll(mask)) != half) {
+      continue;
+    }
+    std::int64_t s = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (mask & (1ULL << i)) s += a[i];
+    }
+    if (s == target) return true;
+  }
+  return false;
+}
+
+namespace {
+
+bool three_partition_search(std::vector<std::int64_t> remaining,
+                            std::int64_t B) {
+  if (remaining.empty()) return true;
+  // Fix the largest element, try every pair completing it to B.
+  std::sort(remaining.begin(), remaining.end());
+  const std::int64_t x = remaining.back();
+  remaining.pop_back();
+  for (std::size_t i = 0; i < remaining.size(); ++i) {
+    for (std::size_t j = i + 1; j < remaining.size(); ++j) {
+      if (x + remaining[i] + remaining[j] != B) continue;
+      std::vector<std::int64_t> next;
+      next.reserve(remaining.size() - 2);
+      for (std::size_t k = 0; k < remaining.size(); ++k) {
+        if (k != i && k != j) next.push_back(remaining[k]);
+      }
+      if (three_partition_search(std::move(next), B)) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool has_three_partition(const std::vector<std::int64_t>& a) {
+  if (a.empty() || a.size() % 3 != 0) return false;
+  const auto n = static_cast<std::int64_t>(a.size() / 3);
+  const std::int64_t total = sum_of(a);
+  if (total % n != 0) return false;
+  return three_partition_search(a, total / n);
+}
+
+}  // namespace ecs

@@ -1,0 +1,59 @@
+// reductions.hpp - Constructive NP-hardness gadgets (paper section IV).
+//
+// The paper's complexity proofs are constructive reductions; this module
+// implements them as instance builders so the test suite can exercise the
+// heuristics and the exact solvers on adversarial inputs whose optimum is
+// known analytically:
+//
+//  * Theorem 1: 2-Partition-Eq -> MMSH with 2 machines. Given 2n integers
+//    a_1..a_2n with sum 2S, build 2n jobs of work nS + a_i plus two jobs of
+//    work (n+1)S. A balanced equal-cardinality partition exists iff the
+//    max-stretch (n^2+n+2)/(n+1) is achievable.
+//
+//  * Theorem 2: 3-Partition -> MMSH with n machines. Given 3n integers
+//    summing to nB with B/4 < a_i < B/2, build 3n jobs of work a_i plus n
+//    jobs of work B/2. A 3-partition exists iff max-stretch 3 is
+//    achievable.
+//
+//  * Theorem 3: MMSH with p machines embeds into MinMaxStretch-EdgeCloud
+//    with one unit-speed edge processor, p-1 cloud processors and zero
+//    communication costs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/platform.hpp"
+
+namespace ecs {
+
+struct MmshGadget {
+  std::vector<double> works;
+  int machines = 0;
+  double target_stretch = 0.0;  ///< achievable iff the source instance is YES
+};
+
+/// Theorem 1 gadget. `a` must have even size 2n >= 2 and positive entries.
+[[nodiscard]] MmshGadget mmsh_from_two_partition_eq(
+    const std::vector<std::int64_t>& a);
+
+/// Theorem 2 gadget. `a` must have size 3n, entries summing to n*B with
+/// B/4 < a_i < B/2 (throws std::invalid_argument otherwise).
+[[nodiscard]] MmshGadget mmsh_from_three_partition(
+    const std::vector<std::int64_t>& a);
+
+/// Theorem 3 embedding: an MMSH instance as a MinMaxStretch-EdgeCloud
+/// instance (one edge at speed 1, machines-1 cloud processors, zero
+/// communications, all release dates zero).
+[[nodiscard]] Instance edge_cloud_from_mmsh(const std::vector<double>& works,
+                                            int machines);
+
+/// Checks whether a set of 2n integers admits an equal-cardinality,
+/// equal-sum bipartition (exhaustive; for test-sized inputs).
+[[nodiscard]] bool has_two_partition_eq(const std::vector<std::int64_t>& a);
+
+/// Checks whether 3n integers admit a partition into n triples of equal sum
+/// (exhaustive; for test-sized inputs).
+[[nodiscard]] bool has_three_partition(const std::vector<std::int64_t>& a);
+
+}  // namespace ecs

@@ -1,0 +1,188 @@
+#include "workloads/trace_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace ecs {
+namespace {
+
+std::vector<std::string> split_csv(const std::string& line) {
+  std::vector<std::string> fields;
+  std::stringstream ss(line);
+  std::string field;
+  while (std::getline(ss, field, ',')) fields.push_back(field);
+  return fields;
+}
+
+double parse_double(const std::string& s, const char* what) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(s, &pos);
+    if (pos != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    throw std::runtime_error(std::string("trace_io: bad ") + what + ": '" +
+                             s + "'");
+  }
+}
+
+int parse_int(const std::string& s, const char* what) {
+  try {
+    std::size_t pos = 0;
+    const int v = std::stoi(s, &pos);
+    if (pos != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    throw std::runtime_error(std::string("trace_io: bad ") + what + ": '" +
+                             s + "'");
+  }
+}
+
+}  // namespace
+
+void save_instance(std::ostream& out, const Instance& instance) {
+  out << "# edgecloud-stretch instance v1\n";
+  out << std::setprecision(17);
+  out << "edges";
+  for (double s : instance.platform.edge_speeds()) out << "," << s;
+  out << "\n";
+  if (instance.platform.homogeneous_cloud()) {
+    out << "clouds," << instance.platform.cloud_count() << "\n";
+  } else {
+    out << "cloud_speeds";
+    for (double s : instance.platform.cloud_speeds()) out << "," << s;
+    out << "\n";
+  }
+  for (std::size_t k = 0; k < instance.cloud_outages.size(); ++k) {
+    for (const Interval& iv : instance.cloud_outages[k].intervals()) {
+      out << "outage," << k << "," << iv.begin << "," << iv.end << "\n";
+    }
+  }
+  for (const Job& job : instance.jobs) {
+    out << "job," << job.id << "," << job.origin << "," << job.work << ","
+        << job.release << "," << job.up << "," << job.down << "\n";
+  }
+}
+
+void save_instance_file(const std::string& path, const Instance& instance) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("trace_io: cannot open for writing: " + path);
+  }
+  save_instance(out, instance);
+}
+
+Instance load_instance(std::istream& in) {
+  Instance instance;
+  std::vector<double> edge_speeds;
+  std::vector<double> cloud_speeds;
+  int clouds = 0;
+  bool heterogeneous = false;
+  bool saw_edges = false;
+  bool saw_clouds = false;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::vector<std::string> fields = split_csv(line);
+    if (fields.empty()) continue;
+    if (fields[0] == "edges") {
+      edge_speeds.clear();
+      for (std::size_t i = 1; i < fields.size(); ++i) {
+        edge_speeds.push_back(parse_double(fields[i], "edge speed"));
+      }
+      saw_edges = true;
+    } else if (fields[0] == "clouds") {
+      if (fields.size() != 2) {
+        throw std::runtime_error("trace_io: malformed clouds line");
+      }
+      clouds = parse_int(fields[1], "cloud count");
+      heterogeneous = false;
+      saw_clouds = true;
+    } else if (fields[0] == "cloud_speeds") {
+      cloud_speeds.clear();
+      for (std::size_t i = 1; i < fields.size(); ++i) {
+        cloud_speeds.push_back(parse_double(fields[i], "cloud speed"));
+      }
+      heterogeneous = true;
+      saw_clouds = true;
+    } else if (fields[0] == "outage") {
+      if (fields.size() != 4) {
+        throw std::runtime_error("trace_io: malformed outage line: " + line);
+      }
+      const int k = parse_int(fields[1], "outage cloud index");
+      if (k < 0) {
+        throw std::runtime_error("trace_io: negative outage cloud index");
+      }
+      if (static_cast<std::size_t>(k) >= instance.cloud_outages.size()) {
+        instance.cloud_outages.resize(k + 1);
+      }
+      instance.cloud_outages[k].add(parse_double(fields[2], "outage begin"),
+                                    parse_double(fields[3], "outage end"));
+    } else if (fields[0] == "job") {
+      if (fields.size() != 7) {
+        throw std::runtime_error("trace_io: malformed job line: " + line);
+      }
+      Job job;
+      job.id = parse_int(fields[1], "job id");
+      job.origin = parse_int(fields[2], "origin");
+      job.work = parse_double(fields[3], "work");
+      job.release = parse_double(fields[4], "release");
+      job.up = parse_double(fields[5], "up");
+      job.down = parse_double(fields[6], "down");
+      instance.jobs.push_back(job);
+    } else {
+      throw std::runtime_error("trace_io: unknown record '" + fields[0] +
+                               "'");
+    }
+  }
+  if (!saw_edges || !saw_clouds) {
+    throw std::runtime_error(
+        "trace_io: missing 'edges' or 'clouds' header line");
+  }
+  instance.platform = heterogeneous
+                          ? Platform(std::move(edge_speeds),
+                                     std::move(cloud_speeds))
+                          : Platform(std::move(edge_speeds), clouds);
+  if (!instance.cloud_outages.empty()) {
+    if (static_cast<int>(instance.cloud_outages.size()) >
+        instance.platform.cloud_count()) {
+      throw std::runtime_error(
+          "trace_io: outage references a nonexistent cloud processor");
+    }
+    instance.cloud_outages.resize(instance.platform.cloud_count());
+  }
+  require_valid_instance(instance);
+  return instance;
+}
+
+Instance load_instance_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("trace_io: cannot open for reading: " + path);
+  }
+  return load_instance(in);
+}
+
+void save_metrics_csv(std::ostream& out, const Instance& instance,
+                      const Schedule& schedule,
+                      const ScheduleMetrics& metrics) {
+  out << "job,alloc,completion,response,stretch\n";
+  out << std::setprecision(17);
+  for (const JobMetrics& jm : metrics.per_job) {
+    const int alloc = schedule.job(jm.id).final_run.alloc;
+    out << jm.id << ",";
+    if (alloc == kAllocEdge) {
+      out << "edge" << instance.jobs[jm.id].origin;
+    } else {
+      out << "cloud" << alloc;
+    }
+    out << "," << jm.completion << "," << jm.response << "," << jm.stretch
+        << "\n";
+  }
+}
+
+}  // namespace ecs

@@ -1,0 +1,36 @@
+// trace_io.hpp - CSV (de)serialization of instances and results.
+//
+// Format (version 1):
+//
+//   # edgecloud-stretch instance v1
+//   edges,<s_0>,<s_1>,...
+//   clouds,<P^c>                      (homogeneous cloud, speed 1)
+//   cloud_speeds,<c_0>,<c_1>,...      (heterogeneous-cloud extension)
+//   job,<id>,<origin>,<work>,<release>,<up>,<down>
+//   ...
+//
+// The format is line-oriented, comment lines start with '#'. Instances
+// round-trip exactly (values are printed with 17 significant digits).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/metrics.hpp"
+#include "core/platform.hpp"
+
+namespace ecs {
+
+void save_instance(std::ostream& out, const Instance& instance);
+void save_instance_file(const std::string& path, const Instance& instance);
+
+/// Throws std::runtime_error on malformed input.
+[[nodiscard]] Instance load_instance(std::istream& in);
+[[nodiscard]] Instance load_instance_file(const std::string& path);
+
+/// Writes per-job results: id, alloc, completion, response, stretch.
+void save_metrics_csv(std::ostream& out, const Instance& instance,
+                      const Schedule& schedule,
+                      const ScheduleMetrics& metrics);
+
+}  // namespace ecs

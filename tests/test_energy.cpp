@@ -1,0 +1,148 @@
+// Tests for energy accounting (core/energy.hpp) and the stretch-norm
+// metrics extensions (core/metrics.hpp).
+#include "core/energy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "core/validate.hpp"
+#include "sched/factory.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+#include "workloads/random_instances.hpp"
+
+namespace ecs {
+namespace {
+
+Instance two_job_instance() {
+  Instance instance;
+  instance.platform = Platform({0.5}, 1);
+  instance.jobs = {{0, 0, 2.0, 0.0, 1.0, 1.0}, {1, 0, 2.0, 0.0, 1.0, 1.0}};
+  return instance;
+}
+
+Schedule hand_schedule() {
+  // J0 on the edge [0,4); J1 on cloud 0: up [0,1), exec [1,3), down [3,4).
+  Schedule schedule(2);
+  schedule.job(0).final_run.alloc = kAllocEdge;
+  schedule.job(0).final_run.exec.add(0.0, 4.0);
+  schedule.job(1).final_run.alloc = 0;
+  schedule.job(1).final_run.uplink.add(0.0, 1.0);
+  schedule.job(1).final_run.exec.add(1.0, 3.0);
+  schedule.job(1).final_run.downlink.add(3.0, 4.0);
+  return schedule;
+}
+
+TEST(Energy, HandComputedBreakdown) {
+  const Instance instance = two_job_instance();
+  const Schedule schedule = hand_schedule();
+  EnergyModel model;
+  model.edge_compute_power = 1.0;
+  model.cloud_compute_power = 8.0;
+  model.uplink_power = 2.0;
+  model.downlink_power = 1.2;
+  model.edge_idle_power = 0.1;
+  model.cloud_idle_power = 2.0;
+  const EnergyBreakdown e = compute_energy(instance, schedule, model);
+  EXPECT_DOUBLE_EQ(e.edge_compute, 4.0 * 1.0);
+  EXPECT_DOUBLE_EQ(e.cloud_compute, 2.0 * 8.0);
+  EXPECT_DOUBLE_EQ(e.communication, 1.0 * 2.0 + 1.0 * 1.2);
+  // Horizon 4: edge busy 4 of 4 (idle 0); cloud busy 2 of 4 (idle 2).
+  EXPECT_DOUBLE_EQ(e.idle, 0.0 * 0.1 + 2.0 * 2.0);
+  EXPECT_DOUBLE_EQ(e.wasted, 0.0);
+  EXPECT_DOUBLE_EQ(e.total,
+                   e.edge_compute + e.cloud_compute + e.communication +
+                       e.idle);
+}
+
+TEST(Energy, AbandonedRunsCountAsWaste) {
+  Instance instance = two_job_instance();
+  Schedule schedule = hand_schedule();
+  RunRecord abandoned;
+  abandoned.alloc = 0;
+  abandoned.uplink.add(4.0, 4.5);  // half an uplink thrown away
+  schedule.job(0).abandoned.push_back(abandoned);
+  const EnergyBreakdown e = compute_energy(instance, schedule);
+  EXPECT_DOUBLE_EQ(e.wasted, 0.5 * EnergyModel{}.uplink_power);
+  EXPECT_GT(e.communication, 0.5 * EnergyModel{}.uplink_power);
+}
+
+TEST(Energy, EmptyScheduleIsZero) {
+  Instance instance = two_job_instance();
+  const Schedule schedule(2);
+  const EnergyBreakdown e = compute_energy(instance, schedule);
+  EXPECT_DOUBLE_EQ(e.total, 0.0);
+}
+
+TEST(Energy, EdgeOnlySpendsNoCommunicationEnergy) {
+  RandomInstanceConfig cfg;
+  cfg.n = 50;
+  cfg.cloud_count = 2;
+  cfg.slow_edges = 2;
+  cfg.fast_edges = 2;
+  Rng rng(12);
+  const Instance instance = make_random_instance(cfg, rng);
+  const auto policy = make_policy("edge-only");
+  const SimResult sim = simulate(instance, *policy);
+  const EnergyBreakdown e = compute_energy(instance, sim.schedule);
+  EXPECT_DOUBLE_EQ(e.communication, 0.0);
+  EXPECT_DOUBLE_EQ(e.cloud_compute, 0.0);
+  EXPECT_GT(e.edge_compute, 0.0);
+}
+
+TEST(Energy, CloudHeuristicsTradeEnergyForStretch) {
+  // On a compute-intensive workload the cloud-using heuristics beat
+  // Edge-Only on stretch but pay for it in active energy (cloud compute +
+  // radios), idle power excluded from the comparison.
+  RandomInstanceConfig cfg;
+  cfg.n = 80;
+  cfg.cloud_count = 3;
+  cfg.slow_edges = 3;
+  cfg.fast_edges = 3;
+  cfg.ccr = 0.1;
+  cfg.load = 0.3;
+  Rng rng(9);
+  const Instance instance = make_random_instance(cfg, rng);
+
+  const auto edge_only = make_policy("edge-only");
+  const SimResult a = simulate(instance, *edge_only);
+  const EnergyBreakdown ea = compute_energy(instance, a.schedule);
+  const double stretch_a =
+      compute_metrics(instance, a.schedule).max_stretch;
+
+  const auto ssf = make_policy("ssf-edf");
+  const SimResult b = simulate(instance, *ssf);
+  const EnergyBreakdown eb = compute_energy(instance, b.schedule);
+  const double stretch_b =
+      compute_metrics(instance, b.schedule).max_stretch;
+
+  EXPECT_LT(stretch_b, stretch_a);
+  const double active_a = ea.total - ea.idle;
+  const double active_b = eb.total - eb.idle;
+  EXPECT_GT(active_b, active_a);
+}
+
+TEST(StretchNorms, OrderingAndLimits) {
+  const Instance instance = two_job_instance();
+  const Schedule schedule = hand_schedule();
+  const ScheduleMetrics m = compute_metrics(instance, schedule);
+  // p = 1 is the mean; norms are nondecreasing in p and bounded by max.
+  EXPECT_NEAR(m.stretch_norm(1.0), m.mean_stretch, 1e-12);
+  EXPECT_LE(m.stretch_norm(1.0), m.stretch_norm(2.0) + 1e-12);
+  EXPECT_LE(m.stretch_norm(2.0), m.stretch_norm(8.0) + 1e-12);
+  EXPECT_LE(m.stretch_norm(8.0), m.max_stretch + 1e-12);
+  EXPECT_NEAR(m.stretch_norm(64.0), m.max_stretch, 0.05);
+  EXPECT_THROW((void)m.stretch_norm(0.0), std::invalid_argument);
+}
+
+TEST(StretchNorms, Percentiles) {
+  const Instance instance = two_job_instance();
+  const Schedule schedule = hand_schedule();
+  const ScheduleMetrics m = compute_metrics(instance, schedule);
+  EXPECT_NEAR(m.stretch_percentile(1.0), m.max_stretch, 1e-12);
+  EXPECT_LE(m.stretch_percentile(0.5), m.max_stretch);
+  EXPECT_GE(m.stretch_percentile(0.0), 1.0 - 1e-12);
+}
+
+}  // namespace
+}  // namespace ecs

@@ -1,0 +1,157 @@
+// Tests for the experiment harness (exp/runner.hpp, exp/sweep.hpp,
+// exp/parallel.hpp, exp/report.hpp).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+
+#include "exp/parallel.hpp"
+#include "exp/report.hpp"
+#include "exp/runner.hpp"
+#include "exp/sweep.hpp"
+#include "util/rng.hpp"
+#include "workloads/random_instances.hpp"
+
+namespace ecs {
+namespace {
+
+Instance tiny_instance(std::uint64_t seed) {
+  RandomInstanceConfig cfg;
+  cfg.n = 30;
+  cfg.cloud_count = 2;
+  cfg.slow_edges = 2;
+  cfg.fast_edges = 2;
+  Rng rng(seed);
+  return make_random_instance(cfg, rng);
+}
+
+TEST(Parallel, CoversAllIndices) {
+  std::vector<std::atomic<int>> hits(100);
+  parallel_for(100, [&](std::size_t i) { hits[i].fetch_add(1); }, 4);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, SerialFallback) {
+  int count = 0;
+  parallel_for(10, [&](std::size_t) { ++count; }, 1);
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Parallel, EmptyIsNoop) {
+  parallel_for(0, [&](std::size_t) { FAIL(); }, 4);
+}
+
+TEST(Parallel, PropagatesException) {
+  EXPECT_THROW(parallel_for(
+                   8,
+                   [&](std::size_t i) {
+                     if (i == 3) throw std::runtime_error("boom");
+                   },
+                   4),
+               std::runtime_error);
+}
+
+TEST(Runner, ValidatedRunProducesMetrics) {
+  const Instance instance = tiny_instance(1);
+  RunOptions options;
+  options.validate = true;
+  const RunOutcome outcome = run_policy(instance, "srpt", options);
+  EXPECT_TRUE(outcome.validated);
+  EXPECT_EQ(outcome.policy, "SRPT");
+  EXPECT_GE(outcome.metrics.max_stretch, 1.0);
+  EXPECT_GT(outcome.wall_seconds, 0.0);
+  EXPECT_EQ(outcome.metrics.per_job.size(), instance.jobs.size());
+}
+
+TEST(Runner, UnvalidatedRunMatchesValidated) {
+  const Instance instance = tiny_instance(2);
+  RunOptions with;
+  with.validate = true;
+  RunOptions without;
+  without.validate = false;
+  const RunOutcome a = run_policy(instance, "ssf-edf", with);
+  const RunOutcome b = run_policy(instance, "ssf-edf", without);
+  EXPECT_NEAR(a.metrics.max_stretch, b.metrics.max_stretch, 1e-9);
+  EXPECT_NEAR(a.metrics.mean_stretch, b.metrics.mean_stretch, 1e-9);
+}
+
+TEST(Runner, UnknownPolicyThrows) {
+  const Instance instance = tiny_instance(3);
+  EXPECT_THROW((void)run_policy(instance, "does-not-exist", RunOptions{}),
+               std::invalid_argument);
+}
+
+TEST(Sweep, ReplicationSeedsAreDistinct) {
+  const std::uint64_t a = replication_seed(42, "x", 0);
+  const std::uint64_t b = replication_seed(42, "x", 1);
+  const std::uint64_t c = replication_seed(42, "y", 0);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a, replication_seed(42, "x", 0));
+}
+
+TEST(Sweep, AggregatesAllReplications) {
+  SweepOptions options;
+  options.replications = 4;
+  options.threads = 2;
+  const SweepPointResult result = run_sweep_point(
+      "point", [](std::uint64_t seed) { return tiny_instance(seed); },
+      {"srpt", "greedy"}, options);
+  ASSERT_EQ(result.per_policy.size(), 2u);
+  EXPECT_EQ(result.policy("srpt").max_stretch.count(), 4u);
+  EXPECT_EQ(result.policy("greedy").max_stretch.count(), 4u);
+  EXPECT_GE(result.policy("srpt").max_stretch.mean(), 1.0);
+  EXPECT_THROW((void)result.policy("nope"), std::out_of_range);
+}
+
+TEST(Sweep, DeterministicAcrossThreadCounts) {
+  SweepOptions serial;
+  serial.replications = 3;
+  serial.threads = 1;
+  SweepOptions parallel_opts;
+  parallel_opts.replications = 3;
+  parallel_opts.threads = 3;
+  const auto factory = [](std::uint64_t seed) { return tiny_instance(seed); };
+  const SweepPointResult a =
+      run_sweep_point("p", factory, {"srpt"}, serial);
+  const SweepPointResult b =
+      run_sweep_point("p", factory, {"srpt"}, parallel_opts);
+  EXPECT_DOUBLE_EQ(a.policy("srpt").max_stretch.mean(),
+                   b.policy("srpt").max_stretch.mean());
+  EXPECT_DOUBLE_EQ(a.policy("srpt").max_stretch.stddev(),
+                   b.policy("srpt").max_stretch.stddev());
+}
+
+TEST(Report, TableAlignmentAndCsv) {
+  Table table({"x", "value"});
+  table.add_row({"1", "10.5"});
+  table.add_row({"2", "3"});
+  std::ostringstream text;
+  table.print(text);
+  EXPECT_NE(text.str().find("x"), std::string::npos);
+  EXPECT_NE(text.str().find("10.5"), std::string::npos);
+  std::ostringstream csv;
+  table.write_csv(csv);
+  EXPECT_EQ(csv.str(), "x,value\n1,10.5\n2,3\n");
+  EXPECT_THROW(table.add_row({"only-one-cell"}), std::invalid_argument);
+}
+
+TEST(Report, MakeReportBuildsOneRowPerPoint) {
+  SweepOptions options;
+  options.replications = 2;
+  options.validate_first = false;
+  std::vector<SweepPointResult> points;
+  points.push_back(run_sweep_point(
+      "a", [](std::uint64_t seed) { return tiny_instance(seed); }, {"srpt"},
+      options));
+  points.push_back(run_sweep_point(
+      "b", [](std::uint64_t seed) { return tiny_instance(seed + 50); },
+      {"srpt"}, options));
+  ReportOptions report_options;
+  report_options.x_label = "scenario";
+  const Table table = make_report(points, {"srpt"}, report_options);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+}  // namespace
+}  // namespace ecs

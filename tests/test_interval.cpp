@@ -1,0 +1,153 @@
+// Tests for the interval algebra (core/interval.hpp).
+#include "core/interval.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ecs {
+namespace {
+
+TEST(Interval, LengthAndEmpty) {
+  EXPECT_DOUBLE_EQ(Interval({1.0, 3.5}).length(), 2.5);
+  EXPECT_TRUE(Interval({2.0, 2.0}).empty());
+  EXPECT_FALSE(Interval({2.0, 2.1}).empty());
+}
+
+TEST(Interval, OverlapsPositiveMeasureOnly) {
+  EXPECT_TRUE(overlaps({0.0, 2.0}, {1.0, 3.0}));
+  EXPECT_TRUE(overlaps({1.0, 3.0}, {0.0, 2.0}));
+  EXPECT_FALSE(overlaps({0.0, 1.0}, {1.0, 2.0}));  // touching endpoints
+  EXPECT_FALSE(overlaps({0.0, 1.0}, {2.0, 3.0}));
+  EXPECT_TRUE(overlaps({0.0, 10.0}, {4.0, 5.0}));  // containment
+}
+
+TEST(IntervalSet, AddKeepsDisjointSorted) {
+  IntervalSet set;
+  set.add(5.0, 6.0);
+  set.add(1.0, 2.0);
+  set.add(3.0, 4.0);
+  ASSERT_EQ(set.size(), 3u);
+  EXPECT_DOUBLE_EQ(set.intervals()[0].begin, 1.0);
+  EXPECT_DOUBLE_EQ(set.intervals()[1].begin, 3.0);
+  EXPECT_DOUBLE_EQ(set.intervals()[2].begin, 5.0);
+}
+
+TEST(IntervalSet, MergesTouching) {
+  IntervalSet set;
+  set.add(1.0, 2.0);
+  set.add(2.0, 3.0);  // touches: must merge
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_DOUBLE_EQ(set.intervals()[0].begin, 1.0);
+  EXPECT_DOUBLE_EQ(set.intervals()[0].end, 3.0);
+}
+
+TEST(IntervalSet, MergesOverlapping) {
+  IntervalSet set;
+  set.add(1.0, 4.0);
+  set.add(2.0, 6.0);
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_DOUBLE_EQ(set.intervals()[0].end, 6.0);
+}
+
+TEST(IntervalSet, MergeBridgesSeveralMembers) {
+  IntervalSet set;
+  set.add(1.0, 2.0);
+  set.add(3.0, 4.0);
+  set.add(5.0, 6.0);
+  set.add(1.5, 5.5);  // bridges all three
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_DOUBLE_EQ(set.intervals()[0].begin, 1.0);
+  EXPECT_DOUBLE_EQ(set.intervals()[0].end, 6.0);
+}
+
+TEST(IntervalSet, IgnoresEmptyInsertions) {
+  IntervalSet set;
+  set.add(2.0, 2.0);
+  set.add(3.0, 3.0 + 1e-12);
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(IntervalSet, Measure) {
+  IntervalSet set;
+  set.add(0.0, 1.0);
+  set.add(2.0, 4.5);
+  EXPECT_DOUBLE_EQ(set.measure(), 3.5);
+  EXPECT_DOUBLE_EQ(IntervalSet{}.measure(), 0.0);
+}
+
+TEST(IntervalSet, MinMax) {
+  IntervalSet set;
+  EXPECT_FALSE(set.min().has_value());
+  EXPECT_FALSE(set.max().has_value());
+  set.add(3.0, 4.0);
+  set.add(1.0, 2.0);
+  EXPECT_DOUBLE_EQ(*set.min(), 1.0);
+  EXPECT_DOUBLE_EQ(*set.max(), 4.0);
+}
+
+TEST(IntervalSet, IntersectsInterval) {
+  IntervalSet set;
+  set.add(1.0, 2.0);
+  set.add(4.0, 6.0);
+  EXPECT_TRUE(set.intersects(Interval{1.5, 1.6}));
+  EXPECT_TRUE(set.intersects(Interval{0.0, 1.5}));
+  EXPECT_TRUE(set.intersects(Interval{5.0, 9.0}));
+  EXPECT_FALSE(set.intersects(Interval{2.0, 4.0}));  // in the gap, touching
+  EXPECT_FALSE(set.intersects(Interval{7.0, 8.0}));
+  EXPECT_FALSE(set.intersects(Interval{1.5, 1.5}));  // empty probe
+}
+
+TEST(IntervalSet, IntersectsSet) {
+  IntervalSet a;
+  a.add(0.0, 1.0);
+  a.add(5.0, 6.0);
+  IntervalSet b;
+  b.add(1.0, 2.0);
+  b.add(6.0, 7.0);
+  EXPECT_FALSE(a.intersects(b));  // only touching
+  b.add(5.5, 5.7);
+  EXPECT_TRUE(a.intersects(b));
+}
+
+TEST(IntervalSet, FirstOverlapReportsPair) {
+  IntervalSet a;
+  a.add(0.0, 2.0);
+  IntervalSet b;
+  b.add(3.0, 4.0);
+  EXPECT_FALSE(a.first_overlap(b).has_value());
+  b.add(1.0, 1.5);
+  const auto overlap = a.first_overlap(b);
+  ASSERT_TRUE(overlap.has_value());
+  EXPECT_DOUBLE_EQ(overlap->first.begin, 0.0);
+  EXPECT_DOUBLE_EQ(overlap->second.begin, 1.0);
+}
+
+TEST(IntervalSet, Covers) {
+  IntervalSet set;
+  set.add(1.0, 5.0);
+  EXPECT_TRUE(set.covers(Interval{2.0, 3.0}));
+  EXPECT_TRUE(set.covers(Interval{1.0, 5.0}));
+  EXPECT_FALSE(set.covers(Interval{0.5, 2.0}));
+  EXPECT_TRUE(set.covers(Interval{2.0, 2.0}));  // empty trivially covered
+}
+
+TEST(IntervalSet, UnionWithSet) {
+  IntervalSet a;
+  a.add(0.0, 1.0);
+  IntervalSet b;
+  b.add(0.5, 2.0);
+  b.add(3.0, 4.0);
+  a.add(b);
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_DOUBLE_EQ(a.measure(), 3.0);
+}
+
+TEST(IntervalSet, EpsilonTouchingMergesIntoOne) {
+  // Simulates the engine's close-then-reopen pattern at the same instant.
+  IntervalSet set;
+  set.add(0.0, 1.0);
+  set.add(1.0 + 1e-10, 2.0);
+  ASSERT_EQ(set.size(), 1u);
+}
+
+}  // namespace
+}  // namespace ecs

@@ -1,0 +1,121 @@
+// Randomized differential tests for IntervalSet against a slow reference
+// implementation (a boolean timeline at fine resolution). The IntervalSet
+// is the foundation of schedule recording and validation, so its merge
+// logic must be watertight.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "core/interval.hpp"
+#include "util/rng.hpp"
+
+namespace ecs {
+namespace {
+
+/// Slow reference: a bitmap over [0, kSpan) at kResolution cells per unit.
+class ReferenceSet {
+ public:
+  static constexpr double kSpan = 100.0;
+  static constexpr int kResolution = 10;  // cells per time unit
+
+  void add(double begin, double end) {
+    const int from = cell(begin);
+    const int to = cell(end);
+    for (int c = from; c < to; ++c) cells_[c] = true;
+  }
+
+  [[nodiscard]] double measure() const {
+    int on = 0;
+    for (bool c : cells_) on += c;
+    return static_cast<double>(on) / kResolution;
+  }
+
+  [[nodiscard]] int component_count() const {
+    int components = 0;
+    bool prev = false;
+    for (bool c : cells_) {
+      if (c && !prev) ++components;
+      prev = c;
+    }
+    return components;
+  }
+
+  [[nodiscard]] bool contains_cell(double t) const {
+    // Point query: floor to the containing cell (cell() rounds, which is
+    // only right for grid-aligned boundaries).
+    const int c = static_cast<int>(t * kResolution);
+    if (c < 0 || c >= static_cast<int>(cells_.size())) return false;
+    return cells_[c];
+  }
+
+ private:
+  [[nodiscard]] static int cell(double t) {
+    return static_cast<int>(t * kResolution + 0.5);
+  }
+  std::array<bool, static_cast<int>(kSpan)* kResolution> cells_{};
+};
+
+class IntervalFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IntervalFuzz, MatchesReference) {
+  Rng rng(GetParam());
+  IntervalSet set;
+  ReferenceSet ref;
+  // Random grid-aligned insertions so the reference is exact.
+  for (int step = 0; step < 200; ++step) {
+    const double begin =
+        static_cast<double>(rng.uniform_int(0, 980)) / 10.0;
+    const double length =
+        static_cast<double>(rng.uniform_int(0, 15)) / 10.0;
+    set.add(begin, begin + length);
+    ref.add(begin, begin + length);
+
+    ASSERT_NEAR(set.measure(), ref.measure(), 1e-9) << "step " << step;
+    ASSERT_EQ(static_cast<int>(set.size()), ref.component_count())
+        << "step " << step;
+  }
+  // Point membership sampled over the grid.
+  for (int probe = 0; probe < 500; ++probe) {
+    const double t =
+        static_cast<double>(rng.uniform_int(0, 999)) / 10.0 + 0.05;
+    ASSERT_EQ(set.contains(t), ref.contains_cell(t)) << "t=" << t;
+  }
+  // Structural invariants: sorted, disjoint, non-empty members.
+  for (std::size_t i = 0; i < set.intervals().size(); ++i) {
+    const Interval& iv = set.intervals()[i];
+    ASSERT_LT(iv.begin, iv.end);
+    if (i > 0) {
+      ASSERT_LT(set.intervals()[i - 1].end, iv.begin);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+TEST(IntervalFuzzCross, UnionMatchesSequentialAdds) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed);
+    IntervalSet a;
+    IntervalSet b;
+    IntervalSet sequential;
+    for (int i = 0; i < 60; ++i) {
+      const double begin = rng.uniform(0.0, 90.0);
+      const double end = begin + rng.uniform(0.01, 5.0);
+      if (i % 2 == 0) {
+        a.add(begin, end);
+      } else {
+        b.add(begin, end);
+      }
+      sequential.add(begin, end);
+    }
+    IntervalSet merged = a;
+    merged.add(b);
+    EXPECT_NEAR(merged.measure(), sequential.measure(), 1e-9);
+    EXPECT_EQ(merged.size(), sequential.size());
+  }
+}
+
+}  // namespace
+}  // namespace ecs

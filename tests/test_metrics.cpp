@@ -1,0 +1,96 @@
+// Tests for stretch/response metrics (core/metrics.hpp).
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ecs {
+namespace {
+
+Instance small_instance() {
+  Instance instance;
+  instance.platform = Platform({0.5}, 1);
+  instance.jobs = {{0, 0, 2.0, 0.0, 1.0, 1.0},   // best = min(4, 4) = 4
+                   {1, 0, 1.0, 2.0, 10.0, 10.0}};  // best = min(2, 21) = 2
+  return instance;
+}
+
+TEST(Metrics, StretchOfUsesBestTime) {
+  const Instance instance = small_instance();
+  EXPECT_DOUBLE_EQ(stretch_of(instance.platform, instance.jobs[0], 4.0), 1.0);
+  EXPECT_DOUBLE_EQ(stretch_of(instance.platform, instance.jobs[0], 8.0), 2.0);
+  // Released at 2, done at 6 -> response 4, best 2 -> stretch 2.
+  EXPECT_DOUBLE_EQ(stretch_of(instance.platform, instance.jobs[1], 6.0), 2.0);
+}
+
+TEST(Metrics, ComputeMetricsAggregates) {
+  const Instance instance = small_instance();
+  Schedule schedule(2);
+  schedule.job(0).final_run.alloc = kAllocEdge;
+  schedule.job(0).final_run.exec.add(0.0, 4.0);
+  schedule.job(1).final_run.alloc = kAllocEdge;
+  schedule.job(1).final_run.exec.add(4.0, 6.0);
+  const ScheduleMetrics m = compute_metrics(instance, schedule);
+  ASSERT_EQ(m.per_job.size(), 2u);
+  EXPECT_DOUBLE_EQ(m.per_job[0].stretch, 1.0);
+  EXPECT_DOUBLE_EQ(m.per_job[1].stretch, 2.0);
+  EXPECT_DOUBLE_EQ(m.max_stretch, 2.0);
+  EXPECT_DOUBLE_EQ(m.mean_stretch, 1.5);
+  EXPECT_DOUBLE_EQ(m.makespan, 6.0);
+  EXPECT_DOUBLE_EQ(m.max_response, 4.0);
+  EXPECT_DOUBLE_EQ(m.mean_response, 4.0);
+  EXPECT_EQ(m.reexecutions, 0);
+}
+
+TEST(Metrics, ThrowsOnIncompleteJob) {
+  const Instance instance = small_instance();
+  Schedule schedule(2);
+  schedule.job(0).final_run.alloc = kAllocEdge;
+  schedule.job(0).final_run.exec.add(0.0, 4.0);
+  EXPECT_THROW(compute_metrics(instance, schedule), std::runtime_error);
+}
+
+TEST(Metrics, CountsReexecutions) {
+  const Instance instance = small_instance();
+  Schedule schedule(2);
+  schedule.job(0).final_run.alloc = kAllocEdge;
+  schedule.job(0).final_run.exec.add(2.0, 6.0);
+  RunRecord abandoned;
+  abandoned.alloc = 0;
+  abandoned.uplink.add(0.0, 0.5);
+  schedule.job(0).abandoned.push_back(abandoned);
+  schedule.job(1).final_run.alloc = kAllocEdge;
+  schedule.job(1).final_run.exec.add(6.0, 8.0);
+  const ScheduleMetrics m = compute_metrics(instance, schedule);
+  EXPECT_EQ(m.reexecutions, 1);
+}
+
+TEST(Metrics, UtilizationFractions) {
+  const Instance instance = small_instance();
+  Schedule schedule(2);
+  schedule.job(0).final_run.alloc = kAllocEdge;
+  schedule.job(0).final_run.exec.add(0.0, 4.0);
+  schedule.job(1).final_run.alloc = kAllocEdge;
+  schedule.job(1).final_run.exec.add(4.0, 6.0);
+  const ScheduleMetrics m = compute_metrics(instance, schedule);
+  // One edge busy 6 of 6 time units; the single cloud is idle.
+  EXPECT_DOUBLE_EQ(m.edge_utilization, 1.0);
+  EXPECT_DOUBLE_EQ(m.cloud_utilization, 0.0);
+}
+
+TEST(Metrics, FromCompletionsMatchesComputeMetrics) {
+  const Instance instance = small_instance();
+  const std::vector<Time> completions = {4.0, 6.0};
+  const ScheduleMetrics m = metrics_from_completions(instance, completions);
+  EXPECT_DOUBLE_EQ(m.max_stretch, 2.0);
+  EXPECT_DOUBLE_EQ(m.mean_stretch, 1.5);
+  EXPECT_DOUBLE_EQ(m.makespan, 6.0);
+}
+
+TEST(Metrics, FromCompletionsRejectsSizeMismatch) {
+  const Instance instance = small_instance();
+  EXPECT_THROW(metrics_from_completions(instance, {4.0}),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ecs

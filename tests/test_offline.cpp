@@ -1,0 +1,185 @@
+// Tests for the offline solvers: SPT ordering (Lemma 2), the single-machine
+// optimum (Bender et al.) and the exhaustive searches (paper section IV).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "sched/offline/brute_force.hpp"
+#include "sched/offline/single_machine.hpp"
+#include "sched/offline/spt.hpp"
+#include "util/rng.hpp"
+
+namespace ecs {
+namespace {
+
+TEST(Spt, MaxStretchInOrder) {
+  // Jobs 1 and 10 at speed 1: short first -> stretches 1 and 1.1.
+  EXPECT_NEAR(max_stretch_in_order(std::vector<double>{1.0, 10.0}), 1.1,
+              1e-12);
+  // Long first -> stretches 1 and 11.
+  EXPECT_NEAR(max_stretch_in_order(std::vector<double>{10.0, 1.0}), 11.0,
+              1e-12);
+}
+
+TEST(Spt, SpeedScalesUniformly) {
+  // Stretch ratios are speed-invariant on a single machine.
+  const std::vector<double> works = {2.0, 3.0, 5.0};
+  EXPECT_NEAR(max_stretch_spt(works, 1.0), max_stretch_spt(works, 0.25),
+              1e-12);
+}
+
+TEST(Spt, Lemma2SptOptimalExhaustive) {
+  // Lemma 2: the SPT order minimizes max-stretch over all permutations.
+  // Verified exhaustively on random 6-job instances.
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    Rng rng(seed);
+    std::vector<double> works;
+    for (int i = 0; i < 6; ++i) works.push_back(rng.uniform(0.5, 10.0));
+    const double spt = max_stretch_spt(works);
+    std::vector<double> perm = works;
+    std::sort(perm.begin(), perm.end());
+    double best = spt;
+    do {
+      best = std::min(best, max_stretch_in_order(perm));
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    EXPECT_NEAR(spt, best, 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(SingleMachine, EdfFeasibleTrivial) {
+  const std::vector<SmJob> jobs = {{2.0, 0.0, 0.0}, {1.0, 0.0, 0.0}};
+  EXPECT_TRUE(edf_feasible_single_machine(jobs, std::vector<double>{3.0, 1.0}));
+  EXPECT_FALSE(
+      edf_feasible_single_machine(jobs, std::vector<double>{2.9, 0.9}));
+}
+
+TEST(SingleMachine, EdfRespectsReleaseDates) {
+  // Job 1 is released at 5; even with a huge deadline for job 0, job 1
+  // cannot finish before 6.
+  const std::vector<SmJob> jobs = {{2.0, 0.0, 0.0}, {1.0, 5.0, 0.0}};
+  EXPECT_TRUE(
+      edf_feasible_single_machine(jobs, std::vector<double>{100.0, 6.0}));
+  EXPECT_FALSE(
+      edf_feasible_single_machine(jobs, std::vector<double>{100.0, 5.9}));
+}
+
+TEST(SingleMachine, EdfPreemptsForTighterDeadline) {
+  // Job 0 (4 units, deadline 10) is interrupted by job 1 (1 unit, released
+  // at 1, deadline 2.5): feasible only with preemption.
+  const std::vector<SmJob> jobs = {{4.0, 0.0, 0.0}, {1.0, 1.0, 0.0}};
+  EXPECT_TRUE(
+      edf_feasible_single_machine(jobs, std::vector<double>{10.0, 2.5}));
+}
+
+TEST(SingleMachine, OptimalNoReleaseDatesMatchesSpt) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    std::vector<SmJob> jobs;
+    std::vector<double> works;
+    const int n = 3 + static_cast<int>(rng.uniform_int(0, 4));
+    for (int i = 0; i < n; ++i) {
+      const double w = rng.uniform(0.5, 8.0);
+      jobs.push_back(SmJob{w, 0.0, 0.0});
+      works.push_back(w);
+    }
+    const SingleMachineResult result =
+        optimal_max_stretch_single_machine(jobs);
+    EXPECT_NEAR(result.max_stretch, max_stretch_spt(works), 1e-4)
+        << "seed " << seed;
+  }
+}
+
+TEST(SingleMachine, SingleJobHasStretchOne) {
+  const std::vector<SmJob> jobs = {{3.0, 7.0, 0.0}};
+  const SingleMachineResult result = optimal_max_stretch_single_machine(jobs);
+  EXPECT_NEAR(result.max_stretch, 1.0, 1e-6);
+}
+
+TEST(SingleMachine, EmptyInstance) {
+  const SingleMachineResult result =
+      optimal_max_stretch_single_machine(std::vector<SmJob>{});
+  EXPECT_DOUBLE_EQ(result.max_stretch, 1.0);
+}
+
+TEST(SingleMachine, CustomDenominatorsShiftDeadlines) {
+  // With a cloud-aware denominator smaller than the processing time, the
+  // achievable stretch exceeds 1 even for a single job.
+  const std::vector<SmJob> jobs = {{10.0, 0.0, 2.0}};
+  const SingleMachineResult result = optimal_max_stretch_single_machine(jobs);
+  EXPECT_NEAR(result.max_stretch, 5.0, 1e-4);  // completes at 10, denom 2
+}
+
+TEST(Mmsh, TwoMachinesBalances) {
+  // Works {1,1,2,2}: optimum splits {1,2} / {1,2} -> per machine stretches
+  // (1, 1.5) -> max 1.5.
+  const MmshResult result = exact_mmsh({1.0, 1.0, 2.0, 2.0}, 2);
+  EXPECT_NEAR(result.max_stretch, 1.5, 1e-12);
+}
+
+TEST(Mmsh, OneMachineIsSpt) {
+  const std::vector<double> works = {3.0, 1.0, 2.0};
+  const MmshResult result = exact_mmsh(works, 1);
+  EXPECT_NEAR(result.max_stretch, max_stretch_spt(works), 1e-12);
+}
+
+TEST(Mmsh, MoreMachinesNeverHurt) {
+  const std::vector<double> works = {1.0, 2.0, 3.0, 4.0, 5.0};
+  double prev = exact_mmsh(works, 1).max_stretch;
+  for (int machines = 2; machines <= 5; ++machines) {
+    const double cur = exact_mmsh(works, machines).max_stretch;
+    EXPECT_LE(cur, prev + 1e-12);
+    prev = cur;
+  }
+  // With one machine per job, every stretch is 1.
+  EXPECT_NEAR(exact_mmsh(works, 5).max_stretch, 1.0, 1e-12);
+}
+
+TEST(Mmsh, RejectsBadInput) {
+  EXPECT_THROW((void)exact_mmsh({}, 2), std::invalid_argument);
+  EXPECT_THROW((void)exact_mmsh({1.0}, 0), std::invalid_argument);
+  EXPECT_THROW((void)exact_mmsh({-1.0}, 1), std::invalid_argument);
+  EXPECT_THROW((void)exact_mmsh(std::vector<double>(15, 1.0), 2),
+               std::length_error);
+}
+
+TEST(BruteForce, MatchesMmshOnHomogeneousEmbedding) {
+  // Theorem 3 embedding: 1 edge (speed 1) + (p-1) clouds with zero comms
+  // behaves exactly like MMSH with p machines.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed);
+    std::vector<double> works;
+    const int n = 4 + static_cast<int>(rng.uniform_int(0, 1));
+    for (int i = 0; i < n; ++i) works.push_back(rng.uniform(1.0, 6.0));
+
+    Instance instance;
+    instance.platform = Platform({1.0}, 1);  // p = 2 machines
+    for (int i = 0; i < n; ++i) {
+      instance.jobs.push_back(Job{i, 0, works[i], 0.0, 0.0, 0.0});
+    }
+    const BruteForceResult bf = brute_force_edge_cloud(instance);
+    const MmshResult mmsh = exact_mmsh(works, 2);
+    EXPECT_NEAR(bf.max_stretch, mmsh.max_stretch, 1e-6) << "seed " << seed;
+  }
+}
+
+TEST(BruteForce, RejectsOversizedInstances) {
+  Instance instance;
+  instance.platform = Platform({1.0}, 1);
+  for (int i = 0; i < 9; ++i) {
+    instance.jobs.push_back(Job{i, 0, 1.0, 0.0, 0.0, 0.0});
+  }
+  EXPECT_THROW((void)brute_force_edge_cloud(instance), std::length_error);
+}
+
+TEST(BruteForce, SingleJobPicksBestResource) {
+  Instance instance;
+  instance.platform = Platform({0.25}, 1);
+  instance.jobs = {{0, 0, 2.0, 0.0, 0.5, 0.5}};  // cloud 3 < edge 8
+  const BruteForceResult result = brute_force_edge_cloud(instance);
+  EXPECT_NEAR(result.max_stretch, 1.0, 1e-9);
+  EXPECT_EQ(result.alloc[0], 0);
+}
+
+}  // namespace
+}  // namespace ecs

@@ -1,0 +1,205 @@
+// Tests for cloud availability windows (Instance::cloud_outages, the
+// paper's future-work scenario). The engine must suspend every activity
+// involving an unavailable cloud, preempting at the boundary and resuming
+// afterwards with progress intact; the validator must reject any schedule
+// touching a cloud during its outage.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/metrics.hpp"
+#include "core/validate.hpp"
+#include "exp/runner.hpp"
+#include "sched/factory.hpp"
+#include "sched/fixed.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+#include "workloads/outages.hpp"
+#include "workloads/random_instances.hpp"
+#include "workloads/trace_io.hpp"
+
+namespace ecs {
+namespace {
+
+TEST(IntervalContains, PointMembership) {
+  IntervalSet set;
+  set.add(2.0, 5.0);
+  set.add(8.0, 9.0);
+  EXPECT_TRUE(set.contains(2.0));   // half-open: begin included
+  EXPECT_TRUE(set.contains(3.0));
+  EXPECT_FALSE(set.contains(5.0));  // end excluded
+  EXPECT_FALSE(set.contains(6.0));
+  EXPECT_TRUE(set.contains(8.5));
+  EXPECT_FALSE(set.contains(0.0));
+}
+
+TEST(Outages, InstanceAvailabilityQueries) {
+  Instance instance;
+  instance.platform = Platform({0.5}, 2);
+  instance.cloud_outages.resize(2);
+  instance.cloud_outages[1].add(10.0, 20.0);
+  EXPECT_TRUE(instance.cloud_available(0, 15.0));
+  EXPECT_FALSE(instance.cloud_available(1, 15.0));
+  EXPECT_TRUE(instance.cloud_available(1, 20.0));
+  // No outage table at all: everything available.
+  Instance plain;
+  plain.platform = Platform({0.5}, 2);
+  EXPECT_TRUE(plain.cloud_available(1, 15.0));
+}
+
+TEST(Outages, ValidateInstanceChecksSize) {
+  Instance instance;
+  instance.platform = Platform({0.5}, 2);
+  instance.jobs = {{0, 0, 1.0, 0.0, 0.0, 0.0}};
+  instance.cloud_outages.resize(1);  // wrong: 2 clouds
+  EXPECT_FALSE(validate_instance(instance).empty());
+  instance.cloud_outages.resize(2);
+  EXPECT_TRUE(validate_instance(instance).empty());
+}
+
+TEST(Outages, ComputeSuspendsAndResumes) {
+  // Job computes on the only cloud; an outage [2, 5) interrupts it.
+  Instance instance;
+  instance.platform = Platform({0.1}, 1);
+  instance.jobs = {{0, 0, 4.0, 0.0, 1.0, 1.0}};
+  instance.cloud_outages.resize(1);
+  instance.cloud_outages[0].add(2.0, 5.0);
+  FixedPolicy policy({0}, {0.0});
+  const SimResult result = simulate(instance, policy);
+  require_valid_schedule(instance, result.schedule);
+  // up [0,1), exec [1,2) + [5,8), down [8,9).
+  EXPECT_NEAR(result.completions[0], 9.0, 1e-9);
+  const IntervalSet& exec = result.schedule.job(0).final_run.exec;
+  ASSERT_EQ(exec.size(), 2u);
+  EXPECT_NEAR(exec.intervals()[0].end, 2.0, 1e-9);
+  EXPECT_NEAR(exec.intervals()[1].begin, 5.0, 1e-9);
+  // Progress was kept: total execution is exactly the work amount.
+  EXPECT_NEAR(exec.measure(), 4.0, 1e-9);
+}
+
+TEST(Outages, UplinkBlockedUntilCloudReturns) {
+  Instance instance;
+  instance.platform = Platform({0.1}, 1);
+  instance.jobs = {{0, 0, 1.0, 0.0, 2.0, 0.0}};
+  instance.cloud_outages.resize(1);
+  instance.cloud_outages[0].add(0.0, 3.0);  // cloud down from the start
+  FixedPolicy policy({0}, {0.0});
+  const SimResult result = simulate(instance, policy);
+  require_valid_schedule(instance, result.schedule);
+  // Uplink can only start at 3: up [3,5), exec [5,6).
+  EXPECT_NEAR(result.completions[0], 6.0, 1e-9);
+}
+
+TEST(Outages, ValidatorFlagsWorkDuringOutage) {
+  Instance instance;
+  instance.platform = Platform({0.5}, 1);
+  instance.jobs = {{0, 0, 2.0, 0.0, 0.0, 0.0}};
+  instance.cloud_outages.resize(1);
+  instance.cloud_outages[0].add(1.0, 3.0);
+  Schedule schedule(1);
+  schedule.job(0).final_run.alloc = 0;
+  schedule.job(0).final_run.exec.add(0.5, 2.5);  // overlaps the outage
+  const auto violations = validate_schedule(instance, schedule);
+  bool found = false;
+  for (const Violation& v : violations) {
+    found |= v.kind == ViolationKind::kOutageConflict;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Outages, EdgeExecutionUnaffected) {
+  Instance instance;
+  instance.platform = Platform({1.0}, 1);
+  instance.jobs = {{0, 0, 4.0, 0.0, 1.0, 1.0}};
+  instance.cloud_outages.resize(1);
+  instance.cloud_outages[0].add(0.0, 100.0);
+  FixedPolicy policy({kAllocEdge}, {0.0});
+  const SimResult result = simulate(instance, policy);
+  require_valid_schedule(instance, result.schedule);
+  EXPECT_NEAR(result.completions[0], 4.0, 1e-9);
+}
+
+TEST(Outages, PoliciesSurviveOutagesOnRandomInstances) {
+  RandomInstanceConfig cfg;
+  cfg.n = 60;
+  cfg.cloud_count = 3;
+  cfg.slow_edges = 2;
+  cfg.fast_edges = 2;
+  cfg.load = 0.3;
+  for (const std::string& name : policy_names()) {
+    Rng rng(77);
+    Instance instance = make_random_instance(cfg, rng);
+    OutageConfig outage_cfg;
+    outage_cfg.fraction = 0.3;
+    outage_cfg.mean_duration = 40.0;
+    outage_cfg.horizon = 2000.0;
+    Rng outage_rng(99);
+    instance.cloud_outages =
+        make_cloud_outages(cfg.cloud_count, outage_cfg, outage_rng);
+    RunOptions options;
+    options.validate = true;
+    const RunOutcome outcome = run_policy(instance, name, options);
+    EXPECT_TRUE(outcome.validated) << name;
+    EXPECT_GE(outcome.metrics.max_stretch, 1.0 - 1e-6) << name;
+  }
+}
+
+TEST(Outages, GeneratorRespectsFraction) {
+  OutageConfig cfg;
+  cfg.fraction = 0.25;
+  cfg.mean_duration = 20.0;
+  cfg.horizon = 100000.0;
+  Rng rng(5);
+  const auto outages = make_cloud_outages(4, cfg, rng);
+  ASSERT_EQ(outages.size(), 4u);
+  for (const IntervalSet& set : outages) {
+    // Long-run unavailable fraction approaches cfg.fraction.
+    EXPECT_NEAR(set.measure() / cfg.horizon, 0.25, 0.05);
+  }
+}
+
+TEST(Outages, GeneratorEdgeCases) {
+  Rng rng(1);
+  OutageConfig zero;
+  zero.fraction = 0.0;
+  const auto none = make_cloud_outages(2, zero, rng);
+  EXPECT_TRUE(none[0].empty());
+  OutageConfig bad;
+  bad.fraction = 1.0;
+  EXPECT_THROW((void)make_cloud_outages(1, bad, rng), std::invalid_argument);
+  bad.fraction = -0.1;
+  EXPECT_THROW((void)make_cloud_outages(1, bad, rng), std::invalid_argument);
+}
+
+TEST(Outages, TraceIoRoundTrip) {
+  Instance instance;
+  instance.platform = Platform({0.5}, 2);
+  instance.jobs = {{0, 0, 1.0, 0.0, 0.5, 0.5}};
+  instance.cloud_outages.resize(2);
+  instance.cloud_outages[0].add(1.0, 2.0);
+  instance.cloud_outages[0].add(5.0, 7.5);
+  std::stringstream buffer;
+  save_instance(buffer, instance);
+  const Instance loaded = load_instance(buffer);
+  ASSERT_EQ(loaded.cloud_outages.size(), 2u);
+  EXPECT_EQ(loaded.cloud_outages[0], instance.cloud_outages[0]);
+  EXPECT_TRUE(loaded.cloud_outages[1].empty());
+}
+
+TEST(Outages, StretchStillAtLeastOne) {
+  // With the denominator min(t^e, t^c) computed WITHOUT outages, stretches
+  // remain >= 1: an outage can only delay a job further.
+  Instance instance;
+  instance.platform = Platform({0.5}, 1);
+  instance.jobs = {{0, 0, 2.0, 0.0, 0.5, 0.5}};
+  instance.cloud_outages.resize(1);
+  instance.cloud_outages[0].add(0.0, 10.0);
+  const auto policy = make_policy("ssf-edf");
+  const SimResult result = simulate(instance, *policy);
+  require_valid_schedule(instance, result.schedule);
+  const ScheduleMetrics m = compute_metrics(instance, result.schedule);
+  EXPECT_GE(m.max_stretch, 1.0 - 1e-9);
+}
+
+}  // namespace
+}  // namespace ecs

@@ -1,0 +1,123 @@
+// Tests for the Edge-Only baseline (sched/edge_only.hpp, paper section V-A).
+#include "sched/edge_only.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "core/validate.hpp"
+#include "sched/offline/single_machine.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+#include "workloads/random_instances.hpp"
+
+namespace ecs {
+namespace {
+
+TEST(EdgeOnly, NeverUsesCloud) {
+  Instance instance;
+  instance.platform = Platform({0.1}, 4);  // cloud would be much faster
+  instance.jobs = {{0, 0, 5.0, 0.0, 0.1, 0.1}, {1, 0, 3.0, 1.0, 0.1, 0.1}};
+  EdgeOnlyPolicy policy;
+  const SimResult result = simulate(instance, policy);
+  require_valid_schedule(instance, result.schedule);
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_EQ(result.schedule.job(i).final_run.alloc, kAllocEdge);
+  }
+}
+
+TEST(EdgeOnly, StretchDenominatorAccountsForCloud) {
+  // The job runs on the edge (10 time units), but its best time is the
+  // cloud's 3 units, so even an undisturbed run has stretch 10/3.
+  Instance instance;
+  instance.platform = Platform({0.1}, 1);
+  instance.jobs = {{0, 0, 1.0, 0.0, 1.0, 1.0}};
+  EdgeOnlyPolicy policy;
+  const SimResult result = simulate(instance, policy);
+  require_valid_schedule(instance, result.schedule);
+  const ScheduleMetrics m = compute_metrics(instance, result.schedule);
+  EXPECT_NEAR(m.max_stretch, 10.0 / 3.0, 1e-6);
+}
+
+TEST(EdgeOnly, EdgesAreIndependent) {
+  // Jobs on different edges never interact: two identical job sets on two
+  // edges complete identically.
+  Instance instance;
+  instance.platform = Platform({0.5, 0.5}, 0);
+  instance.jobs = {{0, 0, 2.0, 0.0, 0.0, 0.0},
+                   {1, 1, 2.0, 0.0, 0.0, 0.0},
+                   {2, 0, 1.0, 0.5, 0.0, 0.0},
+                   {3, 1, 1.0, 0.5, 0.0, 0.0}};
+  EdgeOnlyPolicy policy;
+  const SimResult result = simulate(instance, policy);
+  require_valid_schedule(instance, result.schedule);
+  EXPECT_NEAR(result.completions[0], result.completions[1], 1e-9);
+  EXPECT_NEAR(result.completions[2], result.completions[3], 1e-9);
+}
+
+TEST(EdgeOnly, MatchesSingleMachineOfflineOptimumWhenOffline) {
+  // All jobs released at 0 on one edge: the online algorithm sees the
+  // whole instance at its first event, so it should achieve the offline
+  // optimum computed by the Bender binary search (same denominators).
+  Instance instance;
+  instance.platform = Platform({1.0}, 0);
+  instance.jobs = {{0, 0, 3.0, 0.0, 0.0, 0.0},
+                   {1, 0, 1.0, 0.0, 0.0, 0.0},
+                   {2, 0, 2.0, 0.0, 0.0, 0.0}};
+  EdgeOnlyPolicy policy;
+  const SimResult result = simulate(instance, policy);
+  require_valid_schedule(instance, result.schedule);
+  const ScheduleMetrics m = compute_metrics(instance, result.schedule);
+
+  std::vector<SmJob> jobs;
+  for (const Job& job : instance.jobs) {
+    jobs.push_back(SmJob{job.work, 0.0, job.work});
+  }
+  const SingleMachineResult offline =
+      optimal_max_stretch_single_machine(jobs);
+  EXPECT_NEAR(m.max_stretch, offline.max_stretch, 1e-3);
+}
+
+TEST(EdgeOnly, OnlineNeverBeatsOfflineOptimum) {
+  // Property over random single-edge instances with release dates: the
+  // online Edge-Only stretch is >= the offline optimum for that edge.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    Instance instance;
+    instance.platform = Platform({1.0}, 0);
+    const int n = 2 + static_cast<int>(rng.uniform_int(0, 6));
+    for (int i = 0; i < n; ++i) {
+      instance.jobs.push_back(Job{i, 0, rng.uniform(0.5, 5.0),
+                                  rng.uniform(0.0, 10.0), 0.0, 0.0});
+    }
+    EdgeOnlyPolicy policy;
+    const SimResult result = simulate(instance, policy);
+    require_valid_schedule(instance, result.schedule);
+    const ScheduleMetrics m = compute_metrics(instance, result.schedule);
+
+    std::vector<SmJob> jobs;
+    for (const Job& job : instance.jobs) {
+      jobs.push_back(SmJob{job.work, job.release, job.work});
+    }
+    const SingleMachineResult offline =
+        optimal_max_stretch_single_machine(jobs);
+    EXPECT_GE(m.max_stretch, offline.max_stretch - 1e-3)
+        << "seed " << seed;
+  }
+}
+
+TEST(EdgeOnly, PreemptsForUrgentShortJob) {
+  // A long job occupies the edge; a short job arrives: its deadline is
+  // tighter, EDF preempts.
+  Instance instance;
+  instance.platform = Platform({1.0}, 0);
+  instance.jobs = {{0, 0, 10.0, 0.0, 0.0, 0.0}, {1, 0, 1.0, 2.0, 0.0, 0.0}};
+  EdgeOnlyPolicy policy;
+  const SimResult result = simulate(instance, policy);
+  require_valid_schedule(instance, result.schedule);
+  // Short job should complete well before the long one finishes.
+  EXPECT_LT(result.completions[1], 5.0);
+  EXPECT_NEAR(result.completions[0], 11.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace ecs

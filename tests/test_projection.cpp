@@ -1,0 +1,159 @@
+// Tests for completion-time projection (sim/projection.hpp).
+#include "sim/projection.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ecs {
+namespace {
+
+Platform small_platform() { return Platform({0.5}, 2); }
+
+JobState fresh_state(const Platform& platform, Job job) {
+  JobState s;
+  s.job = job;
+  s.best_time = platform.best_time(job);
+  s.released = true;
+  return s;
+}
+
+TEST(Projection, RemainingOnFreshTargets) {
+  const Platform platform = small_platform();
+  JobState s = fresh_state(platform, {0, 0, 4.0, 0.0, 1.0, 2.0});
+  const RemainingAmounts edge = remaining_on(s, kAllocEdge);
+  EXPECT_DOUBLE_EQ(edge.work, 4.0);
+  EXPECT_DOUBLE_EQ(edge.up, 0.0);
+  EXPECT_DOUBLE_EQ(edge.down, 0.0);
+  const RemainingAmounts cloud = remaining_on(s, 0);
+  EXPECT_DOUBLE_EQ(cloud.up, 1.0);
+  EXPECT_DOUBLE_EQ(cloud.work, 4.0);
+  EXPECT_DOUBLE_EQ(cloud.down, 2.0);
+}
+
+TEST(Projection, RemainingOnCurrentAllocationKeepsProgress) {
+  const Platform platform = small_platform();
+  JobState s = fresh_state(platform, {0, 0, 4.0, 0.0, 1.0, 2.0});
+  s.alloc = 0;
+  s.rem_up = 0.0;    // uploaded
+  s.rem_work = 1.5;  // partially computed
+  s.rem_down = 2.0;
+  const RemainingAmounts keep = remaining_on(s, 0);
+  EXPECT_DOUBLE_EQ(keep.up, 0.0);
+  EXPECT_DOUBLE_EQ(keep.work, 1.5);
+  // Moving to the other cloud resends everything.
+  const RemainingAmounts move = remaining_on(s, 1);
+  EXPECT_DOUBLE_EQ(move.up, 1.0);
+  EXPECT_DOUBLE_EQ(move.work, 4.0);
+}
+
+TEST(Projection, UncontendedCompletionEdgeAndCloud) {
+  const Platform platform = small_platform();
+  const JobState s = fresh_state(platform, {0, 0, 4.0, 0.0, 1.0, 2.0});
+  // Edge: 4 / 0.5 = 8; cloud: 1 + 4 + 2 = 7; at now = 10.
+  EXPECT_DOUBLE_EQ(uncontended_completion(platform, s, kAllocEdge, 10.0),
+                   18.0);
+  EXPECT_DOUBLE_EQ(uncontended_completion(platform, s, 0, 10.0), 17.0);
+  EXPECT_DOUBLE_EQ(best_uncontended_completion(platform, s, 10.0), 17.0);
+}
+
+TEST(Projection, BestUncontendedUsesProgressOnCurrentCloud) {
+  const Platform platform = small_platform();
+  JobState s = fresh_state(platform, {0, 0, 4.0, 0.0, 1.0, 2.0});
+  s.alloc = 1;
+  s.rem_up = 0.0;
+  s.rem_work = 0.5;
+  s.rem_down = 2.0;
+  // Continuing on cloud 1: 2.5 < fresh cloud 7 < edge 8.
+  EXPECT_DOUBLE_EQ(best_uncontended_completion(platform, s, 0.0), 2.5);
+}
+
+TEST(Projection, ResourceClockEdgeQueueing) {
+  const Platform platform = small_platform();
+  ResourceClock clock(platform, 0.0);
+  const JobState a = fresh_state(platform, {0, 0, 2.0, 0.0, 10.0, 10.0});
+  const JobState b = fresh_state(platform, {1, 0, 1.0, 0.0, 10.0, 10.0});
+  EXPECT_DOUBLE_EQ(clock.commit(platform, a, kAllocEdge), 4.0);
+  // Second job queues behind the first on the same edge CPU.
+  EXPECT_DOUBLE_EQ(clock.commit(platform, b, kAllocEdge), 6.0);
+}
+
+TEST(Projection, ResourceClockCloudPipeline) {
+  const Platform platform = small_platform();
+  ResourceClock clock(platform, 0.0);
+  const JobState a = fresh_state(platform, {0, 0, 2.0, 0.0, 1.0, 1.0});
+  const JobState b = fresh_state(platform, {1, 0, 2.0, 0.0, 1.0, 1.0});
+  // a on cloud 0: up [0,1), exec [1,3), down [3,4).
+  EXPECT_DOUBLE_EQ(clock.commit(platform, a, 0), 4.0);
+  // b on cloud 1: its uplink waits for the shared edge send port:
+  // up [1,2), exec [2,4), down: edge receive port is free until a's
+  // downlink [3,4)... b's downlink starts at max(4, 0, 4) = 4 -> 5.
+  EXPECT_DOUBLE_EQ(clock.commit(platform, b, 1), 5.0);
+}
+
+TEST(Projection, ResourceClockSameCloudSerializesCompute) {
+  const Platform platform = small_platform();
+  ResourceClock clock(platform, 0.0);
+  const JobState a = fresh_state(platform, {0, 0, 3.0, 0.0, 0.0, 0.0});
+  const JobState b = fresh_state(platform, {1, 0, 3.0, 0.0, 0.0, 0.0});
+  EXPECT_DOUBLE_EQ(clock.commit(platform, a, 0), 3.0);
+  EXPECT_DOUBLE_EQ(clock.commit(platform, b, 0), 6.0);
+  // The other cloud is still free.
+  EXPECT_DOUBLE_EQ(clock.project(platform, b, 1), 3.0);
+}
+
+TEST(Projection, BestTargetPrefersFasterOption) {
+  const Platform platform = small_platform();
+  ResourceClock clock(platform, 0.0);
+  const JobState s = fresh_state(platform, {0, 0, 4.0, 0.0, 1.0, 1.0});
+  const auto [target, done] = clock.best_target(platform, s);
+  // Cloud: 6 < edge: 8.
+  EXPECT_EQ(target, 0);
+  EXPECT_DOUBLE_EQ(done, 6.0);
+}
+
+TEST(Projection, BestTargetFallsBackToEdgeWhenCloudsBusy) {
+  const Platform platform = small_platform();
+  ResourceClock clock(platform, 0.0);
+  const JobState blocker = fresh_state(platform, {0, 0, 50.0, 0.0, 0.0, 0.0});
+  (void)clock.commit(platform, blocker, 0);
+  (void)clock.commit(platform, blocker, 1);
+  const JobState s = fresh_state(platform, {1, 0, 4.0, 0.0, 1.0, 1.0});
+  const auto [target, done] = clock.best_target(platform, s);
+  EXPECT_EQ(target, kAllocEdge);
+  EXPECT_DOUBLE_EQ(done, 8.0);
+}
+
+TEST(Projection, ZeroDownlinkSkipsReceivePort) {
+  const Platform platform = small_platform();
+  ResourceClock clock(platform, 0.0);
+  const JobState s = fresh_state(platform, {0, 0, 2.0, 0.0, 1.0, 0.0});
+  EXPECT_DOUBLE_EQ(clock.commit(platform, s, 0), 3.0);  // up 1 + work 2
+}
+
+TEST(Projection, UploadedJobIgnoresOtherUplinksOnSharedPorts) {
+  // Regression: a job whose uplink is already complete must not inherit
+  // delays from other jobs' committed uplinks on the same send/receive
+  // ports — only the cloud CPU matters for its remaining execution.
+  const Platform platform = small_platform();
+  ResourceClock clock(platform, 0.0);
+  const JobState other = fresh_state(platform, {1, 0, 1.0, 0.0, 100.0, 0.0});
+  (void)clock.commit(platform, other, 1);  // send port busy until t=100
+  JobState uploaded = fresh_state(platform, {0, 0, 5.0, 0.0, 2.0, 0.0});
+  uploaded.alloc = 0;
+  uploaded.rem_up = 0.0;
+  uploaded.rem_work = 5.0;
+  uploaded.rem_down = 0.0;
+  // Cloud 0's CPU is free: the projection must be 5, not 100 + 5.
+  EXPECT_DOUBLE_EQ(clock.project(platform, uploaded, 0), 5.0);
+}
+
+TEST(Projection, ProjectDoesNotMutateClock) {
+  const Platform platform = small_platform();
+  ResourceClock clock(platform, 0.0);
+  const JobState s = fresh_state(platform, {0, 0, 2.0, 0.0, 1.0, 1.0});
+  const Time first = clock.project(platform, s, 0);
+  const Time second = clock.project(platform, s, 0);
+  EXPECT_DOUBLE_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace ecs

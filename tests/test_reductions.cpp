@@ -1,0 +1,140 @@
+// Tests for the NP-hardness gadget builders (workloads/reductions.hpp,
+// paper section IV). The reductions are verified in both directions on
+// small instances: YES-instances achieve the target stretch (checked with
+// the exact MMSH solver), NO-instances cannot.
+#include "workloads/reductions.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/validate.hpp"
+#include "sched/offline/brute_force.hpp"
+
+namespace ecs {
+namespace {
+
+TEST(TwoPartitionEq, SolverOnTinyInstances) {
+  EXPECT_TRUE(has_two_partition_eq({1, 1}));
+  EXPECT_TRUE(has_two_partition_eq({1, 2, 2, 1}));
+  EXPECT_TRUE(has_two_partition_eq({3, 1, 2, 2}));
+  EXPECT_FALSE(has_two_partition_eq({1, 3}));      // unequal halves
+  EXPECT_FALSE(has_two_partition_eq({1, 1, 1}));   // odd size
+  EXPECT_FALSE(has_two_partition_eq({5, 1, 1, 1}));  // sum balances nowhere
+}
+
+TEST(TwoPartitionEq, GadgetOnYesInstance) {
+  // a = {1, 2, 2, 1}: n = 2, S = 3. The gadget has 2n + 2 = 6 jobs; a
+  // balanced partition exists, so MMSH on 2 machines achieves exactly
+  // (n^2 + n + 2)/(n + 1) = 8/3.
+  const std::vector<std::int64_t> a = {1, 2, 2, 1};
+  ASSERT_TRUE(has_two_partition_eq(a));
+  const MmshGadget gadget = mmsh_from_two_partition_eq(a);
+  EXPECT_EQ(gadget.machines, 2);
+  ASSERT_EQ(gadget.works.size(), 6u);
+  EXPECT_NEAR(gadget.target_stretch, 8.0 / 3.0, 1e-12);
+  const MmshResult opt = exact_mmsh(gadget.works, gadget.machines);
+  EXPECT_NEAR(opt.max_stretch, gadget.target_stretch, 1e-9);
+}
+
+TEST(TwoPartitionEq, GadgetOnNoInstance) {
+  // a = {2, 2, 3, 5}: sum 12, S = 6, every a_i < S (the gadget's
+  // precondition), but no equal-cardinality split sums to 6
+  // (pairs: 4, 5, 7, 8). The optimum must exceed the target.
+  const std::vector<std::int64_t> a = {2, 2, 3, 5};
+  ASSERT_FALSE(has_two_partition_eq(a));
+  const MmshGadget gadget = mmsh_from_two_partition_eq(a);
+  const MmshResult opt = exact_mmsh(gadget.works, gadget.machines);
+  EXPECT_GT(opt.max_stretch, gadget.target_stretch + 1e-9);
+}
+
+TEST(TwoPartitionEq, RejectsMalformedInput) {
+  EXPECT_THROW((void)mmsh_from_two_partition_eq({}), std::invalid_argument);
+  EXPECT_THROW((void)mmsh_from_two_partition_eq({1, 2, 3}),
+               std::invalid_argument);
+  EXPECT_THROW((void)mmsh_from_two_partition_eq({1, 2}),  // odd sum
+               std::invalid_argument);
+  EXPECT_THROW((void)mmsh_from_two_partition_eq({0, 2}),
+               std::invalid_argument);
+}
+
+TEST(ThreePartition, SolverOnTinyInstances) {
+  // B = 12, triples (5,4,3) twice.
+  EXPECT_TRUE(has_three_partition({5, 4, 3, 5, 4, 3}));
+  // Same multiset but one value changed: 24 not divisible into two 12s.
+  EXPECT_FALSE(has_three_partition({5, 4, 4, 5, 4, 3}));
+  EXPECT_FALSE(has_three_partition({1, 2}));  // size not divisible by 3
+}
+
+TEST(ThreePartition, GadgetOnYesInstance) {
+  // n = 2, B = 12, entries in (3, 6) strictly: {5, 4, 3, ...} -- wait,
+  // 3 is not > B/4 = 3; use {5, 4, 3}? 3 == B/4 violates the bound, so
+  // take B = 12 with {5, 4, 3} replaced by {4, 4, 4} and {5, 4, 3} is
+  // invalid. Entries: {4, 4, 4, 5, 4, 3}? 3 again. Use B = 20:
+  // triples (6, 7, 7) and (6, 6, 8), all in (5, 10).
+  const std::vector<std::int64_t> a = {6, 7, 7, 6, 6, 8};
+  ASSERT_TRUE(has_three_partition(a));
+  const MmshGadget gadget = mmsh_from_three_partition(a);
+  EXPECT_EQ(gadget.machines, 2);
+  ASSERT_EQ(gadget.works.size(), 8u);  // 3n + n
+  EXPECT_DOUBLE_EQ(gadget.target_stretch, 3.0);
+  const MmshResult opt = exact_mmsh(gadget.works, gadget.machines);
+  EXPECT_LE(opt.max_stretch, gadget.target_stretch + 1e-9);
+}
+
+TEST(ThreePartition, GadgetOnNoInstance) {
+  // B = 20 but no valid triple split: {6, 6, 6, 6, 8, 8} -> triples must
+  // sum 20; options: 6+6+8 = 20 twice — that works! Pick truly
+  // unbalanced: {6, 6, 6, 7, 7, 8}: sum 40, B = 20; triples summing 20
+  // from {6,6,6,7,7,8}: 6+6+8 = 20 leaves {6,7,7} = 20 — works too.
+  // {6,6,7,7,7,7}: sum 40; 6+7+7 = 20 leaves 6+7+7 = 20 — works.
+  // Hard NO at n = 2 with strict bounds: {6,6,6,6,7,9}: sum 40;
+  // 6+6+9 = 21, 6+7+9 = 22, 6+6+7 = 19 -> no triple sums to 20.
+  const std::vector<std::int64_t> a = {6, 6, 6, 6, 7, 9};
+  ASSERT_FALSE(has_three_partition(a));
+  const MmshGadget gadget = mmsh_from_three_partition(a);
+  const MmshResult opt = exact_mmsh(gadget.works, gadget.machines);
+  EXPECT_GT(opt.max_stretch, gadget.target_stretch + 1e-9);
+}
+
+TEST(ThreePartition, RejectsOutOfRangeEntries) {
+  // Entries must satisfy B/4 < a_i < B/2.
+  EXPECT_THROW((void)mmsh_from_three_partition({10, 5, 5, 10, 5, 5}),
+               std::invalid_argument);  // 10 = B/2 violates the strict bound
+  EXPECT_THROW((void)mmsh_from_three_partition({1, 2, 3}),
+               std::invalid_argument);
+}
+
+TEST(EdgeCloudEmbedding, MatchesTheorem3) {
+  // The embedding has one unit-speed edge, p-1 clouds, zero comms.
+  const std::vector<double> works = {2.0, 3.0, 4.0};
+  const Instance instance = edge_cloud_from_mmsh(works, 3);
+  EXPECT_EQ(instance.platform.edge_count(), 1);
+  EXPECT_DOUBLE_EQ(instance.platform.edge_speed(0), 1.0);
+  EXPECT_EQ(instance.platform.cloud_count(), 2);
+  EXPECT_TRUE(validate_instance(instance).empty());
+  for (const Job& job : instance.jobs) {
+    EXPECT_DOUBLE_EQ(job.up, 0.0);
+    EXPECT_DOUBLE_EQ(job.down, 0.0);
+    EXPECT_DOUBLE_EQ(job.release, 0.0);
+    // In the embedding, edge and cloud execution times coincide.
+    EXPECT_DOUBLE_EQ(instance.platform.edge_time(job),
+                     instance.platform.cloud_time(job));
+  }
+}
+
+TEST(EdgeCloudEmbedding, GadgetRoundTrip) {
+  // Full Theorem 1 -> Theorem 3 pipeline: the 2-partition gadget embedded
+  // as an edge-cloud instance is solved to the same optimum by the
+  // edge-cloud brute force as by the MMSH solver.
+  const std::vector<std::int64_t> a = {1, 1};  // n = 1, S = 1
+  const MmshGadget gadget = mmsh_from_two_partition_eq(a);
+  ASSERT_EQ(gadget.works.size(), 4u);
+  const MmshResult mmsh = exact_mmsh(gadget.works, gadget.machines);
+  const Instance instance =
+      edge_cloud_from_mmsh(gadget.works, gadget.machines);
+  const BruteForceResult bf = brute_force_edge_cloud(instance);
+  EXPECT_NEAR(bf.max_stretch, mmsh.max_stretch, 1e-6);
+  EXPECT_NEAR(bf.max_stretch, gadget.target_stretch, 1e-6);
+}
+
+}  // namespace
+}  // namespace ecs

@@ -1,0 +1,118 @@
+// Tests for the shared policy helpers (sched/common.hpp): sticky target
+// selection and the immediate-start list assignment.
+#include "sched/common.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+
+namespace ecs {
+namespace {
+
+JobState make_state(const Platform& platform, Job job) {
+  JobState s;
+  s.job = job;
+  s.best_time = platform.best_time(job);
+  s.released = true;
+  return s;
+}
+
+TEST(BestTargetSticky, PicksStrictlyBetterTarget) {
+  const Platform platform({0.25}, 1);
+  ResourceClock clock(platform, 0.0);
+  const JobState s = make_state(platform, {0, 0, 2.0, 0.0, 0.5, 0.5});
+  // Cloud 3 < edge 8.
+  const auto [target, done] = best_target_sticky(platform, clock, s);
+  EXPECT_EQ(target, 0);
+  EXPECT_DOUBLE_EQ(done, 3.0);
+}
+
+TEST(BestTargetSticky, KeepsCurrentAllocationOnTies) {
+  // Two identical clouds: a job already allocated to cloud 1 must stay
+  // there rather than hopping to the equivalent cloud 0.
+  const Platform platform({0.25}, 2);
+  ResourceClock clock(platform, 0.0);
+  JobState s = make_state(platform, {0, 0, 2.0, 0.0, 0.5, 0.5});
+  s.alloc = 1;
+  s.rem_up = 0.5;
+  s.rem_work = 2.0;
+  s.rem_down = 0.5;
+  const auto [target, done] = best_target_sticky(platform, clock, s);
+  EXPECT_EQ(target, 1);
+  EXPECT_DOUBLE_EQ(done, 3.0);
+}
+
+TEST(BestTargetSticky, ProgressMakesCurrentAllocationWin) {
+  // Continuing (remaining work 0.5) beats even an idle fresh cloud.
+  const Platform platform({0.25}, 2);
+  ResourceClock clock(platform, 0.0);
+  JobState s = make_state(platform, {0, 0, 2.0, 0.0, 0.5, 0.5});
+  s.alloc = 0;
+  s.rem_up = 0.0;
+  s.rem_work = 0.5;
+  s.rem_down = 0.5;
+  const auto [target, done] = best_target_sticky(platform, clock, s);
+  EXPECT_EQ(target, 0);
+  EXPECT_DOUBLE_EQ(done, 1.0);
+}
+
+TEST(BestTargetSticky, LeavesCurrentWhenGenuinelyBetterElsewhere) {
+  // The job sits unstarted on a cloud whose CPU is booked far into the
+  // future; the edge is strictly better.
+  const Platform platform({1.0}, 1);
+  ResourceClock clock(platform, 0.0);
+  const JobState blocker = make_state(platform, {1, 0, 50.0, 0.0, 0.0, 0.0});
+  (void)clock.commit(platform, blocker, 0);
+  JobState s = make_state(platform, {0, 0, 2.0, 0.0, 0.1, 0.1});
+  s.alloc = 0;
+  s.rem_up = 0.1;
+  s.rem_work = 2.0;
+  s.rem_down = 0.1;
+  const auto [target, done] = best_target_sticky(platform, clock, s);
+  EXPECT_EQ(target, kAllocEdge);
+  EXPECT_DOUBLE_EQ(done, 2.0);
+}
+
+TEST(ContainsRelease, DetectsReleaseKind) {
+  EXPECT_FALSE(contains_release({}));
+  EXPECT_FALSE(contains_release({{EventKind::kComputeDone, 0, 1.0}}));
+  EXPECT_TRUE(contains_release({{EventKind::kComputeDone, 0, 1.0},
+                                {EventKind::kRelease, 1, 1.0}}));
+}
+
+TEST(ListAssign, OnlyImmediateStartersGetExplicitTargets) {
+  // Three jobs from one edge, one cloud. In key order: J0 takes the cloud
+  // (uplink starts now). J1's cloud route queues behind J0 on both the
+  // send port and the cloud CPU (done at 5.5), so its best target is the
+  // free edge (done at 4.0) — an immediate start, explicit directive.
+  // J2 then finds the edge claimed and the cloud route queued: it keeps
+  // (kTargetKeep) and waits for a later event.
+  Instance instance;
+  instance.platform = Platform({0.5}, 1);
+  instance.jobs = {{0, 0, 2.0, 0.0, 1.0, 0.5},
+                   {1, 0, 2.0, 0.0, 1.0, 0.5},
+                   {2, 0, 0.4, 0.0, 5.0, 5.0}};
+  std::vector<JobState> states;
+  for (const Job& job : instance.jobs) {
+    states.push_back(JobState{});
+    states.back().job = job;
+    states.back().best_time = instance.platform.best_time(job);
+    states.back().released = true;
+  }
+  const SimView view(instance, states, 0.0);
+  const std::vector<Directive> directives = list_assign_directives(
+      view, {{0, 1.0}, {1, 2.0}, {2, 3.0}});
+  ASSERT_EQ(directives.size(), 3u);
+  EXPECT_EQ(directives[0].job, 0);
+  EXPECT_EQ(directives[0].target, 0);  // starts uplink now
+  EXPECT_EQ(directives[1].job, 1);
+  EXPECT_EQ(directives[1].target, kAllocEdge);  // edge 4.0 < queued cloud
+  EXPECT_EQ(directives[2].job, 2);
+  EXPECT_EQ(directives[2].target, kTargetKeep);  // everything queued
+  // Priorities follow the key order.
+  EXPECT_LT(directives[0].priority, directives[1].priority);
+  EXPECT_LT(directives[1].priority, directives[2].priority);
+}
+
+}  // namespace
+}  // namespace ecs

@@ -1,0 +1,73 @@
+// Tests for the schedule representation (core/schedule.hpp).
+#include "core/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ecs {
+namespace {
+
+TEST(RunRecord, CompletionEdge) {
+  RunRecord run;
+  run.alloc = kAllocEdge;
+  EXPECT_FALSE(run.completion().has_value());
+  run.exec.add(0.0, 2.0);
+  run.exec.add(3.0, 4.0);
+  ASSERT_TRUE(run.completion().has_value());
+  EXPECT_DOUBLE_EQ(*run.completion(), 4.0);
+}
+
+TEST(RunRecord, CompletionCloudWithDownlink) {
+  RunRecord run;
+  run.alloc = 0;
+  run.uplink.add(0.0, 1.0);
+  run.exec.add(1.0, 3.0);
+  run.downlink.add(3.0, 4.0);
+  ASSERT_TRUE(run.completion().has_value());
+  EXPECT_DOUBLE_EQ(*run.completion(), 4.0);
+}
+
+TEST(RunRecord, CompletionCloudZeroDownlink) {
+  RunRecord run;
+  run.alloc = 2;
+  run.uplink.add(0.0, 1.0);
+  run.exec.add(1.0, 3.0);
+  ASSERT_TRUE(run.completion().has_value());
+  EXPECT_DOUBLE_EQ(*run.completion(), 3.0);
+}
+
+TEST(RunRecord, UnassignedHasNoCompletion) {
+  EXPECT_FALSE(RunRecord{}.completion().has_value());
+}
+
+TEST(Schedule, MakespanRequiresAllComplete) {
+  Schedule schedule(2);
+  schedule.job(0).final_run.alloc = kAllocEdge;
+  schedule.job(0).final_run.exec.add(0.0, 2.0);
+  EXPECT_FALSE(schedule.makespan().has_value());  // job 1 incomplete
+  schedule.job(1).final_run.alloc = kAllocEdge;
+  schedule.job(1).final_run.exec.add(1.0, 5.0);
+  ASSERT_TRUE(schedule.makespan().has_value());
+  EXPECT_DOUBLE_EQ(*schedule.makespan(), 5.0);
+}
+
+TEST(Schedule, AllocPredicates) {
+  EXPECT_TRUE(is_cloud_alloc(0));
+  EXPECT_TRUE(is_cloud_alloc(7));
+  EXPECT_FALSE(is_cloud_alloc(kAllocEdge));
+  EXPECT_FALSE(is_cloud_alloc(kAllocUnassigned));
+}
+
+TEST(Schedule, ToStringMentionsAbandonedRuns) {
+  Schedule schedule(1);
+  schedule.job(0).final_run.alloc = kAllocEdge;
+  schedule.job(0).final_run.exec.add(0.0, 1.0);
+  RunRecord abandoned;
+  abandoned.alloc = 0;
+  abandoned.uplink.add(0.0, 0.5);
+  schedule.job(0).abandoned.push_back(abandoned);
+  const std::string dump = to_string(schedule);
+  EXPECT_NE(dump.find("abandoned"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ecs

@@ -1,0 +1,61 @@
+// Tests for the epsilon-aware time comparisons (core/time.hpp).
+#include "core/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ecs {
+namespace {
+
+TEST(Time, EqualWithinTolerance) {
+  EXPECT_TRUE(time_eq(1.0, 1.0));
+  EXPECT_TRUE(time_eq(1.0, 1.0 + 1e-10));
+  EXPECT_FALSE(time_eq(1.0, 1.0 + 1e-6));
+  EXPECT_FALSE(time_eq(1.0, 1.0 + 1e-3));
+}
+
+TEST(Time, ToleranceScalesWithMagnitude) {
+  // At magnitude 1e7, absolute differences below 1e7 * kTimeEpsilon must be
+  // treated as equal.
+  const double big = 1e7;
+  EXPECT_TRUE(time_eq(big, big + 1.0 * big * kTimeEpsilon / 2.0));
+  EXPECT_FALSE(time_eq(big, big + 100.0 * big * kTimeEpsilon));
+}
+
+TEST(Time, StrictLess) {
+  EXPECT_TRUE(time_lt(1.0, 2.0));
+  EXPECT_FALSE(time_lt(2.0, 1.0));
+  EXPECT_FALSE(time_lt(1.0, 1.0 + 1e-10));  // within tolerance => not less
+}
+
+TEST(Time, LessOrEqual) {
+  EXPECT_TRUE(time_le(1.0, 2.0));
+  EXPECT_TRUE(time_le(1.0 + 1e-10, 1.0));
+  EXPECT_FALSE(time_le(2.0, 1.0));
+}
+
+TEST(Time, GreaterMirrorsLess) {
+  EXPECT_TRUE(time_gt(2.0, 1.0));
+  EXPECT_FALSE(time_gt(1.0, 1.0 + 1e-10));
+  EXPECT_TRUE(time_ge(1.0, 1.0 + 1e-10));
+}
+
+TEST(Time, AmountDone) {
+  EXPECT_TRUE(amount_done(0.0));
+  EXPECT_TRUE(amount_done(1e-9));
+  EXPECT_TRUE(amount_done(-1e-9));
+  EXPECT_FALSE(amount_done(0.5));
+}
+
+TEST(Time, ClampAmount) {
+  EXPECT_EQ(clamp_amount(-1e-12), 0.0);
+  EXPECT_EQ(clamp_amount(0.5), 0.5);
+}
+
+TEST(Time, ZeroVsZero) {
+  EXPECT_TRUE(time_eq(0.0, 0.0));
+  EXPECT_TRUE(time_le(0.0, 0.0));
+  EXPECT_FALSE(time_lt(0.0, 0.0));
+}
+
+}  // namespace
+}  // namespace ecs

@@ -1,0 +1,292 @@
+// Tests for the section III-B schedule validator (core/validate.hpp).
+//
+// Each constraint of the model is violated in isolation and the validator
+// must flag it with the right kind; a fully conforming schedule must pass.
+#include "core/validate.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ecs {
+namespace {
+
+// One edge (speed 0.5), two clouds; two jobs from the same edge.
+Instance two_job_instance() {
+  Instance instance;
+  instance.platform = Platform({0.5}, 2);
+  instance.jobs = {{0, 0, 2.0, 0.0, 1.0, 1.0}, {1, 0, 2.0, 0.0, 1.0, 1.0}};
+  return instance;
+}
+
+// A correct schedule: J0 on the edge [0,4); J1 on cloud 0:
+// up [0,1), exec [1,3), down [3,4).
+Schedule good_schedule() {
+  Schedule schedule(2);
+  schedule.job(0).final_run.alloc = kAllocEdge;
+  schedule.job(0).final_run.exec.add(0.0, 4.0);
+  schedule.job(1).final_run.alloc = 0;
+  schedule.job(1).final_run.uplink.add(0.0, 1.0);
+  schedule.job(1).final_run.exec.add(1.0, 3.0);
+  schedule.job(1).final_run.downlink.add(3.0, 4.0);
+  return schedule;
+}
+
+bool has_kind(const std::vector<Violation>& violations, ViolationKind kind) {
+  for (const Violation& v : violations) {
+    if (v.kind == kind) return true;
+  }
+  return false;
+}
+
+TEST(Validate, AcceptsConformingSchedule) {
+  const Instance instance = two_job_instance();
+  const Schedule schedule = good_schedule();
+  const auto violations = validate_schedule(instance, schedule);
+  EXPECT_TRUE(violations.empty())
+      << (violations.empty() ? "" : to_string(violations.front()));
+  EXPECT_TRUE(is_valid_schedule(instance, schedule));
+  EXPECT_NO_THROW(require_valid_schedule(instance, schedule));
+}
+
+TEST(Validate, FlagsUnallocatedJob) {
+  const Instance instance = two_job_instance();
+  Schedule schedule = good_schedule();
+  schedule.job(1).final_run = RunRecord{};  // wipe
+  const auto violations = validate_schedule(instance, schedule);
+  EXPECT_TRUE(has_kind(violations, ViolationKind::kUnallocated));
+}
+
+TEST(Validate, FlagsBadCloudIndex) {
+  const Instance instance = two_job_instance();
+  Schedule schedule = good_schedule();
+  schedule.job(1).final_run.alloc = 7;  // only 2 clouds
+  const auto violations = validate_schedule(instance, schedule);
+  EXPECT_TRUE(has_kind(violations, ViolationKind::kBadAllocation));
+}
+
+TEST(Validate, FlagsStartBeforeRelease) {
+  Instance instance = two_job_instance();
+  instance.jobs[0].release = 1.0;  // schedule starts its exec at 0
+  const auto violations = validate_schedule(instance, good_schedule());
+  EXPECT_TRUE(has_kind(violations, ViolationKind::kBeforeRelease));
+}
+
+TEST(Validate, FlagsInsufficientEdgeExecution) {
+  const Instance instance = two_job_instance();
+  Schedule schedule = good_schedule();
+  schedule.job(0).final_run.exec = IntervalSet{};
+  schedule.job(0).final_run.exec.add(0.0, 3.0);  // needs 4 = 2 / 0.5
+  const auto violations = validate_schedule(instance, schedule);
+  EXPECT_TRUE(has_kind(violations, ViolationKind::kQuantity));
+}
+
+TEST(Validate, FlagsInsufficientUplink) {
+  const Instance instance = two_job_instance();
+  Schedule schedule = good_schedule();
+  schedule.job(1).final_run.uplink = IntervalSet{};
+  schedule.job(1).final_run.uplink.add(0.0, 0.5);  // needs 1
+  const auto violations = validate_schedule(instance, schedule);
+  EXPECT_TRUE(has_kind(violations, ViolationKind::kQuantity));
+}
+
+TEST(Validate, FlagsInsufficientDownlink) {
+  const Instance instance = two_job_instance();
+  Schedule schedule = good_schedule();
+  schedule.job(1).final_run.downlink = IntervalSet{};
+  schedule.job(1).final_run.downlink.add(3.0, 3.2);
+  const auto violations = validate_schedule(instance, schedule);
+  EXPECT_TRUE(has_kind(violations, ViolationKind::kQuantity));
+}
+
+TEST(Validate, FlagsUplinkAfterExecStart) {
+  const Instance instance = two_job_instance();
+  Schedule schedule = good_schedule();
+  // Move part of the uplink after the execution started.
+  schedule.job(1).final_run.uplink = IntervalSet{};
+  schedule.job(1).final_run.uplink.add(0.0, 0.5);
+  schedule.job(1).final_run.uplink.add(1.5, 2.0);  // exec starts at 1
+  const auto violations = validate_schedule(instance, schedule);
+  EXPECT_TRUE(has_kind(violations, ViolationKind::kPrecedence));
+}
+
+TEST(Validate, FlagsDownlinkBeforeExecEnd) {
+  const Instance instance = two_job_instance();
+  Schedule schedule = good_schedule();
+  schedule.job(1).final_run.downlink = IntervalSet{};
+  schedule.job(1).final_run.downlink.add(2.0, 3.0);  // exec ends at 3
+  const auto violations = validate_schedule(instance, schedule);
+  EXPECT_TRUE(has_kind(violations, ViolationKind::kPrecedence));
+}
+
+TEST(Validate, FlagsEdgeJobWithCommunications) {
+  const Instance instance = two_job_instance();
+  Schedule schedule = good_schedule();
+  schedule.job(0).final_run.uplink.add(0.0, 0.5);
+  const auto violations = validate_schedule(instance, schedule);
+  EXPECT_TRUE(has_kind(violations, ViolationKind::kPrecedence));
+}
+
+TEST(Validate, FlagsEdgeProcessorConflict) {
+  Instance instance = two_job_instance();
+  Schedule schedule(2);
+  // Both jobs execute on the same edge processor at overlapping times.
+  for (int i = 0; i < 2; ++i) {
+    schedule.job(i).final_run.alloc = kAllocEdge;
+    schedule.job(i).final_run.exec.add(0.0, 4.0);
+  }
+  const auto violations = validate_schedule(instance, schedule);
+  EXPECT_TRUE(has_kind(violations, ViolationKind::kProcessorConflict));
+}
+
+TEST(Validate, FlagsCloudProcessorConflict) {
+  Instance instance = two_job_instance();
+  instance.jobs[0].up = 0.0;
+  instance.jobs[0].down = 0.0;
+  instance.jobs[1].up = 0.0;
+  instance.jobs[1].down = 0.0;
+  Schedule schedule(2);
+  for (int i = 0; i < 2; ++i) {
+    schedule.job(i).final_run.alloc = 0;  // same cloud
+    schedule.job(i).final_run.exec.add(0.0, 2.0);
+  }
+  const auto violations = validate_schedule(instance, schedule);
+  EXPECT_TRUE(has_kind(violations, ViolationKind::kProcessorConflict));
+}
+
+TEST(Validate, FlagsEdgeSendPortConflict) {
+  // Two jobs from the same edge uploading to *different* clouds at the same
+  // time: the edge's send port is oversubscribed.
+  Instance instance = two_job_instance();
+  Schedule schedule(2);
+  schedule.job(0).final_run.alloc = 0;
+  schedule.job(0).final_run.uplink.add(0.0, 1.0);
+  schedule.job(0).final_run.exec.add(1.0, 3.0);
+  schedule.job(0).final_run.downlink.add(3.0, 4.0);
+  schedule.job(1).final_run.alloc = 1;
+  schedule.job(1).final_run.uplink.add(0.5, 1.5);  // overlaps J0's uplink
+  schedule.job(1).final_run.exec.add(1.5, 3.5);
+  schedule.job(1).final_run.downlink.add(4.0, 5.0);
+  const auto violations = validate_schedule(instance, schedule);
+  EXPECT_TRUE(has_kind(violations, ViolationKind::kPortConflict));
+}
+
+TEST(Validate, FlagsCloudReceivePortConflict) {
+  // Two jobs from different edges uploading to the same cloud at once.
+  Instance instance;
+  instance.platform = Platform({0.5, 0.5}, 1);
+  instance.jobs = {{0, 0, 2.0, 0.0, 1.0, 0.0}, {1, 1, 2.0, 0.0, 1.0, 0.0}};
+  Schedule schedule(2);
+  schedule.job(0).final_run.alloc = 0;
+  schedule.job(0).final_run.uplink.add(0.0, 1.0);
+  schedule.job(0).final_run.exec.add(1.0, 3.0);
+  schedule.job(1).final_run.alloc = 0;
+  schedule.job(1).final_run.uplink.add(0.5, 1.5);
+  schedule.job(1).final_run.exec.add(3.0, 5.0);
+  const auto violations = validate_schedule(instance, schedule);
+  EXPECT_TRUE(has_kind(violations, ViolationKind::kPortConflict));
+}
+
+TEST(Validate, FullDuplexOverlapIsAllowed) {
+  // An uplink and a downlink may overlap on the same edge and cloud.
+  Instance instance = two_job_instance();
+  Schedule schedule(2);
+  schedule.job(0).final_run.alloc = 0;
+  schedule.job(0).final_run.uplink.add(0.0, 1.0);
+  schedule.job(0).final_run.exec.add(1.0, 3.0);
+  schedule.job(0).final_run.downlink.add(3.0, 4.0);
+  schedule.job(1).final_run.alloc = 0;
+  schedule.job(1).final_run.uplink.add(3.0, 4.0);  // while J0 downlinks
+  schedule.job(1).final_run.exec.add(4.0, 6.0);
+  schedule.job(1).final_run.downlink.add(6.0, 7.0);
+  const auto violations = validate_schedule(instance, schedule);
+  EXPECT_TRUE(violations.empty())
+      << (violations.empty() ? "" : to_string(violations.front()));
+}
+
+TEST(Validate, ComputeOverlapsCommunicationFreely) {
+  // J0 computes on the edge while J1 uploads from that edge: legal.
+  const Instance instance = two_job_instance();
+  const Schedule schedule = good_schedule();  // exactly that situation
+  EXPECT_TRUE(is_valid_schedule(instance, schedule));
+}
+
+TEST(Validate, FlagsSelfOverlap) {
+  const Instance instance = two_job_instance();
+  Schedule schedule = good_schedule();
+  // Make J1's uplink overlap its own execution (also a precedence issue;
+  // the self-overlap check must fire regardless).
+  schedule.job(1).final_run.uplink.add(1.0, 2.0);
+  const auto violations = validate_schedule(instance, schedule);
+  EXPECT_TRUE(has_kind(violations, ViolationKind::kSelfOverlap));
+}
+
+TEST(Validate, AbandonedRunsOccupyResources) {
+  // J0's abandoned edge run overlaps J1's... both on the same edge CPU.
+  Instance instance = two_job_instance();
+  Schedule schedule(2);
+  schedule.job(0).final_run.alloc = 0;  // final: cloud
+  schedule.job(0).final_run.uplink.add(2.0, 3.0);
+  schedule.job(0).final_run.exec.add(3.0, 5.0);
+  schedule.job(0).final_run.downlink.add(5.0, 6.0);
+  RunRecord abandoned;
+  abandoned.alloc = kAllocEdge;
+  abandoned.exec.add(0.0, 2.0);  // occupied the edge CPU before moving
+  schedule.job(0).abandoned.push_back(abandoned);
+  schedule.job(1).final_run.alloc = kAllocEdge;
+  schedule.job(1).final_run.exec.add(1.0, 5.0);  // overlaps the abandoned run
+  const auto violations = validate_schedule(instance, schedule);
+  EXPECT_TRUE(has_kind(violations, ViolationKind::kProcessorConflict));
+}
+
+TEST(Validate, FlagsNonAdjacentOverlapUnderLongInterval) {
+  // Regression: a long execution enclosing several later claims must be
+  // flagged against each of them, not only its sort-adjacent neighbour.
+  Instance instance;
+  instance.platform = Platform({0.5}, 0);
+  instance.jobs = {{0, 0, 50.0, 0.0, 0.0, 0.0},
+                   {1, 0, 0.5, 0.0, 0.0, 0.0},
+                   {2, 0, 0.5, 0.0, 0.0, 0.0}};
+  Schedule schedule(3);
+  schedule.job(0).final_run.alloc = kAllocEdge;
+  schedule.job(0).final_run.exec.add(0.0, 100.0);  // encloses everything
+  schedule.job(1).final_run.alloc = kAllocEdge;
+  schedule.job(1).final_run.exec.add(1.0, 2.0);
+  schedule.job(2).final_run.alloc = kAllocEdge;
+  schedule.job(2).final_run.exec.add(10.0, 11.0);  // NOT adjacent to J0
+  const auto violations = validate_schedule(instance, schedule);
+  int conflicts = 0;
+  for (const Violation& v : violations) {
+    conflicts += v.kind == ViolationKind::kProcessorConflict;
+  }
+  // Both J1 and J2 conflict with the enclosing J0 interval.
+  EXPECT_GE(conflicts, 2);
+}
+
+TEST(Validate, ZeroCommunicationCloudJobNeedsNoCommIntervals) {
+  Instance instance;
+  instance.platform = Platform({0.5}, 1);
+  instance.jobs = {{0, 0, 2.0, 0.0, 0.0, 0.0}};
+  Schedule schedule(1);
+  schedule.job(0).final_run.alloc = 0;
+  schedule.job(0).final_run.exec.add(0.0, 2.0);
+  EXPECT_TRUE(is_valid_schedule(instance, schedule));
+}
+
+TEST(Validate, WrongJobCountReported) {
+  const Instance instance = two_job_instance();
+  const Schedule schedule(1);
+  const auto violations = validate_schedule(instance, schedule);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, ViolationKind::kBadAllocation);
+}
+
+TEST(Validate, RequireValidThrowsWithDiagnostics) {
+  const Instance instance = two_job_instance();
+  Schedule schedule = good_schedule();
+  schedule.job(0).final_run.exec = IntervalSet{};
+  schedule.job(0).final_run.exec.add(0.0, 1.0);
+  EXPECT_THROW(require_valid_schedule(instance, schedule),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ecs

@@ -1,0 +1,196 @@
+// Mutation-fuzz tests for the schedule validator.
+//
+// The validator is the project's ground truth: benches trust it to reject
+// anything that breaks the paper's model. These tests take *valid*
+// engine-produced schedules and apply small corrupting mutations — each
+// targeting one constraint family — and assert that the validator flags
+// every mutant. A validator that silently accepts a corrupted schedule
+// would let a buggy policy contribute garbage to a reported figure.
+#include <gtest/gtest.h>
+
+#include "core/validate.hpp"
+#include "sched/factory.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+#include "workloads/random_instances.hpp"
+
+namespace ecs {
+namespace {
+
+struct Fixture {
+  Instance instance;
+  Schedule schedule;
+};
+
+Fixture make_valid_fixture(std::uint64_t seed) {
+  RandomInstanceConfig cfg;
+  cfg.n = 40;
+  cfg.cloud_count = 3;
+  cfg.slow_edges = 2;
+  cfg.fast_edges = 2;
+  cfg.load = 0.4;  // enough contention for interesting structure
+  Rng rng(seed);
+  Fixture fx;
+  fx.instance = make_random_instance(cfg, rng);
+  const auto policy = make_policy("ssf-edf");
+  fx.schedule = simulate(fx.instance, *policy).schedule;
+  return fx;
+}
+
+/// Finds a job whose final run is on a cloud processor (with a real uplink)
+/// or returns -1.
+JobId find_cloud_job(const Fixture& fx) {
+  for (int i = 0; i < fx.schedule.job_count(); ++i) {
+    const RunRecord& run = fx.schedule.job(i).final_run;
+    if (is_cloud_alloc(run.alloc) && !run.uplink.empty() &&
+        !run.downlink.empty()) {
+      return i;
+    }
+  }
+  return -1;
+}
+
+JobId find_edge_job(const Fixture& fx) {
+  for (int i = 0; i < fx.schedule.job_count(); ++i) {
+    if (fx.schedule.job(i).final_run.alloc == kAllocEdge) return i;
+  }
+  return -1;
+}
+
+class ValidatorFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ValidatorFuzz, BaselineIsValid) {
+  const Fixture fx = make_valid_fixture(GetParam());
+  const auto violations = validate_schedule(fx.instance, fx.schedule);
+  EXPECT_TRUE(violations.empty())
+      << (violations.empty() ? "" : to_string(violations.front()));
+}
+
+TEST_P(ValidatorFuzz, ShrinkingExecutionIsCaught) {
+  Fixture fx = make_valid_fixture(GetParam());
+  const JobId victim = find_edge_job(fx);
+  ASSERT_GE(victim, 0);
+  RunRecord& run = fx.schedule.job(victim).final_run;
+  // Remove a visible chunk from the execution.
+  const Interval first = run.exec.intervals().front();
+  IntervalSet shrunk;
+  const double cut = 0.25 * (first.end - first.begin);
+  shrunk.add(first.begin + cut, first.end);
+  for (std::size_t i = 1; i < run.exec.intervals().size(); ++i) {
+    shrunk.add(run.exec.intervals()[i]);
+  }
+  run.exec = shrunk;
+  EXPECT_FALSE(is_valid_schedule(fx.instance, fx.schedule));
+}
+
+TEST_P(ValidatorFuzz, MovingUplinkAfterExecIsCaught) {
+  Fixture fx = make_valid_fixture(GetParam());
+  const JobId victim = find_cloud_job(fx);
+  if (victim < 0) GTEST_SKIP() << "no cloud job in this fixture";
+  RunRecord& run = fx.schedule.job(victim).final_run;
+  const double up_len = run.uplink.measure();
+  const Time exec_end = *run.exec.max();
+  run.uplink = IntervalSet{};
+  run.uplink.add(exec_end + 1.0, exec_end + 1.0 + up_len);
+  const auto violations = validate_schedule(fx.instance, fx.schedule);
+  bool precedence = false;
+  for (const Violation& v : violations) {
+    precedence |= v.kind == ViolationKind::kPrecedence;
+  }
+  EXPECT_TRUE(precedence);
+}
+
+TEST_P(ValidatorFuzz, DuplicatingExecOntoBusyProcessorIsCaught) {
+  Fixture fx = make_valid_fixture(GetParam());
+  // Find two different jobs on the same cloud processor and shift one of
+  // them onto the other's time.
+  JobId a = -1;
+  JobId b = -1;
+  for (int i = 0; i < fx.schedule.job_count() && b < 0; ++i) {
+    const RunRecord& run_i = fx.schedule.job(i).final_run;
+    if (!is_cloud_alloc(run_i.alloc)) continue;
+    for (int j = i + 1; j < fx.schedule.job_count(); ++j) {
+      const RunRecord& run_j = fx.schedule.job(j).final_run;
+      if (run_j.alloc == run_i.alloc) {
+        a = i;
+        b = j;
+        break;
+      }
+    }
+  }
+  if (b < 0) GTEST_SKIP() << "no shared cloud processor in this fixture";
+  RunRecord& run_a = fx.schedule.job(a).final_run;
+  const RunRecord& run_b = fx.schedule.job(b).final_run;
+  // Make a's execution overlap b's first execution interval.
+  run_a.exec.add(run_b.exec.intervals().front());
+  const auto violations = validate_schedule(fx.instance, fx.schedule);
+  bool conflict = false;
+  for (const Violation& v : violations) {
+    conflict |= v.kind == ViolationKind::kProcessorConflict ||
+                v.kind == ViolationKind::kSelfOverlap ||
+                v.kind == ViolationKind::kPrecedence;
+  }
+  EXPECT_TRUE(conflict);
+}
+
+TEST_P(ValidatorFuzz, ShiftingBeforeReleaseIsCaught) {
+  Fixture fx = make_valid_fixture(GetParam());
+  // Pick the job with the latest release; shift its first activity to 0.
+  JobId victim = 0;
+  for (int i = 1; i < fx.instance.job_count(); ++i) {
+    if (fx.instance.jobs[i].release >
+        fx.instance.jobs[victim].release) {
+      victim = i;
+    }
+  }
+  if (fx.instance.jobs[victim].release <= 1.0) {
+    GTEST_SKIP() << "no late-released job";
+  }
+  RunRecord& run = fx.schedule.job(victim).final_run;
+  IntervalSet* first_set = !run.uplink.empty() ? &run.uplink : &run.exec;
+  const Interval head = first_set->intervals().front();
+  IntervalSet moved;
+  moved.add(0.0, head.length());
+  for (std::size_t i = 1; i < first_set->intervals().size(); ++i) {
+    moved.add(first_set->intervals()[i]);
+  }
+  *first_set = moved;
+  const auto violations = validate_schedule(fx.instance, fx.schedule);
+  bool before_release = false;
+  for (const Violation& v : violations) {
+    before_release |= v.kind == ViolationKind::kBeforeRelease;
+  }
+  EXPECT_TRUE(before_release);
+}
+
+TEST_P(ValidatorFuzz, RetargetingCloudIndexIsCaught) {
+  Fixture fx = make_valid_fixture(GetParam());
+  const JobId victim = find_cloud_job(fx);
+  if (victim < 0) GTEST_SKIP() << "no cloud job in this fixture";
+  fx.schedule.job(victim).final_run.alloc =
+      fx.instance.platform.cloud_count() + 3;
+  const auto violations = validate_schedule(fx.instance, fx.schedule);
+  bool bad_alloc = false;
+  for (const Violation& v : violations) {
+    bad_alloc |= v.kind == ViolationKind::kBadAllocation;
+  }
+  EXPECT_TRUE(bad_alloc);
+}
+
+TEST_P(ValidatorFuzz, ErasingJobEntirelyIsCaught) {
+  Fixture fx = make_valid_fixture(GetParam());
+  fx.schedule.job(0).final_run = RunRecord{};
+  fx.schedule.job(0).abandoned.clear();
+  const auto violations = validate_schedule(fx.instance, fx.schedule);
+  bool unallocated = false;
+  for (const Violation& v : violations) {
+    unallocated |= v.kind == ViolationKind::kUnallocated;
+  }
+  EXPECT_TRUE(unallocated);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ValidatorFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 11, 17, 23));
+
+}  // namespace
+}  // namespace ecs

@@ -1,0 +1,284 @@
+// Tests for the workload generators (workloads/random_instances.hpp,
+// workloads/kang_instances.hpp, workloads/load.hpp).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/platform.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "workloads/kang_instances.hpp"
+#include "workloads/load.hpp"
+#include "workloads/random_instances.hpp"
+
+namespace ecs {
+namespace {
+
+TEST(Load, HorizonFormula) {
+  // H = total work / (load * aggregate speed).
+  EXPECT_DOUBLE_EQ(release_horizon(100.0, 26.0, 0.05), 100.0 / 1.3);
+  EXPECT_DOUBLE_EQ(release_horizon(100.0, 26.0, 2.0), 100.0 / 52.0);
+  EXPECT_THROW((void)release_horizon(100.0, 26.0, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)release_horizon(100.0, 0.0, 0.5),
+               std::invalid_argument);
+}
+
+TEST(Load, ReleaseDatesWithinHorizon) {
+  Rng rng(5);
+  std::vector<Job> jobs(200);
+  for (int i = 0; i < 200; ++i) jobs[i] = Job{i, 0, 1.0, 0.0, 0.0, 0.0};
+  assign_release_dates(jobs, 50.0, rng);
+  for (const Job& job : jobs) {
+    EXPECT_GE(job.release, 0.0);
+    EXPECT_LE(job.release, 50.0);
+  }
+}
+
+TEST(RandomInstances, PaperPlatformShape) {
+  const RandomInstanceConfig cfg;
+  const Platform platform = make_random_platform(cfg);
+  EXPECT_EQ(platform.edge_count(), 20);
+  EXPECT_EQ(platform.cloud_count(), 20);
+  int slow = 0;
+  int fast = 0;
+  for (double s : platform.edge_speeds()) {
+    if (s == 0.1) ++slow;
+    if (s == 0.5) ++fast;
+  }
+  EXPECT_EQ(slow, 10);
+  EXPECT_EQ(fast, 10);
+  EXPECT_DOUBLE_EQ(platform.total_speed(), 26.0);
+}
+
+TEST(RandomInstances, DeterministicGivenSeed) {
+  RandomInstanceConfig cfg;
+  cfg.n = 50;
+  Rng a(123);
+  Rng b(123);
+  const Instance ia = make_random_instance(cfg, a);
+  const Instance ib = make_random_instance(cfg, b);
+  ASSERT_EQ(ia.jobs.size(), ib.jobs.size());
+  for (std::size_t i = 0; i < ia.jobs.size(); ++i) {
+    EXPECT_EQ(ia.jobs[i], ib.jobs[i]);
+  }
+}
+
+TEST(RandomInstances, DifferentSeedsDiffer) {
+  RandomInstanceConfig cfg;
+  cfg.n = 50;
+  Rng a(1);
+  Rng b(2);
+  const Instance ia = make_random_instance(cfg, a);
+  const Instance ib = make_random_instance(cfg, b);
+  bool any_different = false;
+  for (std::size_t i = 0; i < ia.jobs.size(); ++i) {
+    any_different |= !(ia.jobs[i] == ib.jobs[i]);
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(RandomInstances, CcrControlsCommunicationRatio) {
+  for (double ccr : {0.1, 1.0, 10.0}) {
+    RandomInstanceConfig cfg;
+    cfg.n = 4000;
+    cfg.ccr = ccr;
+    Rng rng(7);
+    const Instance instance = make_random_instance(cfg, rng);
+    double total_work = 0.0;
+    double total_up = 0.0;
+    double total_down = 0.0;
+    for (const Job& job : instance.jobs) {
+      total_work += job.work;
+      total_up += job.up;
+      total_down += job.down;
+      EXPECT_GE(job.work, cfg.work_min);
+      EXPECT_LE(job.work, cfg.work_max);
+    }
+    // E[up]/E[w] == E[dn]/E[w] == CCR, within sampling noise.
+    EXPECT_NEAR(total_up / total_work, ccr, 0.05 * ccr);
+    EXPECT_NEAR(total_down / total_work, ccr, 0.05 * ccr);
+  }
+}
+
+TEST(RandomInstances, LoadShiftsHorizon) {
+  RandomInstanceConfig cfg;
+  cfg.n = 2000;
+  cfg.load = 0.05;
+  Rng a(3);
+  const Instance light = make_random_instance(cfg, a);
+  cfg.load = 0.5;
+  Rng b(3);
+  const Instance heavy = make_random_instance(cfg, b);
+  const auto max_release = [](const Instance& instance) {
+    double latest = 0.0;
+    for (const Job& job : instance.jobs) {
+      latest = std::max(latest, job.release);
+    }
+    return latest;
+  };
+  // Ten times the load compresses the horizon roughly tenfold.
+  EXPECT_NEAR(max_release(light) / max_release(heavy), 10.0, 1.0);
+}
+
+TEST(RandomInstances, ValidatesAgainstModel) {
+  RandomInstanceConfig cfg;
+  cfg.n = 100;
+  Rng rng(9);
+  const Instance instance = make_random_instance(cfg, rng);
+  EXPECT_TRUE(validate_instance(instance).empty());
+}
+
+TEST(RandomInstances, RejectsBadConfig) {
+  Rng rng(1);
+  RandomInstanceConfig bad;
+  bad.n = 0;
+  EXPECT_THROW((void)make_random_instance(bad, rng), std::invalid_argument);
+  RandomInstanceConfig bad_ccr;
+  bad_ccr.ccr = 0.0;
+  EXPECT_THROW((void)make_random_instance(bad_ccr, rng),
+               std::invalid_argument);
+  RandomInstanceConfig bad_work;
+  bad_work.work_min = 5.0;
+  bad_work.work_max = 1.0;
+  EXPECT_THROW((void)make_random_instance(bad_work, rng),
+               std::invalid_argument);
+}
+
+TEST(KangInstances, ProfileParameters) {
+  const KangInstanceConfig cfg;
+  EXPECT_DOUBLE_EQ(channel_up_mean(cfg, ChannelType::kWifi), 95.0);
+  EXPECT_DOUBLE_EQ(channel_up_mean(cfg, ChannelType::kLte), 180.0);
+  EXPECT_DOUBLE_EQ(channel_up_mean(cfg, ChannelType::k3g), 870.0);
+  EXPECT_DOUBLE_EQ(compute_speed(cfg, ComputeType::kGpu), 6.0 / 11.0);
+  EXPECT_DOUBLE_EQ(compute_speed(cfg, ComputeType::kCpu), 6.0 / 37.0);
+}
+
+TEST(KangInstances, CyclingProfilesAreBalanced) {
+  KangInstanceConfig cfg;
+  cfg.edge_count = 12;  // two full cycles of 6 combinations
+  Rng rng(1);
+  const auto profiles = make_kang_profiles(cfg, rng);
+  int gpu = 0;
+  int wifi = 0;
+  for (const KangEdgeProfile& p : profiles) {
+    gpu += p.compute == ComputeType::kGpu;
+    wifi += p.channel == ChannelType::kWifi;
+  }
+  EXPECT_EQ(gpu, 6);
+  EXPECT_EQ(wifi, 4);
+}
+
+TEST(KangInstances, DownlinkIsZeroAndUplinkMatchesChannel) {
+  KangInstanceConfig cfg;
+  cfg.n = 3000;
+  cfg.edge_count = 6;
+  Rng rng(4);
+  const Instance instance = make_kang_instance(cfg, rng);
+  Rng rng2(4);
+  const auto profiles = make_kang_profiles(cfg, rng2);
+  std::vector<Accumulator> up_by_edge(cfg.edge_count);
+  Accumulator work;
+  for (const Job& job : instance.jobs) {
+    EXPECT_DOUBLE_EQ(job.down, 0.0);
+    EXPECT_GT(job.work, 0.0);
+    EXPECT_GT(job.up, 0.0);
+    up_by_edge[job.origin].add(job.up);
+    work.add(job.work);
+  }
+  EXPECT_NEAR(work.mean(), cfg.exec_mean, 0.15);
+  for (EdgeId j = 0; j < cfg.edge_count; ++j) {
+    if (up_by_edge[j].count() < 100) continue;  // not enough samples
+    const double expected = channel_up_mean(cfg, profiles[j].channel);
+    EXPECT_NEAR(up_by_edge[j].mean() / expected, 1.0, 0.15) << "edge " << j;
+  }
+}
+
+TEST(KangInstances, SpeedsMatchComputeType) {
+  KangInstanceConfig cfg;
+  cfg.edge_count = 6;
+  Rng rng(4);
+  const Instance instance = make_kang_instance(cfg, rng);
+  Rng rng2(4);
+  const auto profiles = make_kang_profiles(cfg, rng2);
+  for (EdgeId j = 0; j < cfg.edge_count; ++j) {
+    EXPECT_DOUBLE_EQ(instance.platform.edge_speed(j),
+                     compute_speed(cfg, profiles[j].compute));
+  }
+}
+
+TEST(KangInstances, RandomizedProfilesStillDeterministic) {
+  KangInstanceConfig cfg;
+  cfg.edge_count = 30;
+  cfg.randomize_profiles = true;
+  Rng a(8);
+  Rng b(8);
+  const auto pa = make_kang_profiles(cfg, a);
+  const auto pb = make_kang_profiles(cfg, b);
+  for (int j = 0; j < cfg.edge_count; ++j) {
+    EXPECT_EQ(static_cast<int>(pa[j].compute),
+              static_cast<int>(pb[j].compute));
+    EXPECT_EQ(static_cast<int>(pa[j].channel),
+              static_cast<int>(pb[j].channel));
+  }
+}
+
+TEST(Load, PoissonKeepsMeanRate) {
+  Rng rng(6);
+  std::vector<Job> jobs(4000);
+  for (int i = 0; i < 4000; ++i) jobs[i] = Job{i, 0, 1.0, 0.0, 0.0, 0.0};
+  assign_release_dates(jobs, 1000.0, ReleaseProcess::kPoisson, rng);
+  // Arrivals are sorted and the last lands near the horizon.
+  double prev = 0.0;
+  for (const Job& job : jobs) {
+    EXPECT_GE(job.release, prev);
+    prev = job.release;
+  }
+  EXPECT_NEAR(prev, 1000.0, 120.0);  // ~3 sigma of the Poisson sum
+}
+
+TEST(Load, BurstyProducesClusters) {
+  Rng rng(6);
+  std::vector<Job> jobs(400);
+  for (int i = 0; i < 400; ++i) jobs[i] = Job{i, 0, 1.0, 0.0, 0.0, 0.0};
+  assign_release_dates(jobs, 2000.0, ReleaseProcess::kBursty, rng);
+  // Many consecutive pairs land within one time unit (intra-burst), and
+  // some gaps are large (inter-burst).
+  int tight = 0;
+  int wide = 0;
+  for (std::size_t i = 1; i < jobs.size(); ++i) {
+    const double gap = std::abs(jobs[i].release - jobs[i - 1].release);
+    tight += gap <= 1.0;
+    wide += gap > 10.0;
+  }
+  EXPECT_GT(tight, 300);
+  EXPECT_GT(wide, 20);
+}
+
+TEST(Load, ProcessesShareMeanHorizon) {
+  // All three processes target the same mean arrival rate: the mean
+  // release dates agree within sampling noise.
+  for (const ReleaseProcess process :
+       {ReleaseProcess::kUniform, ReleaseProcess::kPoisson,
+        ReleaseProcess::kBursty}) {
+    Rng rng(9);
+    std::vector<Job> jobs(5000);
+    for (int i = 0; i < 5000; ++i) jobs[i] = Job{i, 0, 1.0, 0.0, 0.0, 0.0};
+    assign_release_dates(jobs, 1000.0, process, rng);
+    double total = 0.0;
+    for (const Job& job : jobs) total += job.release;
+    EXPECT_NEAR(total / 5000.0, 500.0, 60.0)
+        << static_cast<int>(process);
+  }
+}
+
+TEST(KangInstances, ValidatesAgainstModel) {
+  KangInstanceConfig cfg;
+  cfg.n = 100;
+  Rng rng(2);
+  const Instance instance = make_kang_instance(cfg, rng);
+  EXPECT_TRUE(validate_instance(instance).empty());
+}
+
+}  // namespace
+}  // namespace ecs

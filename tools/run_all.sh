@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Final reproduction run: full test suite + every bench binary, with
+# outputs captured at the repository root (test_output.txt,
+# bench_output.txt). Run from the repository root after building.
+set -u
+cd "$(dirname "$0")/.."
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/*; do
+  echo "===== $b ====="
+  "$b"
+done 2>&1 | tee bench_output.txt

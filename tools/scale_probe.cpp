@@ -1,0 +1,26 @@
+// scale_probe.cpp - Quick wall-time probe at paper scale (not installed).
+#include <cstdio>
+
+#include "exp/runner.hpp"
+#include "sched/factory.hpp"
+#include "workloads/random_instances.hpp"
+
+int main(int argc, char** argv) {
+  ecs::RandomInstanceConfig cfg;
+  cfg.n = argc > 1 ? std::atoi(argv[1]) : 4000;
+  cfg.ccr = argc > 2 ? std::atof(argv[2]) : 1.0;
+  cfg.load = argc > 3 ? std::atof(argv[3]) : 0.05;
+  ecs::Rng rng(1);
+  const ecs::Instance instance = ecs::make_random_instance(cfg, rng);
+  for (const std::string& name : ecs::policy_names()) {
+    ecs::RunOptions options;
+    options.validate = false;
+    const ecs::RunOutcome o = ecs::run_policy(instance, name, options);
+    std::printf("%-10s max=%8.3f mean=%6.3f wall=%7.3fs events=%llu reexec=%llu\n",
+                name.c_str(), o.metrics.max_stretch, o.metrics.mean_stretch,
+                o.wall_seconds,
+                static_cast<unsigned long long>(o.stats.events),
+                static_cast<unsigned long long>(o.stats.reassignments));
+  }
+  return 0;
+}
