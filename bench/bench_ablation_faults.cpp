@@ -1,0 +1,84 @@
+// bench_ablation_faults.cpp - Ablation A5: unannounced faults and failover.
+//
+// Unlike the announced availability windows of A4 (known to the policies in
+// advance via Instance::cloud_outages), the faults here are injected by the
+// engine and become visible to a policy only through kFault / kRecovery
+// events after the damage is done: a crash aborts every activity on the
+// cloud and discards all progress (the paper's re-execution rule), a
+// message loss forces the affected transfer to restart. The ablation sweeps
+// the per-cloud crash rate and compares each naive heuristic against its
+// failover-wrapped counterpart (retry with exponential backoff, per-cloud
+// blacklisting, graceful degradation to edge-only). At rate 0 the wrapped
+// policies reproduce their base exactly; at nonzero rates they should win.
+//
+// Flags: --reps, --seed, --n, --rate=0,0.002,..., --repair=100
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "sched/factory.hpp"
+#include "sim/faults.hpp"
+#include "util/rng.hpp"
+#include "workloads/load.hpp"
+#include "workloads/random_instances.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ecs;
+  const Args args = Args::parse(argc, argv);
+  const bench::CommonOptions base_options = bench::parse_common(args, 5);
+  const int n = static_cast<int>(args.get_int("n", 600));
+  const double mean_repair = args.get_double("repair", 100.0);
+  const std::vector<double> rates =
+      args.get_double_list("rate", {0.0, 0.002, 0.005, 0.01});
+  const std::vector<std::string> policies = {
+      "greedy",  "failover-greedy",  "srpt",
+      "failover-srpt", "ssf-edf", "failover-ssf-edf"};
+
+  print_bench_header(
+      std::cout, "Ablation A5: unannounced faults + failover",
+      "random instances, n = " + std::to_string(n) +
+          ", CCR = 0.5, load 0.25; per-cloud crash rate as given, mean "
+          "repair " + format_double(mean_repair, 1) +
+          "; faults are unannounced (engine-injected)",
+      base_options.sweep.replications, base_options.sweep.base_seed);
+
+  std::vector<SweepPointResult> points;
+  for (double rate : rates) {
+    RandomInstanceConfig cfg;
+    cfg.n = n;
+    cfg.ccr = 0.5;
+    cfg.load = 0.25;
+    const InstanceFactory factory = [cfg](std::uint64_t seed) {
+      Rng rng(seed);
+      return make_random_instance(cfg, rng);
+    };
+    bench::CommonOptions options = base_options;
+    if (rate > 0.0) {
+      const double load = cfg.load;
+      options.sweep.fault_factory = [rate, mean_repair, load](
+                                        const Instance& instance,
+                                        std::uint64_t seed) {
+        double total_work = 0.0;
+        for (const Job& job : instance.jobs) total_work += job.work;
+        FaultConfig fault_cfg;
+        fault_cfg.crash_rate = rate;
+        fault_cfg.mean_repair = mean_repair;
+        fault_cfg.loss_rate = rate;
+        // Cover the full busy period with margin.
+        fault_cfg.horizon =
+            2.0 * release_horizon(total_work,
+                                  instance.platform.total_speed(), load);
+        // Derive the fault stream from a distinct sub-seed so the plan is
+        // independent of the instance draw but still replayable.
+        Rng rng(derive_seed(seed, hash_tag("faults")));
+        return make_fault_plan(instance.platform.cloud_count(), fault_cfg,
+                               rng);
+      };
+    }
+    points.push_back(run_sweep_point(format_double(rate, 4), factory,
+                                     policies, options.sweep));
+    std::cout << "  [done] rate = " << format_double(rate, 4) << "\n";
+  }
+  std::cout << "\n";
+  bench::report_sweep(points, policies, base_options, "crash-rate");
+  return 0;
+}

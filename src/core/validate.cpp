@@ -68,8 +68,11 @@ void check_final_run(const Instance& instance, const Job& job,
                      const RunRecord& run, std::vector<Violation>& out) {
   const Platform& platform = instance.platform;
   if (run.alloc == kAllocUnassigned) {
-    out.push_back(Violation{ViolationKind::kUnallocated, job.id, -1,
-                            "J" + std::to_string(job.id) + " is unallocated"});
+    std::string msg = "J";
+    msg += std::to_string(job.id);
+    msg += " is unallocated";
+    out.push_back(
+        Violation{ViolationKind::kUnallocated, job.id, -1, std::move(msg)});
     return;
   }
   if (is_cloud_alloc(run.alloc) && run.alloc >= platform.cloud_count()) {
@@ -106,10 +109,11 @@ void check_final_run(const Instance& instance, const Job& job,
       quantity_violation("edge execution", run.exec.measure(), need);
     }
     if (!run.uplink.empty() || !run.downlink.empty()) {
-      out.push_back(Violation{
-          ViolationKind::kPrecedence, job.id, -1,
-          "J" + std::to_string(job.id) +
-              " executes on the edge but has communication intervals"});
+      std::string msg = "J";
+      msg += std::to_string(job.id);
+      msg += " executes on the edge but has communication intervals";
+      out.push_back(Violation{ViolationKind::kPrecedence, job.id, -1,
+                              std::move(msg)});
     }
     return;
   }
@@ -153,8 +157,10 @@ void check_self_overlap(const Job& job, const JobSchedule& js,
   collect(js.final_run);
   for (const RunRecord& run : js.abandoned) collect(run);
   std::vector<Violation> conflicts;
-  check_resource(claims, ViolationKind::kSelfOverlap,
-                 "J" + std::to_string(job.id) + " self-overlap", conflicts);
+  std::string label = "J";
+  label += std::to_string(job.id);
+  label += " self-overlap";
+  check_resource(claims, ViolationKind::kSelfOverlap, label, conflicts);
   out.insert(out.end(), conflicts.begin(), conflicts.end());
 }
 
@@ -180,12 +186,22 @@ std::string to_string(ViolationKind kind) {
       return "bad-allocation";
     case ViolationKind::kOutageConflict:
       return "outage-conflict";
+    case ViolationKind::kFaultConflict:
+      return "fault-conflict";
+    case ViolationKind::kFaultRestart:
+      return "fault-restart";
   }
   return "unknown";
 }
 
 std::string to_string(const Violation& violation) {
-  return "[" + to_string(violation.kind) + "] " + violation.message;
+  // Built with += rather than chained operator+ — the chain trips a GCC 12
+  // -Wrestrict false positive (PR105651) under -Werror.
+  std::string out = "[";
+  out += to_string(violation.kind);
+  out += "] ";
+  out += violation.message;
+  return out;
 }
 
 std::vector<Violation> validate_schedule(const Instance& instance,
@@ -286,20 +302,94 @@ std::vector<Violation> validate_schedule(const Instance& instance,
   return out;
 }
 
+std::vector<Violation> validate_schedule(const Instance& instance,
+                                         const Schedule& schedule,
+                                         const FaultPlan& faults) {
+  std::vector<Violation> out = validate_schedule(instance, schedule);
+  if (faults.empty()) return out;
+  const int pc = instance.platform.cloud_count();
+
+  // Crash windows per cloud. (Only struct fields of the plan are used here:
+  // ecs_core must not depend on ecs_sim's compiled symbols.)
+  std::vector<std::vector<Interval>> crashes(std::max(pc, 0));
+  for (const FaultSpec& f : faults.faults) {
+    if (f.kind != FaultKind::kCrash) continue;
+    if (f.cloud < 0 || f.cloud >= pc) continue;  // plan validation's problem
+    crashes[f.cloud].push_back(Interval{f.begin, f.end});
+  }
+
+  for (int i = 0; i < instance.job_count(); ++i) {
+    const JobSchedule& js = schedule.job(i);
+    const auto check_run = [&](const RunRecord& run, bool abandoned) {
+      if (!is_cloud_alloc(run.alloc) || run.alloc >= pc) return;
+      // Extent of the whole run (all three activity kinds).
+      Time run_min = kTimeInfinity;
+      Time run_max = -kTimeInfinity;
+      for (const IntervalSet* set : {&run.uplink, &run.exec, &run.downlink}) {
+        if (const auto m = set->min()) run_min = std::min(run_min, *m);
+        if (const auto m = set->max()) run_max = std::max(run_max, *m);
+      }
+      if (run_min == kTimeInfinity) return;  // empty run
+      for (const Interval& crash : crashes[run.alloc]) {
+        for (const IntervalSet* set :
+             {&run.uplink, &run.exec, &run.downlink}) {
+          if (set->intersects(crash)) {
+            std::ostringstream os;
+            os << "J" << i << (abandoned ? " (abandoned run)" : "")
+               << ": activity on cloud " << run.alloc
+               << " overlaps its crash window " << to_string(crash);
+            out.push_back(Violation{ViolationKind::kFaultConflict,
+                                    static_cast<JobId>(i), -1, os.str()});
+          }
+        }
+        // Restart-from-zero: one run with activity on both sides of the
+        // crash start kept progress through a crash that wiped the machine.
+        if (time_lt(run_min, crash.begin) && time_gt(run_max, crash.begin)) {
+          std::ostringstream os;
+          os << "J" << i << (abandoned ? " (abandoned run)" : "")
+             << ": run on cloud " << run.alloc << " spans ["
+             << run_min << ", " << run_max << "] across the crash at "
+             << crash.begin << " — re-execution must restart from zero "
+             << "progress in a new run";
+          out.push_back(Violation{ViolationKind::kFaultRestart,
+                                  static_cast<JobId>(i), -1, os.str()});
+        }
+      }
+    };
+    check_run(js.final_run, /*abandoned=*/false);
+    for (const RunRecord& run : js.abandoned) check_run(run, true);
+  }
+  return out;
+}
+
 bool is_valid_schedule(const Instance& instance, const Schedule& schedule) {
   return validate_schedule(instance, schedule).empty();
 }
 
-void require_valid_schedule(const Instance& instance,
-                            const Schedule& schedule) {
-  const auto violations = validate_schedule(instance, schedule);
-  if (violations.empty()) return;
+namespace {
+
+[[noreturn]] void throw_violations(const std::vector<Violation>& violations) {
   std::string all = "invalid schedule:";
   for (const Violation& v : violations) {
     all += "\n  - ";
     all += to_string(v);
   }
   throw std::runtime_error(all);
+}
+
+}  // namespace
+
+void require_valid_schedule(const Instance& instance,
+                            const Schedule& schedule) {
+  const auto violations = validate_schedule(instance, schedule);
+  if (!violations.empty()) throw_violations(violations);
+}
+
+void require_valid_schedule(const Instance& instance,
+                            const Schedule& schedule,
+                            const FaultPlan& faults) {
+  const auto violations = validate_schedule(instance, schedule, faults);
+  if (!violations.empty()) throw_violations(violations);
 }
 
 }  // namespace ecs

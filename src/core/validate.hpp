@@ -24,6 +24,7 @@
 
 #include "core/platform.hpp"
 #include "core/schedule.hpp"
+#include "sim/faults.hpp"
 
 namespace ecs {
 
@@ -37,6 +38,8 @@ enum class ViolationKind {
   kSelfOverlap,         ///< one job doing two things at the same time
   kBadAllocation,       ///< allocation index out of range
   kOutageConflict,      ///< activity scheduled during a cloud outage
+  kFaultConflict,       ///< activity on a cloud while it was crashed
+  kFaultRestart,        ///< a run kept progress across a crash of its cloud
 };
 
 struct Violation {
@@ -53,6 +56,19 @@ struct Violation {
 [[nodiscard]] std::vector<Violation> validate_schedule(
     const Instance& instance, const Schedule& schedule);
 
+/// Fault-aware overload: additionally checks the schedule against an
+/// unannounced fault plan (sim/faults.hpp) —
+///  * kFaultConflict: no recorded interval on cloud k overlaps one of k's
+///    crash windows (the machine was dead);
+///  * kFaultRestart: no single run on cloud k has recorded activity both
+///    before and after one of k's crash starts — a crash wipes the
+///    machine, so a conforming re-execution restarts as a NEW run from
+///    zero progress (contrast with announced outages, which suspend and
+///    legally resume within the same run).
+[[nodiscard]] std::vector<Violation> validate_schedule(
+    const Instance& instance, const Schedule& schedule,
+    const FaultPlan& faults);
+
 /// Convenience wrapper.
 [[nodiscard]] bool is_valid_schedule(const Instance& instance,
                                      const Schedule& schedule);
@@ -62,5 +78,10 @@ struct Violation {
 /// to a reported figure.
 void require_valid_schedule(const Instance& instance,
                             const Schedule& schedule);
+
+/// Fault-aware overload of require_valid_schedule.
+void require_valid_schedule(const Instance& instance,
+                            const Schedule& schedule,
+                            const FaultPlan& faults);
 
 }  // namespace ecs

@@ -22,7 +22,7 @@ RunOutcome run_policy(const Instance& instance, Policy& policy,
   outcome.stats = sim.stats;
 
   if (options.validate) {
-    require_valid_schedule(instance, sim.schedule);
+    require_valid_schedule(instance, sim.schedule, config.faults);
     outcome.validated = true;
     outcome.metrics = compute_metrics(instance, sim.schedule);
   } else {

@@ -10,12 +10,13 @@
 namespace ecs {
 
 struct RunOptions {
-  /// Record the interval history and run the section III-B validator on it.
-  /// Recording costs memory and the validator costs time, so sweeps enable
-  /// this only on their first replication — which is enough to catch a
-  /// systematically invalid policy.
+  /// Record the interval history and run the section III-B validator on it
+  /// (fault-aware when engine.faults is nonempty). Recording costs memory
+  /// and the validator costs time, so sweeps enable this only on their
+  /// first replication — which is enough to catch a systematically invalid
+  /// policy.
   bool validate = false;
-  EngineConfig engine;
+  EngineConfig engine;  ///< includes the unannounced fault plan, if any
 };
 
 struct RunOutcome {

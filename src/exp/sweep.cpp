@@ -52,9 +52,14 @@ SweepPointResult run_sweep_point(const std::string& label,
         const std::uint64_t seed =
             replication_seed(options.base_seed, label, static_cast<int>(rep));
         const Instance instance = factory(seed);
+        // Draw the replication's fault plan once, outside the policy loop,
+        // so every policy faces the identical unannounced faults.
+        FaultPlan faults = options.engine.faults;
+        if (options.fault_factory) faults = options.fault_factory(instance, seed);
         for (std::size_t p = 0; p < policies.size(); ++p) {
           RunOptions run_options;
           run_options.engine = options.engine;
+          run_options.engine.faults = faults;
           run_options.validate = options.validate_first && rep == 0;
           const RunOutcome outcome =
               run_policy(instance, policies[p], run_options);

@@ -23,6 +23,11 @@ namespace ecs {
 /// Builds the instance for one replication from a derived seed.
 using InstanceFactory = std::function<Instance(std::uint64_t seed)>;
 
+/// Builds the unannounced fault plan for one replication; receives the
+/// replication's instance (for platform size / horizon) and its seed.
+using FaultPlanFactory =
+    std::function<FaultPlan(const Instance& instance, std::uint64_t seed)>;
+
 struct PolicyAggregate {
   std::string policy;
   Accumulator max_stretch;
@@ -44,9 +49,13 @@ struct SweepOptions {
   std::uint64_t base_seed = 42;
   unsigned threads = 0;  ///< 0 = hardware concurrency
   /// Validate the recorded schedule on the first replication of each
-  /// (point, policy) pair; throws if any constraint of section III-B fails.
+  /// (point, policy) pair; throws if any constraint of section III-B fails
+  /// (fault-aware when a fault plan is in play).
   bool validate_first = true;
   EngineConfig engine;
+  /// Optional per-replication unannounced fault plan (sim/faults.hpp);
+  /// overrides engine.faults for every run when set.
+  FaultPlanFactory fault_factory;
 };
 
 /// Runs one sweep point: `factory(seed)` provides the instances, every

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "sched/edge_only.hpp"
+#include "sched/failover.hpp"
 #include "sched/fcfs.hpp"
 #include "sched/greedy.hpp"
 #include "sched/srpt.hpp"
@@ -23,6 +24,14 @@ std::string canonicalize(std::string name) {
 
 std::unique_ptr<Policy> make_policy(const std::string& name) {
   const std::string canon = canonicalize(name);
+  // "failover-<base>" (or "failover:<base>") wraps any base policy in the
+  // fault-tolerant decorator (sched/failover.hpp).
+  for (const char* prefix : {"failover-", "failover:"}) {
+    if (canon.rfind(prefix, 0) == 0) {
+      return std::make_unique<FailoverPolicy>(
+          make_policy(canon.substr(std::string(prefix).size())));
+    }
+  }
   if (canon == "edge-only" || canon == "edgeonly") {
     return std::make_unique<EdgeOnlyPolicy>();
   }

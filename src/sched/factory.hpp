@@ -14,7 +14,9 @@
 namespace ecs {
 
 /// Canonical names: "edge-only", "greedy", "srpt", "ssf-edf", "fcfs".
-/// Matching is case-insensitive and tolerant of '_' vs '-'.
+/// Matching is case-insensitive and tolerant of '_' vs '-'. A
+/// "failover-" prefix (e.g. "failover-srpt") wraps the named base policy
+/// in the fault-tolerant decorator (sched/failover.hpp).
 /// Throws std::invalid_argument for unknown names.
 [[nodiscard]] std::unique_ptr<Policy> make_policy(const std::string& name);
 

@@ -1,0 +1,175 @@
+#include "sched/failover.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/projection.hpp"
+
+namespace ecs {
+
+namespace {
+
+/// Priority for evacuation directives the base policy did not issue: far
+/// below anything a real policy emits, so rescued jobs never preempt the
+/// base policy's explicit ordering, but still finite so the directive is
+/// honored by the engine's priority sort.
+constexpr double kEvacuationPriority = 1e15;
+
+}  // namespace
+
+FailoverPolicy::FailoverPolicy(std::unique_ptr<Policy> base,
+                               FailoverConfig config)
+    : base_(std::move(base)), config_(config) {
+  if (base_ == nullptr) {
+    throw std::invalid_argument("FailoverPolicy: null base policy");
+  }
+  if (!(config_.backoff_base > 0.0) || !(config_.backoff_factor >= 1.0) ||
+      !(config_.backoff_max >= config_.backoff_base) ||
+      config_.blacklist_after < 1) {
+    throw std::invalid_argument("FailoverPolicy: invalid config");
+  }
+}
+
+std::string FailoverPolicy::name() const {
+  return "Failover(" + base_->name() + ")";
+}
+
+void FailoverPolicy::reset(const Instance& instance) {
+  const std::size_t pc =
+      static_cast<std::size_t>(instance.platform.cloud_count());
+  failures_.assign(pc, 0);
+  retry_at_.assign(pc, -kTimeInfinity);
+  down_.assign(pc, 0);
+  base_->reset(instance);
+}
+
+bool FailoverPolicy::blacklisted(CloudId k) const {
+  return failures_.at(k) >= config_.blacklist_after;
+}
+
+int FailoverPolicy::fault_count(CloudId k) const { return failures_.at(k); }
+
+bool FailoverPolicy::avoid_new(CloudId k, Time now) const {
+  return down_[k] != 0 || blacklisted(k) || now < retry_at_[k];
+}
+
+bool FailoverPolicy::evacuate(CloudId k) const {
+  return down_[k] != 0 || blacklisted(k);
+}
+
+int FailoverPolicy::reroute_target(const SimView& view, const JobState& state,
+                                   Time now,
+                                   std::vector<int>& cloud_load) const {
+  // Fastest healthy cloud, ties broken by fewest resident jobs: a fault
+  // typically strands many jobs at once, and funneling them all onto one
+  // survivor both congests it and concentrates the blast radius of the
+  // next crash. (Announced outages remain the base policy's concern;
+  // health here only reflects the observed fault history.)
+  const Platform& platform = view.platform();
+  CloudId best_cloud = -1;
+  for (CloudId k = 0; k < platform.cloud_count(); ++k) {
+    if (avoid_new(k, now)) continue;
+    if (best_cloud < 0 ||
+        platform.cloud_speed(k) > platform.cloud_speed(best_cloud) ||
+        (platform.cloud_speed(k) == platform.cloud_speed(best_cloud) &&
+         cloud_load[k] < cloud_load[best_cloud])) {
+      best_cloud = k;
+    }
+  }
+  if (best_cloud < 0) return kAllocEdge;  // graceful degradation
+  const Time on_cloud =
+      uncontended_completion(view.instance(), state, best_cloud, now);
+  const Time on_edge =
+      uncontended_completion(view.instance(), state, kAllocEdge, now);
+  if (on_edge <= on_cloud) return kAllocEdge;
+  ++cloud_load[best_cloud];
+  return best_cloud;
+}
+
+std::vector<Directive> FailoverPolicy::decide(
+    const SimView& view, const std::vector<Event>& events) {
+  const Time now = view.now();
+
+  // 1. Digest the fault/recovery events. Several kFault events for one
+  //    cloud in the same batch (a crash aborting many jobs) count as ONE
+  //    incident against that cloud's health.
+  std::vector<char> faulted(failures_.size(), 0);
+  std::vector<char> crashed(failures_.size(), 0);
+  for (const Event& e : events) {
+    if (e.cloud < 0 ||
+        static_cast<std::size_t>(e.cloud) >= failures_.size()) {
+      continue;
+    }
+    if (e.kind == EventKind::kFault) {
+      faulted[e.cloud] = 1;
+      if (e.job < 0) {  // cloud-level event: crash
+        crashed[e.cloud] = 1;
+        down_[e.cloud] = 1;
+      }
+    } else if (e.kind == EventKind::kRecovery) {
+      down_[e.cloud] = 0;
+    }
+  }
+  for (std::size_t k = 0; k < faulted.size(); ++k) {
+    if (faulted[k] == 0) continue;
+    // Only crashes count toward the blacklist: a message loss is transient
+    // and cheap (one retransmission), so writing a cloud off for losses
+    // would trade a fast machine for slow edge re-execution.
+    if (crashed[k] != 0) ++failures_[k];
+    const double delay =
+        std::min(config_.backoff_max,
+                 config_.backoff_base *
+                     std::pow(config_.backoff_factor,
+                              std::max(failures_[k], 1) - 1));
+    retry_at_[k] = std::max(retry_at_[k], now + delay);
+  }
+
+  // 2. Let the base policy decide, then rewrite unhealthy placements.
+  //    Reroutes balance on live resident counts (updated as we reroute) so
+  //    a batch of stranded jobs spreads over the healthy clouds.
+  std::vector<int> cloud_load(failures_.size(), 0);
+  for (const JobState& s : view.states()) {
+    if (s.live() && is_cloud_alloc(s.alloc) &&
+        static_cast<std::size_t>(s.alloc) < cloud_load.size()) {
+      ++cloud_load[s.alloc];
+    }
+  }
+  std::vector<Directive> directives = base_->decide(view, events);
+  std::vector<char> directed(view.states().size(), 0);
+  for (Directive& d : directives) {
+    if (d.job < 0 || static_cast<std::size_t>(d.job) >= directed.size()) {
+      continue;  // the engine reports malformed directives, not us
+    }
+    directed[d.job] = 1;
+    const JobState& s = view.state(d.job);
+    const int effective = d.target == kTargetKeep ? s.alloc : d.target;
+    if (!is_cloud_alloc(effective) ||
+        static_cast<std::size_t>(effective) >= failures_.size()) {
+      continue;
+    }
+    if (d.target == kTargetKeep || effective == s.alloc) {
+      // Not a new placement: move the job only off dead/blacklisted clouds
+      // (a backoff window alone does not justify discarding progress).
+      if (evacuate(effective)) d.target = reroute_target(view, s, now, cloud_load);
+    } else if (avoid_new(effective, now)) {
+      d.target = reroute_target(view, s, now, cloud_load);
+    }
+  }
+
+  // 3. Evacuate residents of dead/blacklisted clouds that the base policy
+  //    left alone (it sees nothing wrong with them).
+  for (const JobState& s : view.states()) {
+    if (!s.live() || directed[s.job.id] != 0) continue;
+    if (!is_cloud_alloc(s.alloc) ||
+        static_cast<std::size_t>(s.alloc) >= failures_.size() ||
+        !evacuate(s.alloc)) {
+      continue;
+    }
+    directives.push_back(Directive{s.job.id, reroute_target(view, s, now, cloud_load),
+                                   kEvacuationPriority});
+  }
+  return directives;
+}
+
+}  // namespace ecs

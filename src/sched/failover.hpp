@@ -1,0 +1,80 @@
+// failover.hpp - Fault-tolerant decorator around any base policy.
+//
+// The base heuristics (Greedy, SRPT, SSF-EDF, ...) are fault-blind: with
+// unannounced faults (sim/faults.hpp) they happily re-assign jobs to a
+// crashed cloud — the engine then parks those jobs until the repair, which
+// is exactly the naive degradation the fault ablation exposes. Failover
+// wraps a base policy and adds the three standard production mitigations,
+// all driven purely by the kFault / kRecovery events (it has no more
+// information than any other policy):
+//
+//  * retry with exponential backoff: after a fault on cloud k, new
+//    placements on k are deferred for a backoff window that doubles with
+//    every further fault of k (flaky machines get probation);
+//  * per-cloud blacklisting: after `blacklist_after` faults, cloud k is
+//    written off for the rest of the run and its resident jobs are
+//    evacuated;
+//  * graceful degradation: a placement with no healthy cloud left falls
+//    back to the job's origin edge processor, so with every cloud
+//    blacklisted the wrapped policy degenerates to edge-only execution.
+//
+// The decorator only REWRITES directives that target an unhealthy cloud
+// (and evacuates residents of dead/blacklisted ones); in a fault-free run
+// it is an exact no-op, so at fault rate 0 every wrapped policy reproduces
+// its base policy's schedule event-for-event.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/policy.hpp"
+
+namespace ecs {
+
+struct FailoverConfig {
+  /// First retry delay after a cloud's first fault, in time units.
+  double backoff_base = 20.0;
+  /// Backoff growth per successive fault of the same cloud.
+  double backoff_factor = 2.0;
+  /// Cap on one backoff window.
+  double backoff_max = 500.0;
+  /// Faults after which a cloud is blacklisted for the rest of the run.
+  int blacklist_after = 3;
+};
+
+class FailoverPolicy final : public Policy {
+ public:
+  explicit FailoverPolicy(std::unique_ptr<Policy> base,
+                          FailoverConfig config = {});
+
+  [[nodiscard]] std::string name() const override;
+  void reset(const Instance& instance) override;
+  [[nodiscard]] std::vector<Directive> decide(
+      const SimView& view, const std::vector<Event>& events) override;
+
+  /// Health introspection (tests and diagnostics).
+  [[nodiscard]] bool blacklisted(CloudId k) const;
+  [[nodiscard]] int fault_count(CloudId k) const;
+
+ private:
+  /// True when new placements on cloud k must be avoided at time `now`.
+  [[nodiscard]] bool avoid_new(CloudId k, Time now) const;
+  /// True when jobs currently on cloud k should be moved off it.
+  [[nodiscard]] bool evacuate(CloudId k) const;
+  /// Best healthy target for the job: the fastest non-avoided cloud (ties
+  /// broken by the fewest resident jobs, tracked in `cloud_load` and
+  /// updated on every reroute so one batch of stranded jobs spreads out)
+  /// or the origin edge, whichever finishes earlier (uncontended
+  /// estimate); the edge when every cloud is unhealthy.
+  [[nodiscard]] int reroute_target(const SimView& view, const JobState& state,
+                                   Time now,
+                                   std::vector<int>& cloud_load) const;
+
+  std::unique_ptr<Policy> base_;
+  FailoverConfig config_;
+  std::vector<int> failures_;     ///< faults seen per cloud
+  std::vector<double> retry_at_;  ///< backoff expiry per cloud
+  std::vector<char> down_;        ///< crashed and not yet recovered
+};
+
+}  // namespace ecs

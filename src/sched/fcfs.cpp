@@ -7,7 +7,6 @@ namespace ecs {
 std::vector<Directive> FcfsPolicy::decide(const SimView& view,
                                           const std::vector<Event>& events) {
   (void)events;
-  const Platform& platform = view.platform();
 
   std::vector<OrderedJob> order;
   for (const JobState& s : view.states()) {

@@ -70,6 +70,14 @@ struct BusyMap {
   }
 };
 
+/// One wake-up of the fault timeline: a crash start, a crash repair
+/// (recovery), or a message-loss instant.
+struct FaultWake {
+  Time time = 0.0;
+  std::size_t spec = 0;  ///< index into the plan
+  bool recovery = false;
+};
+
 class Engine {
  public:
   Engine(const Instance& instance, Policy& policy, const EngineConfig& config)
@@ -79,6 +87,8 @@ class Engine {
         config_(config),
         busy_(instance.platform) {
     require_valid_instance(instance_);
+    config_.faults.normalize();
+    require_valid_fault_plan(config_.faults, platform_);
     max_events_ = config_.max_events != 0
                       ? config_.max_events
                       : std::max<std::uint64_t>(
@@ -116,6 +126,26 @@ class Engine {
     std::sort(boundaries_.begin(), boundaries_.end());
     next_boundary_ = 0;
 
+    // Fault timeline: a wake-up per crash start, crash repair, and loss
+    // instant, so every fault lands exactly on an engine event. Recoveries
+    // sort before same-instant faults (a cloud repaired at t can crash
+    // again at t, never the other way around).
+    cloud_down_.assign(platform_.cloud_count(), 0);
+    for (std::size_t f = 0; f < config_.faults.faults.size(); ++f) {
+      const FaultSpec& spec = config_.faults.faults[f];
+      wakes_.push_back(FaultWake{spec.begin, f, false});
+      if (spec.kind == FaultKind::kCrash) {
+        wakes_.push_back(FaultWake{spec.end, f, true});
+      }
+    }
+    std::sort(wakes_.begin(), wakes_.end(),
+              [](const FaultWake& a, const FaultWake& b) {
+                if (a.time != b.time) return a.time < b.time;
+                if (a.recovery != b.recovery) return a.recovery;
+                return a.spec < b.spec;
+              });
+    next_wake_ = 0;
+
     release_order_.resize(n);
     for (int i = 0; i < n; ++i) release_order_[i] = i;
     std::sort(release_order_.begin(), release_order_.end(),
@@ -126,8 +156,11 @@ class Engine {
               });
     next_release_ = 0;
     remaining_jobs_ = n;
-    // Jump to the first release.
+    // Jump to the first release; faults scheduled earlier fire now (no job
+    // existed to be hit, but the down/up state and the monitoring events
+    // must be correct from the very first decision).
     now_ = n > 0 ? states_[release_order_[0]].job.release : 0.0;
+    fire_faults();
     fire_releases();
     stats_.events += events_.size();
   }
@@ -252,9 +285,11 @@ class Engine {
     const EdgeId o = s.job.origin;
     const JobId id = s.job.id;
     // A cloud processor inside an availability outage serves nothing —
-    // neither computation nor communication involving it.
+    // neither computation nor communication involving it. The same holds
+    // for an unannounced crash, except that the policy was never told.
     if (is_cloud_alloc(s.alloc) &&
-        !instance_.cloud_available(s.alloc, now_)) {
+        (!instance_.cloud_available(s.alloc, now_) ||
+         cloud_down_[s.alloc] != 0)) {
       return;
     }
     switch (needed) {
@@ -324,11 +359,16 @@ class Engine {
     if (next_boundary_ < boundaries_.size()) {
       next = std::min(next, boundaries_[next_boundary_]);
     }
+    if (next_wake_ < wakes_.size()) {
+      next = std::min(next, wakes_[next_wake_].time);
+    }
     if (next == kTimeInfinity) {
       std::ostringstream os;
-      os << "simulation stalled at t=" << now_ << " with " << remaining_jobs_
-         << " unfinished job(s): policy " << policy_.name()
-         << " left every live job without a runnable activity";
+      os << "simulation stalled at t=" << now_ << ": policy "
+         << policy_.name() << " left all " << remaining_jobs_
+         << " live job(s) without a runnable activity and no event is "
+            "pending; live jobs: "
+         << describe_live_jobs();
       throw std::runtime_error(os.str());
     }
 
@@ -397,21 +437,133 @@ class Engine {
         }
       }
     }
+    fire_faults();
     fire_releases();
 
     stats_.events += events_.size();
     if (stats_.events > max_events_) {
       std::ostringstream os;
       os << "event cap (" << max_events_ << ") exceeded at t=" << now_
-         << " by policy " << policy_.name()
-         << "; the policy is likely thrashing re-executions";
+         << " by policy " << policy_.name() << " with " << remaining_jobs_
+         << " live job(s) after " << stats_.reassignments
+         << " reassignment(s) and " << stats_.fault_aborts
+         << " fault abort(s); the policy is likely thrashing "
+            "re-executions; live jobs: "
+         << describe_live_jobs();
       throw std::runtime_error(os.str());
     }
+  }
+
+  /// Compact dump of the live jobs — id, allocation, current activity —
+  /// for the stall / event-cap diagnostics. Capped at 8 entries.
+  [[nodiscard]] std::string describe_live_jobs() const {
+    std::ostringstream os;
+    int shown = 0;
+    for (const JobState& s : states_) {
+      if (!s.live()) continue;
+      if (shown == 8) {
+        os << ", ...";
+        break;
+      }
+      if (shown > 0) os << ", ";
+      os << "J" << s.job.id << "(";
+      if (s.alloc == kAllocUnassigned) {
+        os << "unassigned";
+      } else if (s.alloc == kAllocEdge) {
+        os << "edge" << s.job.origin;
+      } else {
+        os << "cloud" << s.alloc;
+        if (cloud_down_[s.alloc] != 0) os << ":down";
+      }
+      os << "/" << to_string(s.active) << ")";
+      ++shown;
+    }
+    if (shown == 0) os << "none";
+    return os.str();
+  }
+
+  /// Processes every fault-timeline wake-up that is due at `now_`: flips
+  /// the down/up state, fires the monitoring events, aborts crash victims
+  /// (progress fully discarded — the machine's memory is gone) and corrupts
+  /// in-flight messages at loss instants.
+  void fire_faults() {
+    while (next_wake_ < wakes_.size() &&
+           time_le(wakes_[next_wake_].time, now_)) {
+      const FaultWake& wake = wakes_[next_wake_];
+      const FaultSpec& spec = config_.faults.faults[wake.spec];
+      if (wake.recovery) {
+        cloud_down_[spec.cloud] = 0;
+        push_fault_event(Event{EventKind::kRecovery, -1, now_, spec.cloud});
+      } else if (spec.kind == FaultKind::kCrash) {
+        cloud_down_[spec.cloud] = 1;
+        push_fault_event(Event{EventKind::kFault, -1, now_, spec.cloud});
+        abort_jobs_on_cloud(spec.cloud);
+      } else {
+        corrupt_in_flight_message(spec);
+      }
+      ++next_wake_;
+    }
+  }
+
+  /// Crash semantics: every job allocated to the crashed cloud loses ALL
+  /// progress (uplink included — the data sat on the dead machine, not in
+  /// the network) and returns to the unassigned state; the partial run
+  /// stays on the books as an abandoned run because it physically occupied
+  /// resources.
+  void abort_jobs_on_cloud(CloudId crashed) {
+    for (JobState& s : states_) {
+      if (!s.live() || s.alloc != crashed) continue;
+      Recorder& rec = recorders_[s.job.id];
+      rec.close(now_);
+      if (config_.record_schedule && rec.has_history()) {
+        abandoned_runs_.emplace_back(s.job.id, std::move(rec.current));
+      }
+      rec.current = RunRecord{};
+      s.alloc = kAllocUnassigned;
+      s.rem_up = 0.0;
+      s.rem_work = 0.0;
+      s.rem_down = 0.0;
+      s.active = Activity::kNone;
+      ++stats_.fault_aborts;
+      push_fault_event(Event{EventKind::kFault, s.job.id, now_, crashed});
+    }
+  }
+
+  /// Loss semantics: the message in flight on the hit direction of the
+  /// cloud's link at this instant is corrupted and must be retransmitted
+  /// from zero. A downlink loss keeps the execution progress (the result
+  /// still sits on the cloud); an uplink loss re-pays the whole upload.
+  /// Nothing in flight => the loss is unobservable and hits nobody.
+  void corrupt_in_flight_message(const FaultSpec& spec) {
+    const Activity hit = spec.kind == FaultKind::kUplinkLoss
+                             ? Activity::kUplink
+                             : Activity::kDownlink;
+    for (JobState& s : states_) {
+      if (!s.live() || s.alloc != spec.cloud || s.active != hit) continue;
+      // The corrupted transmission physically used the link: its interval
+      // stays recorded in the current run (quantity checks are >=).
+      recorders_[s.job.id].close(now_);
+      s.active = Activity::kNone;
+      if (hit == Activity::kUplink) {
+        s.rem_up = s.job.up;
+      } else {
+        s.rem_down = s.job.down;
+      }
+      ++stats_.message_losses;
+      push_fault_event(Event{EventKind::kFault, s.job.id, now_, spec.cloud});
+      break;  // one-port: at most one message per direction per cloud
+    }
+  }
+
+  void push_fault_event(const Event& event) {
+    events_.push_back(event);
+    fault_log_.push_back(event);
   }
 
   SimResult finish() {
     SimResult result;
     result.stats = stats_;
+    result.fault_log = std::move(fault_log_);
     result.completions.resize(states_.size());
     for (const JobState& s : states_) {
       result.completions[s.job.id] = s.completion;
@@ -444,6 +596,10 @@ class Engine {
   std::size_t next_release_ = 0;
   std::vector<Time> boundaries_;  ///< sorted outage begin/end wake-ups
   std::size_t next_boundary_ = 0;
+  std::vector<FaultWake> wakes_;  ///< sorted fault-timeline wake-ups
+  std::size_t next_wake_ = 0;
+  std::vector<char> cloud_down_;  ///< crashed-and-not-yet-repaired flags
+  std::vector<Event> fault_log_;  ///< realized kFault/kRecovery trace
   int remaining_jobs_ = 0;
   Time now_ = 0.0;
   std::vector<Event> events_;

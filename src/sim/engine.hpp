@@ -30,6 +30,7 @@
 
 #include "core/platform.hpp"
 #include "core/schedule.hpp"
+#include "sim/faults.hpp"
 #include "sim/policy.hpp"
 
 namespace ecs {
@@ -42,18 +43,27 @@ struct EngineConfig {
   /// Record the full interval history. Disable to save memory on very large
   /// instances when only completion times are needed.
   bool record_schedule = true;
+  /// Unannounced faults (see sim/faults.hpp). The ENGINE owns the plan —
+  /// policies never see it and learn of a fault only through the
+  /// EventKind::kFault / kRecovery events it triggers. Empty = fault-free.
+  FaultPlan faults;
 };
 
 struct SimStats {
   std::uint64_t events = 0;        ///< releases + activity completions
   std::uint64_t decisions = 0;     ///< policy invocations
   std::uint64_t reassignments = 0; ///< progress-discarding moves
+  std::uint64_t fault_aborts = 0;  ///< jobs aborted by cloud crashes
+  std::uint64_t message_losses = 0;///< communications corrupted in flight
   double policy_seconds = 0.0;     ///< wall time spent inside the policy
 };
 
 struct SimResult {
   Schedule schedule;          ///< interval history (if recorded)
   std::vector<Time> completions;  ///< C_i per job (always filled)
+  /// Every kFault / kRecovery event fired during the run, in order — the
+  /// realized fault trace, for replay and debugging.
+  std::vector<Event> fault_log;
   SimStats stats;
 };
 

@@ -1,0 +1,133 @@
+#include "sim/faults.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <tuple>
+
+namespace ecs {
+
+std::string to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kUplinkLoss:
+      return "uplink-loss";
+    case FaultKind::kDownlinkLoss:
+      return "downlink-loss";
+  }
+  return "unknown";
+}
+
+FaultKind parse_fault_kind(const std::string& name) {
+  if (name == "crash") return FaultKind::kCrash;
+  if (name == "uplink-loss") return FaultKind::kUplinkLoss;
+  if (name == "downlink-loss") return FaultKind::kDownlinkLoss;
+  throw std::invalid_argument("unknown fault kind: '" + name + "'");
+}
+
+void FaultPlan::normalize() {
+  std::sort(faults.begin(), faults.end(),
+            [](const FaultSpec& a, const FaultSpec& b) {
+              return std::tie(a.begin, a.cloud, a.kind, a.end) <
+                     std::tie(b.begin, b.cloud, b.kind, b.end);
+            });
+}
+
+std::vector<std::string> validate_fault_plan(const FaultPlan& plan,
+                                             const Platform& platform) {
+  std::vector<std::string> problems;
+  const int pc = platform.cloud_count();
+  // Last crash window seen per cloud, for the overlap check (the plan must
+  // be normalized for this to be exact; an unsorted plan is reported too).
+  std::vector<Time> last_crash_end(static_cast<std::size_t>(std::max(pc, 0)),
+                                   -kTimeInfinity);
+  Time last_begin = -kTimeInfinity;
+  for (std::size_t i = 0; i < plan.faults.size(); ++i) {
+    const FaultSpec& f = plan.faults[i];
+    std::ostringstream os;
+    os << "fault #" << i << " (" << to_string(f.kind) << ", cloud "
+       << f.cloud << ", [" << f.begin << ", " << f.end << ")): ";
+    if (f.cloud < 0 || f.cloud >= pc) {
+      problems.push_back(os.str() + "cloud index out of range");
+      continue;
+    }
+    if (f.begin < last_begin) {
+      problems.push_back(os.str() + "plan is not normalized (call "
+                                    "FaultPlan::normalize first)");
+    }
+    last_begin = f.begin;
+    if (f.kind == FaultKind::kCrash) {
+      if (!(f.end > f.begin)) {
+        problems.push_back(os.str() + "crash repair must end after it began");
+        continue;
+      }
+      if (f.begin < last_crash_end[f.cloud]) {
+        problems.push_back(os.str() +
+                           "overlaps the previous crash window of this cloud");
+      }
+      last_crash_end[f.cloud] =
+          std::max(last_crash_end[f.cloud], f.end);
+    } else {
+      if (f.end != f.begin) {
+        problems.push_back(os.str() + "a message loss is instantaneous "
+                                      "(end must equal begin)");
+      }
+    }
+  }
+  return problems;
+}
+
+void require_valid_fault_plan(const FaultPlan& plan,
+                              const Platform& platform) {
+  const auto problems = validate_fault_plan(plan, platform);
+  if (problems.empty()) return;
+  std::string all = "invalid fault plan:";
+  for (const std::string& p : problems) {
+    all += "\n  - ";
+    all += p;
+  }
+  throw std::invalid_argument(all);
+}
+
+FaultPlan make_fault_plan(int cloud_count, const FaultConfig& config,
+                          Rng& rng) {
+  if (cloud_count < 0) {
+    throw std::invalid_argument("make_fault_plan: negative cloud count");
+  }
+  if (config.crash_rate < 0.0 || config.loss_rate < 0.0) {
+    throw std::invalid_argument("make_fault_plan: rates must be >= 0");
+  }
+  if (!(config.horizon > 0.0) ||
+      (config.crash_rate > 0.0 && !(config.mean_repair > 0.0))) {
+    throw std::invalid_argument(
+        "make_fault_plan: horizon and mean_repair must be positive");
+  }
+  FaultPlan plan;
+  for (CloudId k = 0; k < cloud_count; ++k) {
+    if (config.crash_rate > 0.0) {
+      double t = rng.exponential(1.0 / config.crash_rate);
+      while (t < config.horizon) {
+        const double repair =
+            rng.uniform(0.5 * config.mean_repair, 1.5 * config.mean_repair);
+        plan.faults.push_back(
+            FaultSpec{FaultKind::kCrash, k, t, t + repair});
+        t += repair + rng.exponential(1.0 / config.crash_rate);
+      }
+    }
+    if (config.loss_rate > 0.0) {
+      for (const FaultKind kind :
+           {FaultKind::kUplinkLoss, FaultKind::kDownlinkLoss}) {
+        double t = rng.exponential(2.0 / config.loss_rate);
+        while (t < config.horizon) {
+          plan.faults.push_back(FaultSpec{kind, k, t, t});
+          t += rng.exponential(2.0 / config.loss_rate);
+        }
+      }
+    }
+  }
+  plan.normalize();
+  return plan;
+}
+
+}  // namespace ecs

@@ -1,0 +1,95 @@
+// faults.hpp - Unannounced fault injection for the edge-cloud simulator.
+//
+// Instance::cloud_outages models *announced* unavailability: every policy
+// sees the windows up front (projection.cpp plans around them) and in-flight
+// activities merely suspend at the boundaries, keeping their progress. Real
+// platforms also fail without notice — a cloud machine is revoked mid-job
+// (Mäcker et al., "Cost-efficient Scheduling on Machines from the Cloud")
+// or the shared link drops a message. A FaultPlan models exactly that:
+//
+//  * kCrash: cloud k dies at `begin` and is repaired at `end`. Every job
+//    allocated to k at `begin` is aborted — the machine's memory is gone,
+//    so ALL progress (uplink, execution, downlink) is discarded per the
+//    paper's re-execution rule and the job returns to the unassigned state.
+//    While down, k serves neither computation nor communication.
+//  * kUplinkLoss / kDownlinkLoss: at instant `begin` (`end == begin`), the
+//    message currently in flight on that direction of cloud k's link is
+//    corrupted; the transmission must restart from zero. Execution progress
+//    survives a downlink loss (the result still sits on the cloud), whereas
+//    an uplink loss re-pays the whole upload. A loss instant with nothing
+//    in flight hits nobody and is unobservable.
+//
+// The plan is owned by the ENGINE (EngineConfig::faults), never by the
+// Instance, so no policy can peek at future faults: a policy learns of a
+// fault only when the corresponding EventKind::kFault / kRecovery event
+// fires. Plans are plain data — deterministic, serializable (trace_io) and
+// replayable byte-for-byte.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/job.hpp"
+#include "core/platform.hpp"
+#include "core/time.hpp"
+#include "util/rng.hpp"
+
+namespace ecs {
+
+enum class FaultKind { kCrash, kUplinkLoss, kDownlinkLoss };
+
+[[nodiscard]] std::string to_string(FaultKind kind);
+/// Inverse of to_string; throws std::invalid_argument on unknown names.
+[[nodiscard]] FaultKind parse_fault_kind(const std::string& name);
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kCrash;
+  CloudId cloud = 0;
+  Time begin = 0.0;  ///< crash start / loss instant
+  Time end = 0.0;    ///< repair completion; == begin for losses
+
+  [[nodiscard]] bool operator==(const FaultSpec&) const = default;
+};
+
+/// A deterministic script of unannounced faults. Kept sorted by
+/// (begin, cloud, kind) via normalize(); the engine consumes it in order.
+struct FaultPlan {
+  std::vector<FaultSpec> faults;
+
+  [[nodiscard]] bool empty() const noexcept { return faults.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return faults.size(); }
+
+  /// Sorts the specs into the canonical engine consumption order.
+  void normalize();
+
+  [[nodiscard]] bool operator==(const FaultPlan&) const = default;
+};
+
+/// Checks the plan against a platform: cloud indices in range, positive
+/// crash durations, zero-length losses, and per-cloud crash windows that do
+/// not overlap. Returns the problems found (empty == well-formed).
+[[nodiscard]] std::vector<std::string> validate_fault_plan(
+    const FaultPlan& plan, const Platform& platform);
+
+/// Convenience: throws std::invalid_argument when the plan is invalid.
+void require_valid_fault_plan(const FaultPlan& plan, const Platform& platform);
+
+/// Knobs for the seeded generator. Rates are per cloud per unit of time, so
+/// the expected number of crashes on one cloud is roughly
+/// crash_rate * horizon (repairs eat into the exposure window).
+struct FaultConfig {
+  double crash_rate = 0.0;    ///< expected crashes per cloud per unit time
+  double mean_repair = 50.0;  ///< expected repair duration of one crash
+  double loss_rate = 0.0;     ///< expected message corruptions per cloud
+                              ///< per unit time (uplink and downlink each
+                              ///< drawn at half this rate)
+  double horizon = 1000.0;    ///< time span covered by the plan
+};
+
+/// Draws a fault plan; deterministic given the Rng state. Crash gaps and
+/// loss gaps are exponential (memoryless revocations), repair durations
+/// uniform around mean_repair. Zero rates yield an empty plan.
+[[nodiscard]] FaultPlan make_fault_plan(int cloud_count,
+                                        const FaultConfig& config, Rng& rng);
+
+}  // namespace ecs

@@ -178,7 +178,7 @@ Time ResourceClock::commit(const Platform& platform, const JobState& state,
   return p.done;
 }
 
-bool ResourceClock::starts_now(const Platform& platform,
+bool ResourceClock::starts_now(const Platform& /*platform*/,
                                const JobState& state, int target,
                                Time now) const {
   const RemainingAmounts rem = remaining_on(state, target);

@@ -26,6 +26,10 @@ std::string to_string(EventKind kind) {
       return "compute-done";
     case EventKind::kDownlinkDone:
       return "downlink-done";
+    case EventKind::kFault:
+      return "fault";
+    case EventKind::kRecovery:
+      return "recovery";
   }
   return "unknown";
 }

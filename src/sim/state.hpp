@@ -21,13 +21,24 @@ enum class Activity { kNone, kUplink, kCompute, kDownlink };
 [[nodiscard]] std::string to_string(Activity activity);
 
 /// The four event kinds of the paper (section V): release, end of uplink,
-/// end of execution, end of downlink.
-enum class EventKind { kRelease, kUplinkDone, kComputeDone, kDownlinkDone };
+/// end of execution, end of downlink — plus the fault extension's two:
+/// kFault (an unannounced cloud crash or a lost message; this is the first
+/// time a policy learns about it) and kRecovery (a crashed cloud came back).
+enum class EventKind {
+  kRelease,
+  kUplinkDone,
+  kComputeDone,
+  kDownlinkDone,
+  kFault,
+  kRecovery,
+};
 
 struct Event {
   EventKind kind;
-  JobId job;
+  JobId job;  ///< affected job; -1 for cloud-level kFault / kRecovery
   Time time;
+  /// Cloud processor involved in a kFault / kRecovery event; -1 otherwise.
+  int cloud = -1;
 };
 
 [[nodiscard]] std::string to_string(EventKind kind);

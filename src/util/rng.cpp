@@ -59,4 +59,10 @@ bool Rng::bernoulli(double p) {
   return dist(engine_);
 }
 
+double Rng::exponential(double mean) {
+  assert(mean > 0.0);
+  std::exponential_distribution<double> dist(1.0 / mean);
+  return dist(engine_);
+}
+
 }  // namespace ecs

@@ -56,6 +56,10 @@ class Rng {
   /// Bernoulli draw with probability p of true.
   [[nodiscard]] bool bernoulli(double p);
 
+  /// Exponential draw with the given mean (memoryless inter-arrival gaps;
+  /// Poisson arrivals and fault processes). Requires mean > 0.
+  [[nodiscard]] double exponential(double mean);
+
   /// Raw 64-bit draw.
   [[nodiscard]] std::uint64_t next_u64() { return engine_(); }
 

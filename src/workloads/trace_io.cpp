@@ -75,7 +75,11 @@ void save_instance_file(const std::string& path, const Instance& instance) {
   save_instance(out, instance);
 }
 
-Instance load_instance(std::istream& in) {
+namespace {
+
+/// Shared parser: when `plan` is non-null, `fault,` records are collected
+/// into it; otherwise they are rejected like any unknown record.
+Instance load_instance_impl(std::istream& in, FaultPlan* plan) {
   Instance instance;
   std::vector<double> edge_speeds;
   std::vector<double> cloud_speeds;
@@ -122,6 +126,21 @@ Instance load_instance(std::istream& in) {
       }
       instance.cloud_outages[k].add(parse_double(fields[2], "outage begin"),
                                     parse_double(fields[3], "outage end"));
+    } else if (fields[0] == "fault" && plan != nullptr) {
+      if (fields.size() != 5) {
+        throw std::runtime_error("trace_io: malformed fault line: " + line);
+      }
+      FaultSpec spec;
+      try {
+        spec.kind = parse_fault_kind(fields[1]);
+      } catch (const std::invalid_argument&) {
+        throw std::runtime_error("trace_io: bad fault kind: '" + fields[1] +
+                                 "'");
+      }
+      spec.cloud = parse_int(fields[2], "fault cloud index");
+      spec.begin = parse_double(fields[3], "fault begin");
+      spec.end = parse_double(fields[4], "fault end");
+      plan->faults.push_back(spec);
     } else if (fields[0] == "job") {
       if (fields.size() != 7) {
         throw std::runtime_error("trace_io: malformed job line: " + line);
@@ -156,7 +175,21 @@ Instance load_instance(std::istream& in) {
     instance.cloud_outages.resize(instance.platform.cloud_count());
   }
   require_valid_instance(instance);
+  if (plan != nullptr) {
+    plan->normalize();
+    const auto problems = validate_fault_plan(*plan, instance.platform);
+    if (!problems.empty()) {
+      throw std::runtime_error("trace_io: invalid fault plan: " +
+                               problems.front());
+    }
+  }
   return instance;
+}
+
+}  // namespace
+
+Instance load_instance(std::istream& in) {
+  return load_instance_impl(in, nullptr);
 }
 
 Instance load_instance_file(const std::string& path) {
@@ -165,6 +198,72 @@ Instance load_instance_file(const std::string& path) {
     throw std::runtime_error("trace_io: cannot open for reading: " + path);
   }
   return load_instance(in);
+}
+
+void save_fault_plan(std::ostream& out, const FaultPlan& plan) {
+  out << std::setprecision(17);
+  for (const FaultSpec& f : plan.faults) {
+    out << "fault," << to_string(f.kind) << "," << f.cloud << "," << f.begin
+        << "," << f.end << "\n";
+  }
+}
+
+FaultPlan load_fault_plan(std::istream& in) {
+  FaultPlan plan;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::vector<std::string> fields = split_csv(line);
+    if (fields.empty()) continue;
+    if (fields[0] != "fault" || fields.size() != 5) {
+      throw std::runtime_error("trace_io: expected a fault record, got: " +
+                               line);
+    }
+    FaultSpec spec;
+    try {
+      spec.kind = parse_fault_kind(fields[1]);
+    } catch (const std::invalid_argument&) {
+      throw std::runtime_error("trace_io: bad fault kind: '" + fields[1] +
+                               "'");
+    }
+    spec.cloud = parse_int(fields[2], "fault cloud index");
+    spec.begin = parse_double(fields[3], "fault begin");
+    spec.end = parse_double(fields[4], "fault end");
+    plan.faults.push_back(spec);
+  }
+  plan.normalize();
+  return plan;
+}
+
+void save_faulty_instance(std::ostream& out, const Instance& instance,
+                          const FaultPlan& plan) {
+  save_instance(out, instance);
+  save_fault_plan(out, plan);
+}
+
+void save_faulty_instance_file(const std::string& path,
+                               const Instance& instance,
+                               const FaultPlan& plan) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("trace_io: cannot open for writing: " + path);
+  }
+  save_faulty_instance(out, instance, plan);
+}
+
+std::pair<Instance, FaultPlan> load_faulty_instance(std::istream& in) {
+  FaultPlan plan;
+  Instance instance = load_instance_impl(in, &plan);
+  return {std::move(instance), std::move(plan)};
+}
+
+std::pair<Instance, FaultPlan> load_faulty_instance_file(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("trace_io: cannot open for reading: " + path);
+  }
+  return load_faulty_instance(in);
 }
 
 void save_metrics_csv(std::ostream& out, const Instance& instance,

@@ -233,6 +233,18 @@ TEST(Engine, StallIsDetected) {
 
   ParkAll policy;
   EXPECT_THROW((void)simulate(instance, policy), std::runtime_error);
+  // The diagnostic must name the policy, the time, the live-job count and
+  // the offending jobs themselves.
+  try {
+    (void)simulate(instance, policy);
+    FAIL() << "expected a stall";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("stalled at t=0"), std::string::npos) << what;
+    EXPECT_NE(what.find("ParkAll"), std::string::npos) << what;
+    EXPECT_NE(what.find("1 live job(s)"), std::string::npos) << what;
+    EXPECT_NE(what.find("J0(unassigned"), std::string::npos) << what;
+  }
 }
 
 TEST(Engine, EventCapStopsThrashingPolicies) {
@@ -265,6 +277,17 @@ TEST(Engine, EventCapStopsThrashingPolicies) {
   EngineConfig config;
   config.max_events = 500;
   EXPECT_THROW((void)simulate(instance, policy, config), std::runtime_error);
+  // The diagnostic must name the cap, the policy and the job still alive.
+  try {
+    (void)simulate(instance, policy, config);
+    FAIL() << "expected the event cap to trip";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("event cap (500)"), std::string::npos) << what;
+    EXPECT_NE(what.find("Thrash"), std::string::npos) << what;
+    EXPECT_NE(what.find("reassignment"), std::string::npos) << what;
+    EXPECT_NE(what.find("J0("), std::string::npos) << what;
+  }
 }
 
 TEST(Engine, CompletionsMatchScheduleCompletions) {

@@ -158,6 +158,46 @@ TEST(Outages, GeneratorRespectsFraction) {
   }
 }
 
+TEST(Outages, GeneratorDeterministicUnderFixedSeed) {
+  OutageConfig cfg;
+  cfg.fraction = 0.3;
+  cfg.mean_duration = 25.0;
+  cfg.horizon = 5000.0;
+  Rng a(314), b(314), c(315);
+  const auto first = make_cloud_outages(3, cfg, a);
+  const auto second = make_cloud_outages(3, cfg, b);
+  const auto other = make_cloud_outages(3, cfg, c);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t k = 0; k < first.size(); ++k) {
+    EXPECT_EQ(first[k], second[k]) << "cloud " << k;
+  }
+  // A different seed draws a different timeline.
+  bool any_difference = false;
+  for (std::size_t k = 0; k < first.size(); ++k) {
+    any_difference |= !(first[k] == other[k]);
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Outages, GeneratorFractionAcrossSeeds) {
+  // The realized unavailable fraction, averaged over many independent
+  // seeds, converges to the configured fraction.
+  OutageConfig cfg;
+  cfg.fraction = 0.2;
+  cfg.mean_duration = 30.0;
+  cfg.horizon = 10000.0;
+  double total = 0.0;
+  int sets = 0;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    for (const IntervalSet& set : make_cloud_outages(2, cfg, rng)) {
+      total += set.measure() / cfg.horizon;
+      ++sets;
+    }
+  }
+  EXPECT_NEAR(total / sets, cfg.fraction, 0.02);
+}
+
 TEST(Outages, GeneratorEdgeCases) {
   Rng rng(1);
   OutageConfig zero;
