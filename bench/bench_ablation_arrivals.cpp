@@ -40,6 +40,8 @@ int main(int argc, char** argv) {
   };
 
   std::vector<SweepPointResult> points;
+  InstanceFactory trace_factory;
+  std::string trace_label;
   for (const auto& [label, process] : processes) {
     RandomInstanceConfig cfg;
     cfg.n = n;
@@ -50,11 +52,17 @@ int main(int argc, char** argv) {
       Rng rng(seed);
       return make_random_instance(cfg, rng);
     };
+    if (!trace_factory) {
+      trace_factory = factory;
+      trace_label = label;
+    }
     points.push_back(run_sweep_point(label, factory, policies,
                                      options.sweep));
     std::cout << "  [done] " << label << "\n";
   }
   std::cout << "\n";
   bench::report_sweep(points, policies, options, "arrivals");
+  bench::write_trace_artifacts(options, policies, trace_label,
+                               trace_factory);
   return 0;
 }

@@ -30,6 +30,8 @@ int main(int argc, char** argv) {
       options.sweep.replications, options.sweep.base_seed);
 
   std::vector<SweepPointResult> points;
+  InstanceFactory trace_factory;
+  std::string trace_label;
   for (std::int64_t clouds : cloud_sizes) {
     RandomInstanceConfig cfg;
     cfg.n = n;
@@ -40,11 +42,17 @@ int main(int argc, char** argv) {
       Rng rng(seed);
       return make_random_instance(cfg, rng);
     };
+    if (!trace_factory) {
+      trace_factory = factory;
+      trace_label = std::to_string(clouds);
+    }
     points.push_back(run_sweep_point(std::to_string(clouds), factory,
                                      policies, options.sweep));
     std::cout << "  [done] clouds = " << clouds << "\n";
   }
   std::cout << "\n";
   bench::report_sweep(points, policies, options, "clouds");
+  bench::write_trace_artifacts(options, policies, trace_label,
+                               trace_factory);
   return 0;
 }

@@ -42,6 +42,9 @@ int main(int argc, char** argv) {
       base_options.sweep.replications, base_options.sweep.base_seed);
 
   std::vector<SweepPointResult> points;
+  InstanceFactory trace_factory;
+  std::string trace_label;
+  bench::CommonOptions trace_options = base_options;
   for (double rate : rates) {
     RandomInstanceConfig cfg;
     cfg.n = n;
@@ -74,11 +77,18 @@ int main(int argc, char** argv) {
                                rng);
       };
     }
+    if (!trace_factory) {
+      trace_factory = factory;
+      trace_label = format_double(rate, 4);
+      trace_options = options;
+    }
     points.push_back(run_sweep_point(format_double(rate, 4), factory,
                                      policies, options.sweep));
     std::cout << "  [done] rate = " << format_double(rate, 4) << "\n";
   }
   std::cout << "\n";
   bench::report_sweep(points, policies, base_options, "crash-rate");
+  bench::write_trace_artifacts(trace_options, policies, trace_label,
+                               trace_factory);
   return 0;
 }

@@ -36,6 +36,8 @@ int main(int argc, char** argv) {
       options.sweep.replications, options.sweep.base_seed);
 
   std::vector<SweepPointResult> points;
+  InstanceFactory trace_factory;
+  std::string trace_label;
   for (double fraction : fractions) {
     RandomInstanceConfig cfg;
     cfg.n = n;
@@ -59,6 +61,10 @@ int main(int argc, char** argv) {
       }
       return instance;
     };
+    if (!trace_factory) {
+      trace_factory = factory;
+      trace_label = format_double(fraction, 3);
+    }
     points.push_back(run_sweep_point(format_double(fraction, 3), factory,
                                      policies, options.sweep));
     std::cout << "  [done] fraction = " << format_double(fraction, 3)
@@ -66,5 +72,7 @@ int main(int argc, char** argv) {
   }
   std::cout << "\n";
   bench::report_sweep(points, policies, options, "outage-frac");
+  bench::write_trace_artifacts(options, policies, trace_label,
+                               trace_factory);
   return 0;
 }

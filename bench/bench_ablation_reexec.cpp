@@ -30,6 +30,8 @@ int main(int argc, char** argv) {
                      options.sweep.replications, options.sweep.base_seed);
 
   std::vector<SweepPointResult> points;
+  InstanceFactory trace_factory;
+  std::string trace_label;
   for (double load : loads) {
     RandomInstanceConfig cfg;
     cfg.n = n;
@@ -39,12 +41,18 @@ int main(int argc, char** argv) {
       Rng rng(seed);
       return make_random_instance(cfg, rng);
     };
+    if (!trace_factory) {
+      trace_factory = factory;
+      trace_label = format_double(load, 3);
+    }
     points.push_back(run_sweep_point(format_double(load, 3), factory,
                                      policies, options.sweep));
     std::cout << "  [done] load = " << format_double(load, 3) << "\n";
   }
   std::cout << "\n";
   bench::report_sweep(points, policies, options, "load");
+  bench::write_trace_artifacts(options, policies, trace_label,
+                               trace_factory);
 
   std::cout << "re-executions per instance (mean)\n";
   Table table({"load", "srpt", "srpt-noreexec"});

@@ -35,6 +35,8 @@ int main(int argc, char** argv) {
       options.sweep.replications, options.sweep.base_seed);
 
   std::vector<SweepPointResult> points;
+  InstanceFactory trace_factory;
+  std::string trace_label;
   for (double load : loads) {
     RandomInstanceConfig cfg;
     cfg.n = n;
@@ -44,6 +46,10 @@ int main(int argc, char** argv) {
       Rng rng(seed);
       return make_random_instance(cfg, rng);
     };
+    if (!trace_factory) {
+      trace_factory = factory;
+      trace_label = format_double(load, 3);
+    }
     points.push_back(run_sweep_point(format_double(load, 3), factory,
                                      policies, options.sweep));
     std::cout << "  [done] load = " << format_double(load, 3) << "\n";
@@ -61,5 +67,7 @@ int main(int argc, char** argv) {
   max_options.x_label = "load";
   std::cout << "\nmax stretch (same runs)\n";
   make_report(points, policies, max_options).print(std::cout);
+  bench::write_trace_artifacts(options, policies, trace_label,
+                               trace_factory);
   return 0;
 }

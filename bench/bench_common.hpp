@@ -12,16 +12,33 @@
 //   --csv=PATH      also write the table as CSV
 //   --stddev        show the standard deviation next to each mean
 //   --no-validate   skip the first-replication schedule validation
+//   --log-level=L   stderr log threshold: debug, info, warn or error
+//
+// Observability flags (see docs/OBSERVABILITY.md): after the sweep, the
+// first replication of the first sweep point is re-run with sinks attached
+// and the artifacts are written out.
+//
+//   --trace-out=PATH     Chrome/Perfetto trace_event JSON (ui.perfetto.dev)
+//   --trace-jsonl=PATH   lossless JSONL trace (tools/trace_inspect reads it)
+//   --metrics-out=PATH   MetricsRegistry JSON snapshot of that run
+//   --trace-policy=NAME  policy to trace (default: last policy of the run)
 #pragma once
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "exp/report.hpp"
 #include "exp/sweep.hpp"
+#include "obs/jsonl_sink.hpp"
+#include "obs/metrics.hpp"
+#include "obs/perfetto_sink.hpp"
+#include "obs/trace.hpp"
 #include "util/args.hpp"
+#include "util/log.hpp"
 
 namespace ecs::bench {
 
@@ -29,7 +46,48 @@ struct CommonOptions {
   SweepOptions sweep;
   std::string csv_path;
   bool show_stddev = false;
+  std::string trace_path;    ///< --trace-out=   Perfetto trace_event JSON
+  std::string trace_jsonl;   ///< --trace-jsonl= lossless JSONL trace
+  std::string metrics_path;  ///< --metrics-out= metrics registry JSON
+  std::string trace_policy;  ///< --trace-policy= (default: last policy)
 };
+
+/// Applies --log-level=debug|info|warn|error; exits with status 2 on an
+/// unknown level name.
+inline void apply_log_level(const Args& args) {
+  const std::string name = args.get_or("log-level", "");
+  if (name.empty()) return;
+  const std::optional<LogLevel> level = parse_log_level(name);
+  if (!level) {
+    std::cerr << "unknown --log-level '" << name
+              << "' (expected debug, info, warn or error)\n";
+    std::exit(2);
+  }
+  set_log_level(*level);
+}
+
+/// argv-level variant for google-benchmark binaries: strips
+/// --log-level=... before benchmark::Initialize sees (and rejects) it.
+inline void apply_log_level_argv(int& argc, char** argv) {
+  const std::string prefix = "--log-level=";
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) {
+      const std::optional<LogLevel> level =
+          parse_log_level(arg.substr(prefix.size()));
+      if (!level) {
+        std::cerr << "unknown " << arg
+                  << " (expected debug, info, warn or error)\n";
+        std::exit(2);
+      }
+      set_log_level(*level);
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+}
 
 inline CommonOptions parse_common(const Args& args, int default_reps) {
   CommonOptions options;
@@ -42,7 +100,94 @@ inline CommonOptions parse_common(const Args& args, int default_reps) {
   options.sweep.validate_first = !args.get_bool("no-validate", false);
   options.csv_path = args.get_or("csv", "");
   options.show_stddev = args.get_bool("stddev", false);
+  options.trace_path = args.get_or("trace-out", "");
+  options.trace_jsonl = args.get_or("trace-jsonl", "");
+  options.metrics_path = args.get_or("metrics-out", "");
+  options.trace_policy = args.get_or("trace-policy", "");
+  apply_log_level(args);
   return options;
+}
+
+/// True when any observability artifact was requested.
+inline bool wants_trace_artifacts(const CommonOptions& options) {
+  return !options.trace_path.empty() || !options.trace_jsonl.empty() ||
+         !options.metrics_path.empty();
+}
+
+/// Re-runs the first replication of the given sweep point with the
+/// requested sinks attached and writes the artifact files. A no-op unless
+/// one of --trace-out / --trace-jsonl / --metrics-out was given. Runs the
+/// exact instance (and fault plan) of replication 0, so the trace shows one
+/// of the runs the sweep aggregated.
+inline void write_trace_artifacts(const CommonOptions& options,
+                                  const std::vector<std::string>& policies,
+                                  const std::string& label,
+                                  const InstanceFactory& factory) {
+  if (!wants_trace_artifacts(options) || policies.empty() || !factory) return;
+  // Default to the last policy: the binaries list edge-only first, so the
+  // last one is a cloud-using heuristic whose trace shows communication
+  // spans and flow arrows (override with --trace-policy).
+  const std::string policy =
+      options.trace_policy.empty() ? policies.back() : options.trace_policy;
+  const std::uint64_t seed =
+      replication_seed(options.sweep.base_seed, label, 0);
+  const Instance instance = factory(seed);
+
+  std::ofstream perfetto_file;
+  std::ofstream jsonl_file;
+  std::optional<obs::PerfettoTraceSink> perfetto;
+  std::optional<obs::JsonlTraceSink> jsonl;
+  obs::TeeTraceSink tee;
+  if (!options.trace_path.empty()) {
+    perfetto_file.open(options.trace_path);
+    if (!perfetto_file) {
+      std::cerr << "cannot write trace to " << options.trace_path << "\n";
+    } else {
+      perfetto.emplace(perfetto_file);
+      tee.add(&*perfetto);
+    }
+  }
+  if (!options.trace_jsonl.empty()) {
+    jsonl_file.open(options.trace_jsonl);
+    if (!jsonl_file) {
+      std::cerr << "cannot write trace to " << options.trace_jsonl << "\n";
+    } else {
+      jsonl.emplace(jsonl_file);
+      tee.add(&*jsonl);
+    }
+  }
+  obs::MetricsRegistry registry;
+
+  RunOptions run_options;
+  run_options.engine = options.sweep.engine;
+  if (options.sweep.fault_factory) {
+    run_options.engine.faults = options.sweep.fault_factory(instance, seed);
+  }
+  if (!tee.empty()) run_options.engine.trace = &tee;
+  run_options.engine.metrics = &registry;
+  const RunOutcome outcome = run_policy(instance, policy, run_options);
+
+  std::cout << "traced run: policy " << policy << ", point " << label
+            << ", max-stretch "
+            << format_double(outcome.metrics.max_stretch, 3) << ", "
+            << outcome.stats.events << " events\n";
+  if (perfetto) {
+    std::cout << "  Perfetto trace -> " << options.trace_path
+              << "  (open in ui.perfetto.dev)\n";
+  }
+  if (jsonl) {
+    std::cout << "  JSONL trace    -> " << options.trace_jsonl
+              << "  (summarize with tools/trace_inspect)\n";
+  }
+  if (!options.metrics_path.empty()) {
+    std::ofstream metrics_file(options.metrics_path);
+    if (!metrics_file) {
+      std::cerr << "cannot write metrics to " << options.metrics_path << "\n";
+    } else {
+      registry.write_json(metrics_file);
+      std::cout << "  metrics JSON   -> " << options.metrics_path << "\n";
+    }
+  }
 }
 
 /// Prints the stretch table and the scheduling-time table for a finished

@@ -7,6 +7,8 @@
 // schedule recording and of the section III-B validator.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
+
 #include "core/validate.hpp"
 #include "sched/fixed.hpp"
 #include "sim/engine.hpp"
@@ -85,4 +87,11 @@ BENCHMARK(validator_cost)->Arg(1000)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  ecs::bench::apply_log_level_argv(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

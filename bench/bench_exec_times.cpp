@@ -9,6 +9,8 @@
 // Each benchmark simulates one full instance (scheduling + engine) for the
 // given (policy, n, load) combination on random instances with CCR = 1.
 #include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
 #include <cstdio>
 #include <cstdlib>
 
@@ -71,4 +73,11 @@ BENCHMARK_CAPTURE(run_policy_bench, ssf_edf, std::string("ssf-edf"))
     ->Apply(args_grid)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  ecs::bench::apply_log_level_argv(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -30,6 +30,8 @@ int main(int argc, char** argv) {
       options.sweep.replications, options.sweep.base_seed);
 
   std::vector<SweepPointResult> points;
+  InstanceFactory trace_factory;
+  std::string trace_label;
   for (std::int64_t n : ns) {
     KangInstanceConfig cfg;
     cfg.n = static_cast<int>(n);
@@ -40,11 +42,17 @@ int main(int argc, char** argv) {
       Rng rng(seed);
       return make_kang_instance(cfg, rng);
     };
+    if (!trace_factory) {
+      trace_factory = factory;
+      trace_label = std::to_string(n);
+    }
     points.push_back(run_sweep_point(std::to_string(n), factory, policies,
                                      options.sweep));
     std::cout << "  [done] n = " << n << "\n";
   }
   std::cout << "\n";
   bench::report_sweep(points, policies, options, "n");
+  bench::write_trace_artifacts(options, policies, trace_label,
+                               trace_factory);
   return 0;
 }

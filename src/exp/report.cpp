@@ -42,11 +42,28 @@ void Table::print(std::ostream& out) const {
   for (const auto& row : rows_) print_row(row);
 }
 
+namespace {
+
+/// RFC 4180 field quoting: a cell containing a comma, quote or line break
+/// is wrapped in double quotes, with embedded quotes doubled.
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n\r") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (const char ch : cell) {
+    if (ch == '"') quoted += '"';
+    quoted += ch;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace
+
 void Table::write_csv(std::ostream& out) const {
   const auto write_row = [&](const std::vector<std::string>& row) {
     for (std::size_t c = 0; c < row.size(); ++c) {
       if (c != 0) out << ",";
-      out << row[c];
+      out << csv_escape(row[c]);
     }
     out << "\n";
   };

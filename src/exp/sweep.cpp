@@ -60,6 +60,11 @@ SweepPointResult run_sweep_point(const std::string& label,
           RunOptions run_options;
           run_options.engine = options.engine;
           run_options.engine.faults = faults;
+          // Trace sinks are single-run, single-threaded objects, so only
+          // the first replication of the first policy keeps the sink. The
+          // metrics registry is thread-safe and stays shared by every run,
+          // accumulating sweep-wide totals.
+          if (rep != 0 || p != 0) run_options.engine.trace = nullptr;
           run_options.validate = options.validate_first && rep == 0;
           const RunOutcome outcome =
               run_policy(instance, policies[p], run_options);

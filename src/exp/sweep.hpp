@@ -52,6 +52,10 @@ struct SweepOptions {
   /// (point, policy) pair; throws if any constraint of section III-B fails
   /// (fault-aware when a fault plan is in play).
   bool validate_first = true;
+  /// Forwarded to every run. engine.metrics (thread-safe) is shared by all
+  /// replications x policies; engine.trace, being a single-run object, is
+  /// forwarded only to replication 0 of the first policy and nulled
+  /// elsewhere.
   EngineConfig engine;
   /// Optional per-replication unannounced fault plan (sim/faults.hpp);
   /// overrides engine.faults for every run when set.

@@ -1,0 +1,317 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace ecs::obs::json {
+
+const Value* Value::find(const std::string& key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const Value& Value::at(const std::string& key) const {
+  const Value* v = find(key);
+  if (v == nullptr) throw std::out_of_range("json: no member \"" + key + "\"");
+  return *v;
+}
+
+double Value::as_number() const {
+  if (type != Type::kNumber) throw std::runtime_error("json: not a number");
+  return number;
+}
+
+std::int64_t Value::as_int() const {
+  return static_cast<std::int64_t>(as_number());
+}
+
+const std::string& Value::as_string() const {
+  if (type != Type::kString) throw std::runtime_error("json: not a string");
+  return string;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse_document() {
+    Value value = parse_value();
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("json parse error at byte " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_whitespace();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  Value parse_value() {
+    const char c = peek();
+    switch (c) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"': {
+        Value v;
+        v.type = Value::Type::kString;
+        v.string = parse_string();
+        return v;
+      }
+      case 't':
+        if (consume_literal("true")) {
+          Value v;
+          v.type = Value::Type::kBool;
+          v.boolean = true;
+          return v;
+        }
+        fail("bad literal");
+      case 'f':
+        if (consume_literal("false")) {
+          Value v;
+          v.type = Value::Type::kBool;
+          return v;
+        }
+        fail("bad literal");
+      case 'n':
+        if (consume_literal("null")) return Value{};
+        fail("bad literal");
+      default:
+        return parse_number();
+    }
+  }
+
+  Value parse_object() {
+    expect('{');
+    Value v;
+    v.type = Value::Type::kObject;
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      if (peek() != '"') fail("expected object key");
+      std::string key = parse_string();
+      expect(':');
+      v.object.emplace_back(std::move(key), parse_value());
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        return v;
+      }
+      fail("expected ',' or '}'");
+    }
+  }
+
+  Value parse_array() {
+    expect('[');
+    Value v;
+    v.type = Value::Type::kArray;
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(parse_value());
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        return v;
+      }
+      fail("expected ',' or ']'");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          out += esc;
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("bad \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are not
+          // produced by our writers; map them through as-is).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          fail("unknown escape");
+      }
+    }
+  }
+
+  Value parse_number() {
+    skip_whitespace();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    Value v;
+    v.type = Value::Type::kNumber;
+    const auto result =
+        std::from_chars(text_.data() + start, text_.data() + pos_, v.number);
+    if (result.ec != std::errc{}) fail("bad number");
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value parse(std::string_view text) { return Parser(text).parse_document(); }
+
+std::string escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string number(double value) {
+  if (std::isnan(value)) return "0";
+  if (std::isinf(value)) return value > 0 ? "1e308" : "-1e308";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+}  // namespace ecs::obs::json

@@ -1,0 +1,59 @@
+// json.hpp - Minimal JSON support for the observability layer.
+//
+// The exporters hand-write their JSON (the formats are small and fixed),
+// but reading traces back — the JSONL reader, tools/trace_inspect and the
+// test suite's validity checks — needs a real parser. This is a tiny
+// recursive-descent implementation covering the full JSON grammar; it
+// favors clarity over speed, which is fine for offline trace analysis.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ecs::obs::json {
+
+/// A parsed JSON value. Object member order is preserved.
+struct Value {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;
+
+  [[nodiscard]] bool is_object() const noexcept {
+    return type == Type::kObject;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return type == Type::kArray; }
+
+  /// First member with the given key; nullptr when absent (or not an
+  /// object).
+  [[nodiscard]] const Value* find(const std::string& key) const;
+
+  /// Member lookup that throws std::out_of_range when the key is absent.
+  [[nodiscard]] const Value& at(const std::string& key) const;
+
+  /// Typed accessors; throw std::runtime_error on a type mismatch.
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] const std::string& as_string() const;
+};
+
+/// Parses one JSON document. Throws std::runtime_error (with a byte
+/// offset) on malformed input or trailing garbage.
+[[nodiscard]] Value parse(std::string_view text);
+
+/// Escapes a string for embedding between JSON quotes (does not add the
+/// quotes themselves).
+[[nodiscard]] std::string escape(const std::string& raw);
+
+/// Formats a double as a JSON number: round-trip precision, and infinities
+/// / NaN (not representable in JSON) clamped to +/-1e308 / 0.
+[[nodiscard]] std::string number(double value);
+
+}  // namespace ecs::obs::json

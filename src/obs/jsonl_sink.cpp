@@ -1,0 +1,82 @@
+#include "obs/jsonl_sink.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace ecs::obs {
+
+void JsonlTraceSink::begin_trace(const TraceMeta& meta) {
+  *out_ << "{\"type\":\"meta\",\"policy\":\"" << json::escape(meta.policy)
+        << "\",\"edges\":" << meta.edge_count
+        << ",\"clouds\":" << meta.cloud_count << ",\"jobs\":" << meta.job_count
+        << "}\n";
+}
+
+void JsonlTraceSink::record(const TraceRecord& rec) {
+  *out_ << "{\"type\":\"" << to_string(rec.kind) << "\",\"point\":\""
+        << to_string(rec.point) << "\",\"job\":" << rec.job
+        << ",\"run\":" << rec.run << ",\"alloc\":" << rec.alloc
+        << ",\"origin\":" << rec.origin << ",\"cloud\":" << rec.cloud
+        << ",\"t0\":" << json::number(rec.begin)
+        << ",\"t1\":" << json::number(rec.end)
+        << ",\"value\":" << json::number(rec.value) << "}\n";
+}
+
+void JsonlTraceSink::end_trace(Time makespan) {
+  *out_ << "{\"type\":\"end\",\"makespan\":" << json::number(makespan)
+        << "}\n";
+  out_->flush();
+}
+
+JsonlTrace read_jsonl_trace(std::istream& in) {
+  JsonlTrace trace;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    json::Value value;
+    try {
+      value = json::parse(line);
+    } catch (const std::runtime_error& e) {
+      throw std::runtime_error("jsonl trace line " +
+                               std::to_string(line_number) + ": " + e.what());
+    }
+    const std::string& type = value.at("type").as_string();
+    if (type == "meta") {
+      trace.meta.policy = value.at("policy").as_string();
+      trace.meta.edge_count = static_cast<int>(value.at("edges").as_int());
+      trace.meta.cloud_count = static_cast<int>(value.at("clouds").as_int());
+      trace.meta.job_count = static_cast<int>(value.at("jobs").as_int());
+    } else if (type == "end") {
+      trace.makespan = value.at("makespan").as_number();
+      trace.complete = true;
+    } else {
+      TraceRecord rec;
+      rec.kind = parse_trace_kind(type);
+      rec.point = parse_trace_point(value.at("point").as_string());
+      rec.job = static_cast<JobId>(value.at("job").as_int());
+      rec.run = static_cast<int>(value.at("run").as_int());
+      rec.alloc = static_cast<int>(value.at("alloc").as_int());
+      rec.origin = static_cast<EdgeId>(value.at("origin").as_int());
+      rec.cloud = static_cast<int>(value.at("cloud").as_int());
+      rec.begin = value.at("t0").as_number();
+      rec.end = value.at("t1").as_number();
+      rec.value = value.at("value").as_number();
+      trace.records.push_back(rec);
+    }
+  }
+  return trace;
+}
+
+JsonlTrace read_jsonl_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open trace file " + path);
+  return read_jsonl_trace(in);
+}
+
+}  // namespace ecs::obs

@@ -1,0 +1,53 @@
+// jsonl_sink.hpp - Lossless line-oriented trace export and import.
+//
+// One JSON object per line:
+//
+//   {"type":"meta","policy":"srpt","edges":2,"clouds":1,"jobs":10}
+//   {"type":"span","point":"uplink","job":0,"run":0,"alloc":0,"origin":1,
+//    "cloud":-1,"t0":0,"t1":1.5,"value":0}
+//   {"type":"instant","point":"release","job":0,...}
+//   {"type":"counter","point":"ready-queue-depth","value":3,...}
+//   {"type":"end","makespan":42.5}
+//
+// Every record field is always written (defaults included) and times use 17
+// significant digits, so a trace round-trips exactly: read_jsonl_trace
+// returns records identical to the ones emitted (tests/test_obs.cpp).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace ecs::obs {
+
+/// Streams records to `out` as they arrive; nothing is buffered, so a
+/// crashed run still leaves a readable prefix. The stream must outlive the
+/// sink. Not thread-safe.
+class JsonlTraceSink final : public TraceSink {
+ public:
+  explicit JsonlTraceSink(std::ostream& out) : out_(&out) {}
+
+  void begin_trace(const TraceMeta& meta) override;
+  void record(const TraceRecord& rec) override;
+  void end_trace(Time makespan) override;
+
+ private:
+  std::ostream* out_;
+};
+
+/// A fully parsed JSONL trace.
+struct JsonlTrace {
+  TraceMeta meta;
+  std::vector<TraceRecord> records;
+  Time makespan = 0.0;
+  bool complete = false;  ///< the "end" line was present
+};
+
+/// Parses a JSONL trace stream; throws std::runtime_error on malformed
+/// lines (blank lines are skipped).
+[[nodiscard]] JsonlTrace read_jsonl_trace(std::istream& in);
+[[nodiscard]] JsonlTrace read_jsonl_trace_file(const std::string& path);
+
+}  // namespace ecs::obs

@@ -1,0 +1,150 @@
+// metrics.hpp - A process-local metrics registry: counters, gauges,
+// fixed-bucket histograms and phase timers.
+//
+// The registry is the aggregate companion of the trace stream (trace.hpp):
+// where a trace answers "what happened when", the registry answers "how
+// much, in total" — total preemptions, the stretch distribution, how long
+// the engine spent inside the policy versus arbitration.
+//
+// Concurrency contract: instrument *registration* (counter()/gauge()/...)
+// takes a mutex and should happen at setup time; *updates* (add, observe,
+// gauge_set, add_nanos) are lock-free relaxed atomics, so one registry can
+// be shared by every run of a multi-threaded sweep and accumulates totals
+// across runs. Snapshots taken while writers are active are approximate.
+//
+// Like tracing, metrics are opt-in: the engine holds a nullable
+// MetricsRegistry* and skips all bookkeeping (including clock reads) when
+// it is null.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ecs::obs {
+
+struct HistogramSnapshot {
+  /// Inclusive upper bounds of the finite buckets, strictly increasing.
+  std::vector<double> bounds;
+  /// counts[i] = observations v with bounds[i-1] < v <= bounds[i]; the
+  /// final entry is the overflow bucket (> bounds.back()).
+  std::vector<std::uint64_t> counts;
+  std::uint64_t count = 0;  ///< total observations
+  double sum = 0.0;         ///< sum of observed values
+};
+
+struct TimerSnapshot {
+  double seconds = 0.0;     ///< accumulated wall time
+  std::uint64_t count = 0;  ///< number of timed scopes
+};
+
+struct GaugeSnapshot {
+  double last = 0.0;  ///< most recently set value
+  double max = 0.0;   ///< maximum over all set values (0 when never set)
+};
+
+class MetricsRegistry {
+ public:
+  /// Instrument handle; each instrument family has its own id space.
+  using Id = int;
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // --- registration (get-or-create by name; thread-safe, not hot-path) ---
+  [[nodiscard]] Id counter(const std::string& name);
+  [[nodiscard]] Id gauge(const std::string& name);
+  [[nodiscard]] Id timer(const std::string& name);
+  /// `bounds` are the inclusive upper bounds of the finite buckets and must
+  /// be non-empty and strictly increasing. Re-registering an existing
+  /// histogram returns it (the bounds argument is then ignored).
+  [[nodiscard]] Id histogram(const std::string& name,
+                             std::vector<double> bounds);
+
+  // --- updates (lock-free, safe from any thread) ---
+  void add(Id id, std::uint64_t delta = 1) noexcept;
+  void gauge_set(Id id, double value) noexcept;  ///< updates last and max
+  void observe(Id id, double value) noexcept;
+  void add_nanos(Id id, std::uint64_t nanos) noexcept;
+
+  // --- snapshots (by name; throw std::out_of_range on unknown names) ---
+  [[nodiscard]] std::uint64_t counter_value(const std::string& name) const;
+  [[nodiscard]] GaugeSnapshot gauge_value(const std::string& name) const;
+  [[nodiscard]] TimerSnapshot timer_value(const std::string& name) const;
+  [[nodiscard]] HistogramSnapshot histogram_value(
+      const std::string& name) const;
+
+  /// Full JSON dump:
+  ///   {"counters":{name:value,...},
+  ///    "gauges":{name:{"last":..,"max":..},...},
+  ///    "timers":{name:{"seconds":..,"count":..},...},
+  ///    "histograms":{name:{"bounds":[..],"counts":[..],
+  ///                        "sum":..,"count":..},...}}
+  void write_json(std::ostream& out) const;
+
+ private:
+  struct Counter {
+    std::atomic<std::uint64_t> value{0};
+  };
+  struct Gauge {
+    std::atomic<double> last{0.0};
+    std::atomic<double> max{0.0};
+  };
+  struct Timer {
+    std::atomic<std::uint64_t> nanos{0};
+    std::atomic<std::uint64_t> count{0};
+  };
+  struct Histogram {
+    explicit Histogram(std::vector<double> upper)
+        : bounds(std::move(upper)), counts(bounds.size() + 1) {}
+    std::vector<double> bounds;
+    std::vector<std::atomic<std::uint64_t>> counts;  ///< + overflow bucket
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+  };
+
+  // Instruments live in deques so update paths can hold plain ids: deques
+  // never relocate existing elements on growth.
+  mutable std::mutex mutex_;  ///< guards the name maps and deque growth
+  std::map<std::string, Id> counter_ids_, gauge_ids_, timer_ids_, hist_ids_;
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Timer> timers_;
+  std::deque<Histogram> histograms_;
+};
+
+/// RAII wall-clock scope feeding a registry timer. A null registry makes
+/// the scope a true no-op: no clock is read.
+class ScopeTimer {
+ public:
+  ScopeTimer(MetricsRegistry* registry, MetricsRegistry::Id id) noexcept
+      : registry_(registry), id_(id) {
+    if (registry_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ScopeTimer(const ScopeTimer&) = delete;
+  ScopeTimer& operator=(const ScopeTimer&) = delete;
+  ~ScopeTimer() {
+    if (registry_ != nullptr) {
+      const auto elapsed = std::chrono::steady_clock::now() - start_;
+      registry_->add_nanos(
+          id_, static_cast<std::uint64_t>(
+                   std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       elapsed)
+                       .count()));
+    }
+  }
+
+ private:
+  MetricsRegistry* registry_;
+  MetricsRegistry::Id id_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace ecs::obs

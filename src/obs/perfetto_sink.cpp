@@ -1,0 +1,199 @@
+#include "obs/perfetto_sink.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "obs/json.hpp"
+
+namespace ecs::obs {
+namespace {
+
+constexpr double kMicrosPerTimeUnit = 1e6;
+
+std::string metadata(const char* what, int tid, const std::string& name) {
+  std::ostringstream os;
+  os << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << tid << ",\"name\":\"" << what
+     << "\",\"args\":{\"name\":\"" << json::escape(name) << "\"}}";
+  return os.str();
+}
+
+std::string sort_index(int tid) {
+  std::ostringstream os;
+  os << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+     << ",\"name\":\"thread_sort_index\",\"args\":{\"sort_index\":" << tid
+     << "}}";
+  return os.str();
+}
+
+}  // namespace
+
+void PerfettoTraceSink::push(double ts, std::string body) {
+  events_.push_back(Pending{ts, std::move(body)});
+}
+
+void PerfettoTraceSink::begin_trace(const TraceMeta& meta) {
+  meta_ = meta;
+  events_.clear();
+  cloud_spans_.clear();
+  push(-1.0, metadata("process_name", 0,
+                      "edge-cloud simulation [" + meta.policy + "]"));
+  push(-1.0, metadata("thread_name", 0, "events"));
+  push(-1.0, sort_index(0));
+  for (int j = 0; j < meta.edge_count; ++j) {
+    const std::string e = "edge " + std::to_string(j);
+    push(-1.0, metadata("thread_name", edge_cpu_tid(j), e + " cpu"));
+    push(-1.0, metadata("thread_name", edge_up_tid(j), e + " uplink port"));
+    push(-1.0,
+         metadata("thread_name", edge_down_tid(j), e + " downlink port"));
+    push(-1.0, sort_index(edge_cpu_tid(j)));
+    push(-1.0, sort_index(edge_up_tid(j)));
+    push(-1.0, sort_index(edge_down_tid(j)));
+  }
+  for (int k = 0; k < meta.cloud_count; ++k) {
+    const std::string c = "cloud " + std::to_string(k);
+    push(-1.0, metadata("thread_name", cloud_cpu_tid(k), c + " cpu"));
+    push(-1.0, metadata("thread_name", cloud_up_tid(k), c + " uplink port"));
+    push(-1.0,
+         metadata("thread_name", cloud_down_tid(k), c + " downlink port"));
+    push(-1.0, sort_index(cloud_cpu_tid(k)));
+    push(-1.0, sort_index(cloud_up_tid(k)));
+    push(-1.0, sort_index(cloud_down_tid(k)));
+  }
+}
+
+void PerfettoTraceSink::record(const TraceRecord& rec) {
+  switch (rec.kind) {
+    case TraceKind::kSpan:
+      emit_span(rec);
+      break;
+    case TraceKind::kInstant:
+      emit_instant(rec);
+      break;
+    case TraceKind::kCounter:
+      emit_counter(rec);
+      break;
+  }
+}
+
+void PerfettoTraceSink::emit_span(const TraceRecord& rec) {
+  const double ts = rec.begin * kMicrosPerTimeUnit;
+  const double dur = (rec.end - rec.begin) * kMicrosPerTimeUnit;
+  // The tracks a span occupies: computation holds one cpu; a communication
+  // holds the port on both ends (one-port model), so it appears on both.
+  int tids[2] = {-1, -1};
+  switch (rec.point) {
+    case TracePoint::kUplink:
+      tids[0] = edge_up_tid(rec.origin);
+      tids[1] = cloud_up_tid(rec.alloc);
+      break;
+    case TracePoint::kExec:
+      tids[0] = rec.alloc == kAllocEdge ? edge_cpu_tid(rec.origin)
+                                        : cloud_cpu_tid(rec.alloc);
+      break;
+    case TracePoint::kDownlink:
+      tids[0] = cloud_down_tid(rec.alloc);
+      tids[1] = edge_down_tid(rec.origin);
+      break;
+    default:
+      return;
+  }
+  for (const int tid : tids) {
+    if (tid < 0) continue;
+    std::ostringstream os;
+    os << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << tid << ",\"ts\":"
+       << json::number(ts) << ",\"dur\":" << json::number(dur)
+       << ",\"cat\":\"activity\",\"name\":\"J" << rec.job << " "
+       << to_string(rec.point) << "\",\"args\":{\"job\":" << rec.job
+       << ",\"run\":" << rec.run << ",\"alloc\":" << rec.alloc << "}}";
+    push(ts, os.str());
+  }
+  if (is_cloud_alloc(rec.alloc)) cloud_spans_.push_back(rec);
+}
+
+void PerfettoTraceSink::emit_instant(const TraceRecord& rec) {
+  const double ts = rec.begin * kMicrosPerTimeUnit;
+  std::ostringstream os;
+  os << "{\"ph\":\"i\",\"pid\":1,\"tid\":0,\"s\":\"p\",\"ts\":"
+     << json::number(ts) << ",\"cat\":\"" << to_string(rec.point)
+     << "\",\"name\":\"" << to_string(rec.point);
+  if (rec.job >= 0) os << " J" << rec.job;
+  if (rec.cloud >= 0) os << " cloud" << rec.cloud;
+  os << "\",\"args\":{\"job\":" << rec.job << ",\"cloud\":" << rec.cloud
+     << ",\"value\":" << json::number(rec.value) << "}}";
+  push(ts, os.str());
+}
+
+void PerfettoTraceSink::emit_counter(const TraceRecord& rec) {
+  const double ts = rec.begin * kMicrosPerTimeUnit;
+  std::ostringstream os;
+  os << "{\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":" << json::number(ts)
+     << ",\"name\":\"" << to_string(rec.point)
+     << "\",\"args\":{\"value\":" << json::number(rec.value) << "}}";
+  push(ts, os.str());
+}
+
+void PerfettoTraceSink::emit_flows() {
+  // Chain every cloud run of a job: uplink(s) -> execution(s) ->
+  // downlink(s). Flow events bind to the slice enclosing their timestamp
+  // on the given track, so each step sits at its span's midpoint on the
+  // span's cloud-side track.
+  std::map<std::pair<JobId, int>, std::vector<TraceRecord>> runs;
+  for (const TraceRecord& rec : cloud_spans_) {
+    runs[{rec.job, rec.run}].push_back(rec);
+  }
+  for (auto& [key, spans] : runs) {
+    if (spans.size() < 2) continue;
+    std::stable_sort(spans.begin(), spans.end(),
+                     [](const TraceRecord& a, const TraceRecord& b) {
+                       return a.begin < b.begin;
+                     });
+    std::string id = "J";
+    id += std::to_string(key.first);
+    id += '.';
+    id += std::to_string(key.second);
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+      const TraceRecord& rec = spans[i];
+      const double mid = 0.5 * (rec.begin + rec.end) * kMicrosPerTimeUnit;
+      int tid = cloud_cpu_tid(rec.alloc);
+      if (rec.point == TracePoint::kUplink) tid = cloud_up_tid(rec.alloc);
+      if (rec.point == TracePoint::kDownlink) tid = cloud_down_tid(rec.alloc);
+      const char* ph = i == 0 ? "s" : (i + 1 == spans.size() ? "f" : "t");
+      std::ostringstream os;
+      os << "{\"ph\":\"" << ph << "\",\"pid\":1,\"tid\":" << tid
+         << ",\"ts\":" << json::number(mid)
+         << ",\"cat\":\"job-flow\",\"name\":\"" << id << "\",\"id\":\"" << id
+         << "\"";
+      if (*ph == 'f') os << ",\"bp\":\"e\"";
+      os << "}";
+      push(mid, os.str());
+    }
+  }
+}
+
+void PerfettoTraceSink::end_trace(Time makespan) {
+  emit_flows();
+  {
+    std::ostringstream os;
+    os << "{\"ph\":\"i\",\"pid\":1,\"tid\":0,\"s\":\"g\",\"ts\":"
+       << json::number(makespan * kMicrosPerTimeUnit)
+       << ",\"name\":\"makespan\",\"args\":{}}";
+    push(makespan * kMicrosPerTimeUnit, os.str());
+  }
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const Pending& a, const Pending& b) {
+                     return a.ts < b.ts;
+                   });
+  *out_ << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    *out_ << (i == 0 ? "\n" : ",\n") << events_[i].body;
+  }
+  *out_ << "\n]}\n";
+  out_->flush();
+  events_.clear();
+  cloud_spans_.clear();
+}
+
+}  // namespace ecs::obs

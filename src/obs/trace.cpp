@@ -1,0 +1,82 @@
+#include "obs/trace.hpp"
+
+#include <stdexcept>
+
+namespace ecs::obs {
+
+std::string to_string(TracePoint point) {
+  switch (point) {
+    case TracePoint::kUplink:
+      return "uplink";
+    case TracePoint::kExec:
+      return "exec";
+    case TracePoint::kDownlink:
+      return "downlink";
+    case TracePoint::kRelease:
+      return "release";
+    case TracePoint::kCompletion:
+      return "completion";
+    case TracePoint::kPreemption:
+      return "preemption";
+    case TracePoint::kReassignment:
+      return "reassignment";
+    case TracePoint::kFault:
+      return "fault";
+    case TracePoint::kRecovery:
+      return "recovery";
+    case TracePoint::kUplinkLoss:
+      return "uplink-loss";
+    case TracePoint::kDownlinkLoss:
+      return "downlink-loss";
+    case TracePoint::kDecision:
+      return "decision";
+    case TracePoint::kLiveMaxStretch:
+      return "live-max-stretch";
+    case TracePoint::kReadyQueueDepth:
+      return "ready-queue-depth";
+    case TracePoint::kEdgeUtilization:
+      return "edge-utilization";
+    case TracePoint::kCloudUtilization:
+      return "cloud-utilization";
+  }
+  return "unknown";
+}
+
+std::string to_string(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kSpan:
+      return "span";
+    case TraceKind::kInstant:
+      return "instant";
+    case TraceKind::kCounter:
+      return "counter";
+  }
+  return "unknown";
+}
+
+TracePoint parse_trace_point(const std::string& name) {
+  static constexpr TracePoint kAll[] = {
+      TracePoint::kUplink,         TracePoint::kExec,
+      TracePoint::kDownlink,       TracePoint::kRelease,
+      TracePoint::kCompletion,     TracePoint::kPreemption,
+      TracePoint::kReassignment,   TracePoint::kFault,
+      TracePoint::kRecovery,       TracePoint::kUplinkLoss,
+      TracePoint::kDownlinkLoss,   TracePoint::kDecision,
+      TracePoint::kLiveMaxStretch, TracePoint::kReadyQueueDepth,
+      TracePoint::kEdgeUtilization, TracePoint::kCloudUtilization,
+  };
+  for (TracePoint p : kAll) {
+    if (to_string(p) == name) return p;
+  }
+  throw std::invalid_argument("unknown trace point: " + name);
+}
+
+TraceKind parse_trace_kind(const std::string& name) {
+  for (TraceKind k :
+       {TraceKind::kSpan, TraceKind::kInstant, TraceKind::kCounter}) {
+    if (to_string(k) == name) return k;
+  }
+  throw std::invalid_argument("unknown trace record kind: " + name);
+}
+
+}  // namespace ecs::obs

@@ -3,13 +3,61 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 
 #include "core/validate.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace ecs {
 namespace {
+
+/// Metric-instrument handles, resolved once per run so the hot path never
+/// touches the registry's name maps. Only valid when a registry is set.
+struct Instruments {
+  using Id = obs::MetricsRegistry::Id;
+  Id events, decisions, reassignments, preemptions, fault_aborts;
+  Id uplink_retransmits, downlink_retransmits, message_losses;
+  Id queue_depth;             ///< gauge; its max mirrors max_queue_depth
+  Id stretch, queue_wait;     ///< histograms
+  Id phase_policy, phase_allocate, phase_activate, phase_faults;  ///< timers
+
+  explicit Instruments(obs::MetricsRegistry& registry)
+      : events(registry.counter("engine.events")),
+        decisions(registry.counter("engine.decisions")),
+        reassignments(registry.counter("engine.reassignments")),
+        preemptions(registry.counter("engine.preemptions")),
+        fault_aborts(registry.counter("engine.fault_aborts")),
+        uplink_retransmits(registry.counter("engine.uplink_retransmits")),
+        downlink_retransmits(registry.counter("engine.downlink_retransmits")),
+        message_losses(registry.counter("engine.message_losses")),
+        queue_depth(registry.gauge("engine.ready_queue_depth")),
+        stretch(registry.histogram(
+            "job.stretch", {1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0,
+                            24.0, 32.0, 64.0, 128.0})),
+        queue_wait(registry.histogram(
+            "job.queue_wait",
+            {0.0, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0})),
+        phase_policy(registry.timer("engine.phase.policy")),
+        phase_allocate(registry.timer("engine.phase.allocate")),
+        phase_activate(registry.timer("engine.phase.activate")),
+        phase_faults(registry.timer("engine.phase.faults")) {}
+};
+
+[[nodiscard]] obs::TracePoint span_point(Activity activity) {
+  switch (activity) {
+    case Activity::kUplink:
+      return obs::TracePoint::kUplink;
+    case Activity::kDownlink:
+      return obs::TracePoint::kDownlink;
+    case Activity::kCompute:
+    case Activity::kNone:
+      break;
+  }
+  return obs::TracePoint::kExec;
+}
 
 /// Per-job recording of the currently open activity interval plus the
 /// in-progress run record.
@@ -85,7 +133,10 @@ class Engine {
         platform_(instance.platform),
         policy_(policy),
         config_(config),
-        busy_(instance.platform) {
+        busy_(instance.platform),
+        trace_(config.trace),
+        metrics_(config.metrics) {
+    if (metrics_ != nullptr) ids_.emplace(*metrics_);
     require_valid_instance(instance_);
     config_.faults.normalize();
     require_valid_fault_plan(config_.faults, platform_);
@@ -108,6 +159,17 @@ class Engine {
     const int n = instance_.job_count();
     states_.resize(n);
     recorders_.resize(n);
+    started_.assign(n, 0);
+    if (trace_ != nullptr) {
+      spans_.assign(n, SpanState{});
+      run_index_.assign(n, 0);
+      obs::TraceMeta meta;
+      meta.policy = policy_.name();
+      meta.edge_count = platform_.edge_count();
+      meta.cloud_count = platform_.cloud_count();
+      meta.job_count = n;
+      trace_->begin_trace(meta);
+    }
     for (int i = 0; i < n; ++i) {
       JobState& s = states_[i];
       s.job = instance_.jobs[i];
@@ -171,9 +233,58 @@ class Engine {
       JobState& s = states_[release_order_[next_release_]];
       if (!time_le(s.job.release, now_)) break;
       s.released = true;
+      ++live_count_;
       events_.push_back(Event{EventKind::kRelease, s.job.id, now_});
+      if (trace_ != nullptr) {
+        trace_instant(obs::TracePoint::kRelease, s.job.id, -1, 0.0);
+      }
       ++next_release_;
     }
+  }
+
+  // --- trace emission helpers; callers guard on trace_ != nullptr ---
+
+  /// Closes the job's open activity span, emitting it ending at `now_`.
+  void trace_close_span(JobId id) {
+    SpanState& span = spans_[id];
+    if (span.activity == Activity::kNone) return;
+    obs::TraceRecord rec;
+    rec.kind = obs::TraceKind::kSpan;
+    rec.point = span_point(span.activity);
+    rec.job = id;
+    rec.run = run_index_[id];
+    rec.alloc = span.alloc;
+    rec.origin = states_[id].job.origin;
+    rec.begin = span.begin;
+    rec.end = now_;
+    trace_->record(rec);
+    span.activity = Activity::kNone;
+  }
+
+  void trace_instant(obs::TracePoint point, JobId job, int cloud,
+                     double value) {
+    obs::TraceRecord rec;
+    rec.kind = obs::TraceKind::kInstant;
+    rec.point = point;
+    rec.job = job;
+    rec.cloud = cloud;
+    rec.begin = rec.end = now_;
+    rec.value = value;
+    if (job >= 0) {
+      rec.run = run_index_[job];
+      rec.origin = states_[job].job.origin;
+      rec.alloc = states_[job].alloc;
+    }
+    trace_->record(rec);
+  }
+
+  void trace_counter(obs::TracePoint point, double value) {
+    obs::TraceRecord rec;
+    rec.kind = obs::TraceKind::kCounter;
+    rec.point = point;
+    rec.begin = rec.end = now_;
+    rec.value = value;
+    trace_->record(rec);
   }
 
   void step() {
@@ -190,48 +301,111 @@ class Engine {
     stats_.policy_seconds +=
         std::chrono::duration<double>(t1 - t0).count();
     ++stats_.decisions;
+    if (metrics_ != nullptr) {
+      metrics_->add_nanos(
+          ids_->phase_policy,
+          static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                  .count()));
+    }
+    if (trace_ != nullptr) {
+      trace_instant(obs::TracePoint::kDecision, -1, -1,
+                    static_cast<double>(directives.size()));
+    }
     events_.clear();
 
     // 2. Close all open intervals; they will reopen seamlessly below
-    //    (IntervalSet::add merges touching pieces).
+    //    (IntervalSet::add merges touching pieces). A job still mid-activity
+    //    is flagged so arbitration can spot preemptions: only these jobs —
+    //    at most one per processor or port — can lose a resource they still
+    //    need. The flag is consumed inside this round (apply_directive or
+    //    try_activate), never carried over.
     for (JobState& s : states_) {
       if (s.active != Activity::kNone) {
+        s.was_active = true;
         recorders_[s.job.id].close(now_);
         s.active = Activity::kNone;
       }
     }
 
     // 3. Apply allocation changes (the re-execution rule).
-    for (const Directive& d : directives) {
-      apply_directive(d);
+    {
+      const obs::ScopeTimer timer(metrics_,
+                                  metrics_ != nullptr ? ids_->phase_allocate
+                                                      : 0);
+      for (const Directive& d : directives) {
+        apply_directive(d);
+      }
     }
 
     // 4. Activate activities in priority order. Jobs without an explicit
     //    directive keep their allocation at the lowest priority, ordered by
     //    id, so the engine stays work-conserving and deterministic.
-    order_.clear();
-    for (const Directive& d : directives) {
-      if (d.job >= 0 && d.job < static_cast<JobId>(states_.size()) &&
-          states_[d.job].live()) {
-        order_.push_back({d.priority, d.job});
+    granted_ = 0;
+    {
+      const obs::ScopeTimer timer(metrics_,
+                                  metrics_ != nullptr ? ids_->phase_activate
+                                                      : 0);
+      order_.clear();
+      for (const Directive& d : directives) {
+        if (d.job >= 0 && d.job < static_cast<JobId>(states_.size()) &&
+            states_[d.job].live()) {
+          order_.push_back({d.priority, d.job});
+        }
       }
-    }
-    seen_.assign(states_.size(), false);
-    for (const auto& [prio, id] : order_) seen_[id] = true;
-    for (const JobState& s : states_) {
-      if (s.live() && !seen_[s.job.id]) {
-        order_.push_back({kTimeInfinity, s.job.id});
+      seen_.assign(states_.size(), false);
+      for (const auto& [prio, id] : order_) seen_[id] = true;
+      for (const JobState& s : states_) {
+        if (s.live() && !seen_[s.job.id]) {
+          order_.push_back({kTimeInfinity, s.job.id});
+        }
       }
-    }
-    std::stable_sort(order_.begin(), order_.end(),
-                     [](const auto& a, const auto& b) {
-                       return a.first != b.first ? a.first < b.first
-                                                 : a.second < b.second;
-                     });
+      std::stable_sort(order_.begin(), order_.end(),
+                       [](const auto& a, const auto& b) {
+                         return a.first != b.first ? a.first < b.first
+                                                   : a.second < b.second;
+                       });
 
-    busy_.clear();
-    for (const auto& [prio, id] : order_) {
-      try_activate(states_[id]);
+      busy_.clear();
+      for (const auto& [prio, id] : order_) {
+        try_activate(states_[id]);
+      }
+    }
+
+    // 5. Ready-queue depth after arbitration: live jobs holding no
+    //    resource. A job holds a resource iff try_activate granted it one
+    //    this round, so the depth falls out of two counters with no extra
+    //    pass over states_.
+    const std::uint64_t waiting = live_count_ - granted_;
+    if (waiting > stats_.max_queue_depth) stats_.max_queue_depth = waiting;
+    if (metrics_ != nullptr) {
+      metrics_->gauge_set(ids_->queue_depth, static_cast<double>(waiting));
+    }
+    if (trace_ != nullptr) sample_counters(waiting);
+  }
+
+  /// Emits the event-granularity time series into the trace.
+  void sample_counters(std::uint64_t waiting) {
+    trace_counter(obs::TracePoint::kReadyQueueDepth,
+                  static_cast<double>(waiting));
+    double live_max = done_max_stretch_;
+    for (const JobState& s : states_) {
+      if (!s.live()) continue;
+      const double denom = s.best_time > 0.0 ? s.best_time : 1.0;
+      live_max = std::max(live_max, (now_ - s.job.release) / denom);
+    }
+    trace_counter(obs::TracePoint::kLiveMaxStretch, live_max);
+    if (platform_.edge_count() > 0) {
+      int busy = 0;
+      for (const JobId id : busy_.edge_cpu) busy += id != -1 ? 1 : 0;
+      trace_counter(obs::TracePoint::kEdgeUtilization,
+                    static_cast<double>(busy) / platform_.edge_count());
+    }
+    if (platform_.cloud_count() > 0) {
+      int busy = 0;
+      for (const JobId id : busy_.cloud_cpu) busy += id != -1 ? 1 : 0;
+      trace_counter(obs::TracePoint::kCloudUtilization,
+                    static_cast<double>(busy) / platform_.cloud_count());
     }
   }
 
@@ -255,6 +429,7 @@ class Engine {
 
     Recorder& rec = recorders_[d.job];
     rec.close(now_);
+    const int old_alloc = s.alloc;
     if (s.alloc != kAllocUnassigned) {
       // Abandon the current run; its history stays on the books because it
       // physically occupied resources.
@@ -264,6 +439,13 @@ class Engine {
         abandoned_runs_.emplace_back(d.job, std::move(rec.current));
       }
       rec.current = RunRecord{};
+    }
+    // A reassignment is not a preemption: the job lost its resource because
+    // its allocation changed, so drop the round's mid-activity flag.
+    s.was_active = false;
+    if (trace_ != nullptr) {
+      trace_close_span(d.job);
+      if (old_alloc != kAllocUnassigned) ++run_index_[d.job];
     }
     s.alloc = d.target;
     rec.current.alloc = d.target;
@@ -276,12 +458,33 @@ class Engine {
       s.rem_work = s.job.work;
       s.rem_down = s.job.down;
     }
+    if (trace_ != nullptr && old_alloc != kAllocUnassigned) {
+      trace_instant(obs::TracePoint::kReassignment, d.job, -1,
+                    static_cast<double>(old_alloc));
+    }
+  }
+
+  /// Consumes a job's was_active flag after it failed arbitration: a job
+  /// that was mid-activity, kept its allocation, and got nothing was
+  /// preempted (outprioritized, or its cloud entered an outage / crash
+  /// window). A no-op for jobs that were idle or already re-granted.
+  void note_preemption(JobState& s) {
+    if (!s.was_active) return;
+    s.was_active = false;
+    ++stats_.preemptions;
+    if (trace_ != nullptr) {
+      trace_close_span(s.job.id);
+      trace_instant(obs::TracePoint::kPreemption, s.job.id, -1, 0.0);
+    }
   }
 
   void try_activate(JobState& s) {
     if (!s.live()) return;
     const Activity needed = s.next_activity();
-    if (needed == Activity::kNone) return;
+    if (needed == Activity::kNone) {
+      note_preemption(s);
+      return;
+    }
     const EdgeId o = s.job.origin;
     const JobId id = s.job.id;
     // A cloud processor inside an availability outage serves nothing —
@@ -290,20 +493,28 @@ class Engine {
     if (is_cloud_alloc(s.alloc) &&
         (!instance_.cloud_available(s.alloc, now_) ||
          cloud_down_[s.alloc] != 0)) {
+      note_preemption(s);
       return;
     }
     switch (needed) {
       case Activity::kCompute:
         if (s.alloc == kAllocEdge) {
-          if (busy_.edge_cpu[o] != -1) return;
+          if (busy_.edge_cpu[o] != -1) {
+            note_preemption(s);
+            return;
+          }
           busy_.edge_cpu[o] = id;
         } else {
-          if (busy_.cloud_cpu[s.alloc] != -1) return;
+          if (busy_.cloud_cpu[s.alloc] != -1) {
+            note_preemption(s);
+            return;
+          }
           busy_.cloud_cpu[s.alloc] = id;
         }
         break;
       case Activity::kUplink:
         if (busy_.edge_send[o] != -1 || busy_.cloud_recv[s.alloc] != -1) {
+          note_preemption(s);
           return;
         }
         busy_.edge_send[o] = id;
@@ -311,6 +522,7 @@ class Engine {
         break;
       case Activity::kDownlink:
         if (busy_.cloud_send[s.alloc] != -1 || busy_.edge_recv[o] != -1) {
+          note_preemption(s);
           return;
         }
         busy_.cloud_send[s.alloc] = id;
@@ -320,7 +532,26 @@ class Engine {
         return;
     }
     s.active = needed;
+    s.was_active = false;
+    ++granted_;
     recorders_[id].open(needed, now_);
+    if (started_[id] == 0) {
+      started_[id] = 1;
+      if (metrics_ != nullptr) {
+        metrics_->observe(ids_->queue_wait, now_ - s.job.release);
+      }
+    }
+    if (trace_ != nullptr) {
+      // Reopening the same activity on the same allocation continues the
+      // current span; anything else starts a fresh one.
+      SpanState& span = spans_[id];
+      if (span.activity != needed || span.alloc != s.alloc) {
+        trace_close_span(id);
+        span.activity = needed;
+        span.alloc = s.alloc;
+        span.begin = now_;
+      }
+    }
   }
 
   [[nodiscard]] Time activity_end(const JobState& s) const {
@@ -430,10 +661,24 @@ class Engine {
       if (fired) {
         recorders_[s.job.id].close(now_);
         s.active = Activity::kNone;
+        if (trace_ != nullptr) trace_close_span(s.job.id);
         if (s.all_amounts_done()) {
           s.done = true;
+          --live_count_;
           s.completion = now_;
           --remaining_jobs_;
+          if (trace_ != nullptr || metrics_ != nullptr) {
+            const double denom = s.best_time > 0.0 ? s.best_time : 1.0;
+            const double stretch = (now_ - s.job.release) / denom;
+            done_max_stretch_ = std::max(done_max_stretch_, stretch);
+            if (metrics_ != nullptr) {
+              metrics_->observe(ids_->stretch, stretch);
+            }
+            if (trace_ != nullptr) {
+              trace_instant(obs::TracePoint::kCompletion, s.job.id, -1,
+                            stretch);
+            }
+          }
         }
       }
     }
@@ -487,6 +732,12 @@ class Engine {
   /// (progress fully discarded — the machine's memory is gone) and corrupts
   /// in-flight messages at loss instants.
   void fire_faults() {
+    if (next_wake_ >= wakes_.size() ||
+        !time_le(wakes_[next_wake_].time, now_)) {
+      return;  // nothing due; skip the phase timer's clock reads
+    }
+    const obs::ScopeTimer timer(metrics_,
+                                metrics_ != nullptr ? ids_->phase_faults : 0);
     while (next_wake_ < wakes_.size() &&
            time_le(wakes_[next_wake_].time, now_)) {
       const FaultWake& wake = wakes_[next_wake_];
@@ -494,9 +745,15 @@ class Engine {
       if (wake.recovery) {
         cloud_down_[spec.cloud] = 0;
         push_fault_event(Event{EventKind::kRecovery, -1, now_, spec.cloud});
+        if (trace_ != nullptr) {
+          trace_instant(obs::TracePoint::kRecovery, -1, spec.cloud, 0.0);
+        }
       } else if (spec.kind == FaultKind::kCrash) {
         cloud_down_[spec.cloud] = 1;
         push_fault_event(Event{EventKind::kFault, -1, now_, spec.cloud});
+        if (trace_ != nullptr) {
+          trace_instant(obs::TracePoint::kFault, -1, spec.cloud, 0.0);
+        }
         abort_jobs_on_cloud(spec.cloud);
       } else {
         corrupt_in_flight_message(spec);
@@ -513,6 +770,11 @@ class Engine {
   void abort_jobs_on_cloud(CloudId crashed) {
     for (JobState& s : states_) {
       if (!s.live() || s.alloc != crashed) continue;
+      if (trace_ != nullptr) {
+        trace_close_span(s.job.id);
+        trace_instant(obs::TracePoint::kFault, s.job.id, crashed, 0.0);
+        ++run_index_[s.job.id];
+      }
       Recorder& rec = recorders_[s.job.id];
       rec.close(now_);
       if (config_.record_schedule && rec.has_history()) {
@@ -546,10 +808,19 @@ class Engine {
       s.active = Activity::kNone;
       if (hit == Activity::kUplink) {
         s.rem_up = s.job.up;
+        ++stats_.uplink_retransmits;
       } else {
         s.rem_down = s.job.down;
+        ++stats_.downlink_retransmits;
       }
       ++stats_.message_losses;
+      if (trace_ != nullptr) {
+        trace_close_span(s.job.id);
+        trace_instant(hit == Activity::kUplink
+                          ? obs::TracePoint::kUplinkLoss
+                          : obs::TracePoint::kDownlinkLoss,
+                      s.job.id, spec.cloud, 0.0);
+      }
       push_fault_event(Event{EventKind::kFault, s.job.id, now_, spec.cloud});
       break;  // one-port: at most one message per direction per cloud
     }
@@ -561,6 +832,19 @@ class Engine {
   }
 
   SimResult finish() {
+    // Counters mirroring SimStats are added in bulk here so the registry and
+    // the returned stats are consistent by construction.
+    if (metrics_ != nullptr) {
+      metrics_->add(ids_->events, stats_.events);
+      metrics_->add(ids_->decisions, stats_.decisions);
+      metrics_->add(ids_->reassignments, stats_.reassignments);
+      metrics_->add(ids_->preemptions, stats_.preemptions);
+      metrics_->add(ids_->fault_aborts, stats_.fault_aborts);
+      metrics_->add(ids_->uplink_retransmits, stats_.uplink_retransmits);
+      metrics_->add(ids_->downlink_retransmits, stats_.downlink_retransmits);
+      metrics_->add(ids_->message_losses, stats_.message_losses);
+    }
+    if (trace_ != nullptr) trace_->end_trace(now_);
     SimResult result;
     result.stats = stats_;
     result.fault_log = std::move(fault_log_);
@@ -608,6 +892,27 @@ class Engine {
   // Scratch buffers reused across decision rounds.
   std::vector<std::pair<double, JobId>> order_;
   std::vector<char> seen_;
+
+  // --- observability (null sinks = everything below stays idle) ---
+  obs::TraceSink* trace_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  std::optional<Instruments> ids_;  ///< engaged iff metrics_ != nullptr
+
+  /// Open trace span per job. Tracked separately from Recorder because
+  /// recorder intervals close and reopen on every decision round, while a
+  /// trace span runs until a true boundary: completion, preemption,
+  /// reassignment, fault abort, or message loss.
+  struct SpanState {
+    Activity activity = Activity::kNone;
+    int alloc = kAllocUnassigned;
+    Time begin = 0.0;
+  };
+  std::vector<SpanState> spans_;  ///< sized only when tracing
+  std::vector<int> run_index_;    ///< bumped per reassignment / fault abort
+  std::vector<char> started_;     ///< first activation already observed
+  std::uint64_t live_count_ = 0;  ///< jobs currently released and not done
+  std::uint64_t granted_ = 0;     ///< resources granted this decision round
+  double done_max_stretch_ = 0.0; ///< max stretch over finished jobs
 };
 
 }  // namespace

@@ -35,6 +35,11 @@
 
 namespace ecs {
 
+namespace obs {
+class MetricsRegistry;
+class TraceSink;
+}  // namespace obs
+
 struct EngineConfig {
   /// Hard cap on processed events; 0 selects max(10'000, 512 * n). The cap
   /// exists to turn a thrashing policy (endless re-executions) into a
@@ -47,6 +52,17 @@ struct EngineConfig {
   /// policies never see it and learn of a fault only through the
   /// EventKind::kFault / kRecovery events it triggers. Empty = fault-free.
   FaultPlan faults;
+  /// Optional structured trace of the run (obs/trace.hpp): activity spans,
+  /// instants and time-series samples at event granularity. Not owned; must
+  /// outlive simulate(). Sinks are single-run, single-threaded objects.
+  /// Null (the default) costs nothing: every emission sits behind a null
+  /// check and a traced run is bit-identical to an untraced one.
+  obs::TraceSink* trace = nullptr;
+  /// Optional metrics registry (obs/metrics.hpp): engine-phase timers,
+  /// stretch / queue-wait histograms, and counters mirroring SimStats. Not
+  /// owned; thread-safe, so one registry may be shared across the runs of a
+  /// parallel sweep to accumulate totals. Null = no bookkeeping.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct SimStats {
@@ -55,6 +71,18 @@ struct SimStats {
   std::uint64_t reassignments = 0; ///< progress-discarding moves
   std::uint64_t fault_aborts = 0;  ///< jobs aborted by cloud crashes
   std::uint64_t message_losses = 0;///< communications corrupted in flight
+  /// Times a live job lost its resource while still needing it (a directive
+  /// of higher priority, an announced outage boundary, or an unannounced
+  /// crash freezing its cloud) without its allocation changing.
+  std::uint64_t preemptions = 0;
+  /// Uplink transmissions restarted from zero after an uplink message loss.
+  std::uint64_t uplink_retransmits = 0;
+  /// Downlink transmissions restarted after a downlink message loss (the
+  /// execution result survives on the cloud; only the download is re-paid).
+  std::uint64_t downlink_retransmits = 0;
+  /// Largest number of live jobs simultaneously holding no resource
+  /// observed after any decision round.
+  std::uint64_t max_queue_depth = 0;
   double policy_seconds = 0.0;     ///< wall time spent inside the policy
 };
 

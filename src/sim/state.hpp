@@ -51,6 +51,10 @@ struct JobState {
   double rem_work = 0.0;        ///< remaining work, in work units
   double rem_down = 0.0;        ///< remaining downlink time
   Activity active = Activity::kNone;  ///< what the job is doing right now
+  /// Engine bookkeeping: the job was mid-activity when the current decision
+  /// round began. Consumed by arbitration to detect preemptions in O(1);
+  /// policies should ignore it.
+  bool was_active = false;
   bool released = false;
   bool done = false;
   Time completion = -1.0;

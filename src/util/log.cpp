@@ -34,6 +34,14 @@ LogLevel log_level() {
   return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
 }
 
+std::optional<LogLevel> parse_log_level(const std::string& name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn" || name == "warning") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  return std::nullopt;
+}
+
 void log_message(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) {
     return;

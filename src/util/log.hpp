@@ -4,6 +4,7 @@
 // experiment harness (progress lines) and for validator diagnostics.
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -14,6 +15,10 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 /// Global log threshold; messages below it are dropped.
 void set_log_level(LogLevel level);
 [[nodiscard]] LogLevel log_level();
+
+/// Parses "debug" / "info" / "warn" / "error" (what --log-level= accepts);
+/// nullopt on anything else.
+[[nodiscard]] std::optional<LogLevel> parse_log_level(const std::string& name);
 
 /// Emits one line to stderr with a level prefix. Thread-safe.
 void log_message(LogLevel level, const std::string& message);

@@ -9,6 +9,7 @@
 
 #include "core/metrics.hpp"
 #include "core/validate.hpp"
+#include "obs/metrics.hpp"
 #include "sched/fixed.hpp"
 
 namespace ecs {
@@ -345,6 +346,65 @@ TEST(Engine, StatsCountEventsAndDecisions) {
   // One decision per event batch except the final one (everything is done,
   // no decision needed): release, uplink-done, compute-done.
   EXPECT_EQ(result.stats.decisions, 3u);
+}
+
+TEST(Engine, StatsMatchMetricsRegistryTotals) {
+  // J1 (higher priority) preempts J0 on the single edge at t=2.
+  const Instance instance = one_edge_one_cloud(
+      {{0, 0, 4.0, 0.0, 100.0, 100.0}, {1, 0, 0.5, 2.0, 100.0, 100.0}}, 1.0);
+  FixedPolicy policy({kAllocEdge, kAllocEdge}, {1.0, 0.0});
+  obs::MetricsRegistry registry;
+  EngineConfig config;
+  config.metrics = &registry;
+  const SimResult result = simulate(instance, policy, config);
+  EXPECT_EQ(result.stats.preemptions, 1u);
+  EXPECT_EQ(registry.counter_value("engine.events"), result.stats.events);
+  EXPECT_EQ(registry.counter_value("engine.decisions"),
+            result.stats.decisions);
+  EXPECT_EQ(registry.counter_value("engine.preemptions"),
+            result.stats.preemptions);
+  EXPECT_EQ(registry.counter_value("engine.reassignments"),
+            result.stats.reassignments);
+  EXPECT_EQ(static_cast<std::uint64_t>(
+                registry.gauge_value("engine.ready_queue_depth").max),
+            result.stats.max_queue_depth);
+  EXPECT_EQ(registry.histogram_value("job.stretch").count, 2u);
+}
+
+TEST(Engine, MessageLossesSplitIntoRetransmitCounters) {
+  const Instance instance =
+      one_edge_one_cloud({{0, 0, 1.0, 0.0, 2.0, 2.0}});
+  FixedPolicy policy({0}, {0.0});
+  obs::MetricsRegistry registry;
+  EngineConfig config;
+  config.metrics = &registry;
+  config.faults.faults = {
+      {FaultKind::kUplinkLoss, 0, 1.0, 1.0},
+      {FaultKind::kDownlinkLoss, 0, 5.0, 5.0},
+  };
+  const SimResult result = simulate(instance, policy, config);
+  // Uplink 0..2 lost at 1, restarts 1..3; exec 3..4; downlink 4..6 lost at
+  // 5, restarts 5..7.
+  EXPECT_NEAR(result.completions[0], 7.0, 1e-9);
+  EXPECT_EQ(result.stats.uplink_retransmits, 1u);
+  EXPECT_EQ(result.stats.downlink_retransmits, 1u);
+  EXPECT_EQ(result.stats.message_losses, 2u);
+  EXPECT_EQ(registry.counter_value("engine.uplink_retransmits"), 1u);
+  EXPECT_EQ(registry.counter_value("engine.downlink_retransmits"), 1u);
+  EXPECT_EQ(registry.counter_value("engine.message_losses"), 2u);
+}
+
+TEST(Engine, MaxQueueDepthTracksWaitingJobs) {
+  // Three zero-comm jobs released together onto one edge: two wait while
+  // the first executes.
+  Instance instance;
+  instance.platform = Platform({1.0}, 1);
+  instance.jobs = {{0, 0, 1.0, 0.0, 0.0, 0.0},
+                   {1, 0, 1.0, 0.0, 0.0, 0.0},
+                   {2, 0, 1.0, 0.0, 0.0, 0.0}};
+  FixedPolicy policy({kAllocEdge, kAllocEdge, kAllocEdge}, {0.0, 1.0, 2.0});
+  const SimResult result = simulate(instance, policy);
+  EXPECT_EQ(result.stats.max_queue_depth, 2u);
 }
 
 }  // namespace

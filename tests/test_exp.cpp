@@ -136,6 +136,16 @@ TEST(Report, TableAlignmentAndCsv) {
   EXPECT_THROW(table.add_row({"only-one-cell"}), std::invalid_argument);
 }
 
+TEST(Report, CsvQuotesSpecialCells) {
+  Table table({"name", "note"});
+  table.add_row({"a,b", "plain"});
+  table.add_row({"quote\"inside", "line\nbreak"});
+  std::ostringstream csv;
+  table.write_csv(csv);
+  EXPECT_EQ(csv.str(),
+            "name,note\n\"a,b\",plain\n\"quote\"\"inside\",\"line\nbreak\"\n");
+}
+
 TEST(Report, MakeReportBuildsOneRowPerPoint) {
   SweepOptions options;
   options.replications = 2;

@@ -1,0 +1,277 @@
+// Tests for the observability layer (obs/): the engine's
+// zero-cost-when-disabled guarantee, the in-memory / JSONL / Perfetto trace
+// sinks, and the metrics registry.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/jsonl_sink.hpp"
+#include "obs/metrics.hpp"
+#include "obs/perfetto_sink.hpp"
+#include "obs/trace.hpp"
+#include "sched/factory.hpp"
+#include "sched/fixed.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+#include "workloads/random_instances.hpp"
+
+namespace ecs {
+namespace {
+
+Instance busy_instance() {
+  RandomInstanceConfig cfg;
+  cfg.n = 40;
+  cfg.ccr = 1.0;
+  cfg.load = 0.5;
+  Rng rng(7);
+  return make_random_instance(cfg, rng);
+}
+
+Instance one_cloud_job() {
+  Instance instance;
+  instance.platform = Platform({0.5}, 1);
+  instance.jobs = {{0, 0, 2.0, 1.0, 1.5, 0.5}};
+  return instance;
+}
+
+TEST(ObsEngine, TracedRunIsBitIdenticalToUntraced) {
+  const Instance instance = busy_instance();
+  const auto plain_policy = make_policy("srpt");
+  const SimResult plain = simulate(instance, *plain_policy);
+
+  obs::MemoryTraceSink sink;
+  obs::MetricsRegistry registry;
+  EngineConfig config;
+  config.trace = &sink;
+  config.metrics = &registry;
+  const auto traced_policy = make_policy("srpt");
+  const SimResult traced = simulate(instance, *traced_policy, config);
+
+  ASSERT_EQ(plain.completions.size(), traced.completions.size());
+  for (std::size_t i = 0; i < plain.completions.size(); ++i) {
+    // Exact equality on purpose: tracing must not perturb the arithmetic.
+    EXPECT_EQ(plain.completions[i], traced.completions[i]) << "job " << i;
+  }
+  EXPECT_EQ(plain.stats.events, traced.stats.events);
+  EXPECT_EQ(plain.stats.decisions, traced.stats.decisions);
+  EXPECT_EQ(plain.stats.reassignments, traced.stats.reassignments);
+  EXPECT_EQ(plain.stats.preemptions, traced.stats.preemptions);
+  EXPECT_EQ(plain.stats.max_queue_depth, traced.stats.max_queue_depth);
+  for (int i = 0; i < instance.job_count(); ++i) {
+    EXPECT_EQ(plain.schedule.job(i).final_run.alloc,
+              traced.schedule.job(i).final_run.alloc);
+    EXPECT_EQ(plain.schedule.job(i).final_run.exec.measure(),
+              traced.schedule.job(i).final_run.exec.measure());
+  }
+  EXPECT_TRUE(sink.ended());
+  EXPECT_FALSE(sink.records().empty());
+}
+
+TEST(ObsEngine, SpansAndInstantsOfOneCloudJob) {
+  const Instance instance = one_cloud_job();
+  FixedPolicy policy({0}, {0.0});
+  obs::MemoryTraceSink sink;
+  EngineConfig config;
+  config.trace = &sink;
+  const SimResult result = simulate(instance, policy, config);
+  // 1 (release) + 1.5 (up) + 2 (work at speed 1) + 0.5 (down).
+  EXPECT_NEAR(result.completions[0], 5.0, 1e-9);
+
+  EXPECT_EQ(sink.meta().policy, policy.name());
+  EXPECT_EQ(sink.meta().edge_count, 1);
+  EXPECT_EQ(sink.meta().cloud_count, 1);
+  EXPECT_EQ(sink.meta().job_count, 1);
+  ASSERT_TRUE(sink.ended());
+  EXPECT_NEAR(sink.makespan(), 5.0, 1e-9);
+
+  std::vector<obs::TraceRecord> spans;
+  int releases = 0;
+  int completions = 0;
+  for (const obs::TraceRecord& rec : sink.records()) {
+    if (rec.kind == obs::TraceKind::kSpan) spans.push_back(rec);
+    if (rec.point == obs::TracePoint::kRelease) ++releases;
+    if (rec.point == obs::TracePoint::kCompletion) {
+      ++completions;
+      // best time = min(edge 2/0.5, cloud 1.5+2+0.5) = 4; stretch = 4/4.
+      EXPECT_NEAR(rec.value, 1.0, 1e-9);
+    }
+  }
+  EXPECT_EQ(releases, 1);
+  EXPECT_EQ(completions, 1);
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].point, obs::TracePoint::kUplink);
+  EXPECT_NEAR(spans[0].begin, 1.0, 1e-9);
+  EXPECT_NEAR(spans[0].end, 2.5, 1e-9);
+  EXPECT_EQ(spans[1].point, obs::TracePoint::kExec);
+  EXPECT_NEAR(spans[1].begin, 2.5, 1e-9);
+  EXPECT_NEAR(spans[1].end, 4.5, 1e-9);
+  EXPECT_EQ(spans[2].point, obs::TracePoint::kDownlink);
+  EXPECT_NEAR(spans[2].begin, 4.5, 1e-9);
+  EXPECT_NEAR(spans[2].end, 5.0, 1e-9);
+  for (const obs::TraceRecord& span : spans) {
+    EXPECT_EQ(span.job, 0);
+    EXPECT_EQ(span.run, 0);
+    EXPECT_EQ(span.alloc, 0);
+    EXPECT_EQ(span.origin, 0);
+  }
+}
+
+TEST(ObsJsonl, RoundTripsExactly) {
+  const Instance instance = busy_instance();
+  obs::MemoryTraceSink memory;
+  std::ostringstream out;
+  obs::JsonlTraceSink jsonl(out);
+  obs::TeeTraceSink tee;
+  tee.add(&memory);
+  tee.add(&jsonl);
+  EngineConfig config;
+  config.trace = &tee;
+  const auto policy = make_policy("ssf-edf");
+  (void)simulate(instance, *policy, config);
+
+  std::istringstream in(out.str());
+  const obs::JsonlTrace parsed = obs::read_jsonl_trace(in);
+  EXPECT_TRUE(parsed.complete);
+  EXPECT_EQ(parsed.meta, memory.meta());
+  EXPECT_EQ(parsed.makespan, memory.makespan());
+  ASSERT_EQ(parsed.records.size(), memory.records().size());
+  for (std::size_t i = 0; i < parsed.records.size(); ++i) {
+    EXPECT_TRUE(parsed.records[i] == memory.records()[i]) << "record " << i;
+  }
+}
+
+TEST(ObsJsonl, RejectsMalformedLines) {
+  std::istringstream in("{\"type\":\"meta\",\"policy\":\"p\",\"edges\":1,"
+                        "\"clouds\":1,\"jobs\":0}\nnot json\n");
+  EXPECT_THROW((void)obs::read_jsonl_trace(in), std::runtime_error);
+}
+
+TEST(ObsPerfetto, ValidJsonMonotoneTracksAndFlowEvents) {
+  const Instance instance = one_cloud_job();
+  FixedPolicy policy({0}, {0.0});
+  std::ostringstream out;
+  obs::PerfettoTraceSink sink(out);
+  EngineConfig config;
+  config.trace = &sink;
+  (void)simulate(instance, policy, config);
+
+  const obs::json::Value root = obs::json::parse(out.str());
+  const obs::json::Value& events = root.at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+
+  std::map<std::int64_t, double> last_start;  // per-track last "X" ts
+  int slices = 0;
+  int thread_names = 0;
+  bool flow_start = false;
+  bool flow_step = false;
+  bool flow_end = false;
+  for (const obs::json::Value& ev : events.array) {
+    const std::string& ph = ev.at("ph").as_string();
+    if (ph == "X") {
+      ++slices;
+      const std::int64_t tid = ev.at("tid").as_int();
+      const double ts = ev.at("ts").as_number();
+      const auto it = last_start.find(tid);
+      if (it != last_start.end()) {
+        EXPECT_GE(ts, it->second) << "track " << tid;
+      }
+      last_start[tid] = ts;
+      EXPECT_GE(ev.at("dur").as_number(), 0.0);
+    } else if (ph == "M" &&
+               ev.at("name").as_string() == "thread_name") {
+      ++thread_names;
+    } else if (ph == "s") {
+      flow_start = true;
+    } else if (ph == "t") {
+      flow_step = true;
+    } else if (ph == "f") {
+      flow_end = true;
+      EXPECT_EQ(ev.at("bp").as_string(), "e");
+    }
+  }
+  // Comm spans appear on both ports: uplink x2 + exec + downlink x2.
+  EXPECT_EQ(slices, 5);
+  // "events" track + 3 tracks per edge + 3 per cloud.
+  EXPECT_EQ(thread_names, 1 + 3 * 1 + 3 * 1);
+  // The job's single cloud run chains uplink -> exec -> downlink.
+  EXPECT_TRUE(flow_start);
+  EXPECT_TRUE(flow_step);
+  EXPECT_TRUE(flow_end);
+}
+
+TEST(ObsMetrics, HistogramBucketMath) {
+  obs::MetricsRegistry registry;
+  const obs::MetricsRegistry::Id id = registry.histogram("h", {1.0, 2.0, 4.0});
+  for (const double v : {0.5, 1.0, 1.5, 2.0, 3.0, 8.0}) {
+    registry.observe(id, v);
+  }
+  const obs::HistogramSnapshot snap = registry.histogram_value("h");
+  ASSERT_EQ(snap.counts.size(), 4u);  // 3 finite buckets + overflow
+  EXPECT_EQ(snap.counts[0], 2u);      // v <= 1       : 0.5, 1.0
+  EXPECT_EQ(snap.counts[1], 2u);      // 1 < v <= 2   : 1.5, 2.0
+  EXPECT_EQ(snap.counts[2], 1u);      // 2 < v <= 4   : 3.0
+  EXPECT_EQ(snap.counts[3], 1u);      // v > 4        : 8.0
+  EXPECT_EQ(snap.count, 6u);
+  EXPECT_NEAR(snap.sum, 16.0, 1e-12);
+  // Re-registration returns the same instrument; malformed bounds throw.
+  EXPECT_EQ(registry.histogram("h", {9.0}), id);
+  EXPECT_THROW((void)registry.histogram("bad", {}), std::invalid_argument);
+  EXPECT_THROW((void)registry.histogram("bad", {2.0, 1.0}),
+               std::invalid_argument);
+}
+
+TEST(ObsMetrics, CountersGaugesTimersAndJson) {
+  obs::MetricsRegistry registry;
+  registry.add(registry.counter("c"), 5);
+  registry.add(registry.counter("c"), 2);
+  const obs::MetricsRegistry::Id g = registry.gauge("g");
+  registry.gauge_set(g, 2.5);
+  registry.gauge_set(g, 1.5);
+  registry.add_nanos(registry.timer("t"), 1'500'000'000ULL);
+  registry.observe(registry.histogram("h", {1.0}), 0.5);
+
+  EXPECT_EQ(registry.counter_value("c"), 7u);
+  EXPECT_DOUBLE_EQ(registry.gauge_value("g").last, 1.5);
+  EXPECT_DOUBLE_EQ(registry.gauge_value("g").max, 2.5);
+  EXPECT_DOUBLE_EQ(registry.timer_value("t").seconds, 1.5);
+  EXPECT_EQ(registry.timer_value("t").count, 1u);
+  EXPECT_THROW((void)registry.counter_value("missing"), std::out_of_range);
+
+  std::ostringstream out;
+  registry.write_json(out);
+  const obs::json::Value root = obs::json::parse(out.str());
+  EXPECT_EQ(root.at("counters").at("c").as_int(), 7);
+  EXPECT_DOUBLE_EQ(root.at("gauges").at("g").at("last").as_number(), 1.5);
+  EXPECT_DOUBLE_EQ(root.at("gauges").at("g").at("max").as_number(), 2.5);
+  EXPECT_DOUBLE_EQ(root.at("timers").at("t").at("seconds").as_number(), 1.5);
+  EXPECT_EQ(root.at("histograms").at("h").at("count").as_int(), 1);
+  ASSERT_TRUE(root.at("histograms").at("h").at("counts").is_array());
+  EXPECT_EQ(root.at("histograms").at("h").at("counts").array.size(), 2u);
+}
+
+TEST(ObsMetrics, ScopeTimerIsNoopOnNullRegistry) {
+  obs::MetricsRegistry registry;
+  const obs::MetricsRegistry::Id id = registry.timer("t");
+  { const obs::ScopeTimer timer(&registry, id); }
+  EXPECT_EQ(registry.timer_value("t").count, 1u);
+  { const obs::ScopeTimer none(nullptr, id); }
+  EXPECT_EQ(registry.timer_value("t").count, 1u);
+}
+
+TEST(ObsTrace, PointNamesRoundTrip) {
+  for (int p = 0; p <= static_cast<int>(obs::TracePoint::kCloudUtilization);
+       ++p) {
+    const auto point = static_cast<obs::TracePoint>(p);
+    EXPECT_EQ(obs::parse_trace_point(to_string(point)), point);
+  }
+  EXPECT_THROW((void)obs::parse_trace_point("nope"), std::invalid_argument);
+  EXPECT_THROW((void)obs::parse_trace_kind("nope"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ecs

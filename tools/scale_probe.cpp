@@ -1,26 +1,108 @@
 // scale_probe.cpp - Quick wall-time probe at paper scale (not installed).
+//
+// Runs every registered policy once on one random instance and prints a
+// line per policy. Flags:
+//
+//   --n=N           jobs (default 4000)
+//   --ccr=X         communication-to-computation ratio (default 1)
+//   --load=X        load factor (default 0.05)
+//   --seed=S        instance seed (default 1)
+//   --policy=NAME   probe a single policy instead of all
+//   --log-level=L   stderr log threshold: debug, info, warn or error
+//   --trace-out=P   write a Perfetto trace of the LAST probed policy's run
+//   --metrics-out=P write the metrics-registry JSON (all probed runs)
+//
+// The legacy positional form `scale_probe [n [ccr [load]]]` keeps working.
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
 
 #include "exp/runner.hpp"
+#include "obs/metrics.hpp"
+#include "obs/perfetto_sink.hpp"
 #include "sched/factory.hpp"
+#include "util/args.hpp"
+#include "util/log.hpp"
 #include "workloads/random_instances.hpp"
 
 int main(int argc, char** argv) {
-  ecs::RandomInstanceConfig cfg;
-  cfg.n = argc > 1 ? std::atoi(argv[1]) : 4000;
-  cfg.ccr = argc > 2 ? std::atof(argv[2]) : 1.0;
-  cfg.load = argc > 3 ? std::atof(argv[3]) : 0.05;
-  ecs::Rng rng(1);
-  const ecs::Instance instance = ecs::make_random_instance(cfg, rng);
-  for (const std::string& name : ecs::policy_names()) {
-    ecs::RunOptions options;
+  using namespace ecs;
+  const Args args = Args::parse(argc, argv);
+  const std::vector<std::string>& pos = args.positional();
+
+  const std::string level_name = args.get_or("log-level", "");
+  if (!level_name.empty()) {
+    const std::optional<LogLevel> level = parse_log_level(level_name);
+    if (!level) {
+      std::cerr << "unknown --log-level '" << level_name
+                << "' (expected debug, info, warn or error)\n";
+      return 2;
+    }
+    set_log_level(*level);
+  }
+
+  RandomInstanceConfig cfg;
+  cfg.n = static_cast<int>(
+      args.get_int("n", pos.size() > 0 ? std::atoi(pos[0].c_str()) : 4000));
+  cfg.ccr =
+      args.get_double("ccr", pos.size() > 1 ? std::atof(pos[1].c_str()) : 1.0);
+  cfg.load = args.get_double(
+      "load", pos.size() > 2 ? std::atof(pos[2].c_str()) : 0.05);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  Rng rng(seed);
+  const Instance instance = make_random_instance(cfg, rng);
+
+  std::vector<std::string> names = policy_names();
+  const std::string only = args.get_or("policy", "");
+  if (!only.empty()) names = {only};
+
+  const std::string trace_path = args.get_or("trace-out", "");
+  const std::string metrics_path = args.get_or("metrics-out", "");
+  obs::MetricsRegistry registry;
+
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const std::string& name = names[i];
+    RunOptions options;
     options.validate = false;
-    const ecs::RunOutcome o = ecs::run_policy(instance, name, options);
-    std::printf("%-10s max=%8.3f mean=%6.3f wall=%7.3fs events=%llu reexec=%llu\n",
-                name.c_str(), o.metrics.max_stretch, o.metrics.mean_stretch,
-                o.wall_seconds,
-                static_cast<unsigned long long>(o.stats.events),
-                static_cast<unsigned long long>(o.stats.reassignments));
+    options.engine.metrics = metrics_path.empty() ? nullptr : &registry;
+    // One trace file, so only the last policy (the only sensible default
+    // when probing a single --policy) gets the sink.
+    std::ofstream trace_file;
+    std::optional<obs::PerfettoTraceSink> sink;
+    if (!trace_path.empty() && i + 1 == names.size()) {
+      trace_file.open(trace_path);
+      if (trace_file) {
+        sink.emplace(trace_file);
+        options.engine.trace = &*sink;
+      } else {
+        std::cerr << "cannot write trace to " << trace_path << "\n";
+      }
+    }
+    const RunOutcome o = run_policy(instance, name, options);
+    std::printf(
+        "%-10s max=%8.3f mean=%6.3f wall=%7.3fs events=%llu reexec=%llu\n",
+        name.c_str(), o.metrics.max_stretch, o.metrics.mean_stretch,
+        o.wall_seconds, static_cast<unsigned long long>(o.stats.events),
+        static_cast<unsigned long long>(o.stats.reassignments));
+    if (sink) {
+      std::printf("  Perfetto trace -> %s (open in ui.perfetto.dev)\n",
+                  trace_path.c_str());
+    }
+  }
+
+  if (!metrics_path.empty()) {
+    std::ofstream metrics_file(metrics_path);
+    if (!metrics_file) {
+      std::cerr << "cannot write metrics to " << metrics_path << "\n";
+      return 1;
+    }
+    registry.write_json(metrics_file);
+    std::printf("metrics JSON -> %s\n", metrics_path.c_str());
   }
   return 0;
 }

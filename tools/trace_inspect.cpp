@@ -1,0 +1,226 @@
+// trace_inspect.cpp - Summarizes a JSONL simulation trace on the terminal.
+//
+//   trace_inspect --trace=run.jsonl [--metrics=run-metrics.json] [--top=N]
+//
+// Prints the run's meta line, record counts per trace point, the busiest
+// processors by occupied span time, the worst-stretch completions, the most
+// disrupted jobs (re-executions: reassignments + fault aborts + losses),
+// and the maxima of the sampled time series. With --metrics= it also dumps
+// the metrics-registry snapshot (phase timers, counters, histograms).
+//
+// The trace comes from any binary's --trace-jsonl= flag; the metrics JSON
+// from --metrics-out= (see docs/OBSERVABILITY.md).
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/jsonl_sink.hpp"
+#include "obs/trace.hpp"
+#include "util/args.hpp"
+#include "util/log.hpp"
+
+namespace {
+
+using namespace ecs;
+
+/// Human label for the resource a span occupied.
+std::string span_resource(const obs::TraceRecord& rec) {
+  std::ostringstream os;
+  switch (rec.point) {
+    case obs::TracePoint::kExec:
+      if (rec.alloc == kAllocEdge) {
+        os << "edge " << rec.origin << " cpu";
+      } else {
+        os << "cloud " << rec.alloc << " cpu";
+      }
+      break;
+    case obs::TracePoint::kUplink:
+      os << "edge " << rec.origin << " -> cloud " << rec.alloc << " uplink";
+      break;
+    case obs::TracePoint::kDownlink:
+      os << "cloud " << rec.alloc << " -> edge " << rec.origin << " downlink";
+      break;
+    default:
+      os << "?";
+      break;
+  }
+  return os.str();
+}
+
+void print_metrics(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot read metrics file " << path << "\n";
+    std::exit(1);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const obs::json::Value root = obs::json::parse(buffer.str());
+
+  std::printf("\nmetrics (%s)\n", path.c_str());
+  if (const obs::json::Value* timers = root.find("timers")) {
+    for (const auto& [name, value] : timers->object) {
+      std::printf("  %-28s %10.6f s over %llu call(s)\n", name.c_str(),
+                  value.at("seconds").as_number(),
+                  static_cast<unsigned long long>(
+                      value.at("count").as_int()));
+    }
+  }
+  if (const obs::json::Value* counters = root.find("counters")) {
+    for (const auto& [name, value] : counters->object) {
+      std::printf("  %-28s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value.as_int()));
+    }
+  }
+  if (const obs::json::Value* gauges = root.find("gauges")) {
+    for (const auto& [name, value] : gauges->object) {
+      std::printf("  %-28s last %.3f, max %.3f\n", name.c_str(),
+                  value.at("last").as_number(), value.at("max").as_number());
+    }
+  }
+  if (const obs::json::Value* hists = root.find("histograms")) {
+    for (const auto& [name, value] : hists->object) {
+      const auto count = value.at("count").as_int();
+      const double sum = value.at("sum").as_number();
+      std::printf("  %-28s %llu sample(s), mean %.3f\n", name.c_str(),
+                  static_cast<unsigned long long>(count),
+                  count > 0 ? sum / static_cast<double>(count) : 0.0);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = Args::parse(argc, argv);
+  const std::string level_name = args.get_or("log-level", "");
+  if (!level_name.empty()) {
+    const std::optional<LogLevel> level = parse_log_level(level_name);
+    if (!level) {
+      std::cerr << "unknown --log-level '" << level_name
+                << "' (expected debug, info, warn or error)\n";
+      return 2;
+    }
+    set_log_level(*level);
+  }
+
+  std::string trace_path = args.get_or("trace", "");
+  if (trace_path.empty() && !args.positional().empty()) {
+    trace_path = args.positional().front();
+  }
+  const std::string metrics_path = args.get_or("metrics", "");
+  const int top = static_cast<int>(args.get_int("top", 5));
+  if (trace_path.empty() && metrics_path.empty()) {
+    std::cerr << "usage: trace_inspect --trace=run.jsonl "
+                 "[--metrics=metrics.json] [--top=N]\n";
+    return 2;
+  }
+
+  if (!trace_path.empty()) {
+    obs::JsonlTrace trace;
+    try {
+      trace = obs::read_jsonl_trace_file(trace_path);
+    } catch (const std::exception& e) {
+      std::cerr << "cannot parse " << trace_path << ": " << e.what() << "\n";
+      return 1;
+    }
+
+    std::printf("trace %s\n", trace_path.c_str());
+    std::printf("  policy %s, %d edge(s), %d cloud(s), %d job(s)\n",
+                trace.meta.policy.c_str(), trace.meta.edge_count,
+                trace.meta.cloud_count, trace.meta.job_count);
+    if (trace.complete) {
+      std::printf("  makespan %.4f, %zu record(s)\n", trace.makespan,
+                  trace.records.size());
+    } else {
+      std::printf("  INCOMPLETE (no end line), %zu record(s)\n",
+                  trace.records.size());
+    }
+
+    std::map<std::string, std::uint64_t> by_point;
+    std::map<std::string, double> busy;                 // resource -> time
+    std::map<JobId, std::uint64_t> disruptions;         // job -> re-executions
+    std::vector<std::pair<double, JobId>> completions;  // stretch, job
+    std::map<std::string, double> counter_max;
+    for (const obs::TraceRecord& rec : trace.records) {
+      ++by_point[to_string(rec.kind) + "/" + to_string(rec.point)];
+      switch (rec.kind) {
+        case obs::TraceKind::kSpan:
+          busy[span_resource(rec)] += rec.end - rec.begin;
+          break;
+        case obs::TraceKind::kInstant:
+          if (rec.point == obs::TracePoint::kCompletion) {
+            completions.push_back({rec.value, rec.job});
+          }
+          if (rec.job >= 0 && (rec.point == obs::TracePoint::kReassignment ||
+                               rec.point == obs::TracePoint::kFault ||
+                               rec.point == obs::TracePoint::kUplinkLoss ||
+                               rec.point == obs::TracePoint::kDownlinkLoss)) {
+            ++disruptions[rec.job];
+          }
+          break;
+        case obs::TraceKind::kCounter:
+          counter_max[to_string(rec.point)] =
+              std::max(counter_max[to_string(rec.point)], rec.value);
+          break;
+      }
+    }
+
+    std::printf("\nrecords by point\n");
+    for (const auto& [name, count] : by_point) {
+      std::printf("  %-28s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(count));
+    }
+
+    if (!counter_max.empty()) {
+      std::printf("\ntime-series maxima\n");
+      for (const auto& [name, value] : counter_max) {
+        std::printf("  %-28s %.4f\n", name.c_str(), value);
+      }
+    }
+
+    if (!busy.empty()) {
+      std::vector<std::pair<double, std::string>> ranked;
+      for (const auto& [name, time] : busy) ranked.push_back({time, name});
+      std::sort(ranked.rbegin(), ranked.rend());
+      std::printf("\nbusiest resources (occupied simulated time)\n");
+      for (int i = 0; i < top && i < static_cast<int>(ranked.size()); ++i) {
+        std::printf("  %-34s %10.4f\n", ranked[i].second.c_str(),
+                    ranked[i].first);
+      }
+    }
+
+    if (!completions.empty()) {
+      std::sort(completions.rbegin(), completions.rend());
+      std::printf("\nworst stretches\n");
+      for (int i = 0; i < top && i < static_cast<int>(completions.size());
+           ++i) {
+        std::printf("  J%-6d stretch %8.4f\n", completions[i].second,
+                    completions[i].first);
+      }
+    }
+
+    if (!disruptions.empty()) {
+      std::vector<std::pair<std::uint64_t, JobId>> ranked;
+      for (const auto& [job, count] : disruptions) {
+        ranked.push_back({count, job});
+      }
+      std::sort(ranked.rbegin(), ranked.rend());
+      std::printf("\nmost disrupted jobs (reassignments + faults + losses)\n");
+      for (int i = 0; i < top && i < static_cast<int>(ranked.size()); ++i) {
+        std::printf("  J%-6d %llu event(s)\n", ranked[i].second,
+                    static_cast<unsigned long long>(ranked[i].first));
+      }
+    }
+  }
+
+  if (!metrics_path.empty()) print_metrics(metrics_path);
+  return 0;
+}
