@@ -17,7 +17,9 @@
 #include "util/rng.hpp"
 #include "workloads/random_instances.hpp"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   using namespace ecs;
   const Args args = Args::parse(argc, argv);
   const bench::CommonOptions options = bench::parse_common(args, 5);
@@ -65,4 +67,10 @@ int main(int argc, char** argv) {
   bench::write_trace_artifacts(options, policies, trace_label,
                                trace_factory);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return ecs::bench::guarded_main([&] { return run(argc, argv); });
 }

@@ -28,7 +28,9 @@ struct Row {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   using namespace ecs;
   const Args args = Args::parse(argc, argv);
   bench::apply_log_level(args);
@@ -78,4 +80,10 @@ int main(int argc, char** argv) {
   }
   table.print(std::cout);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return ecs::bench::guarded_main([&] { return run(argc, argv); });
 }

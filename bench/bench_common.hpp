@@ -52,6 +52,20 @@ struct CommonOptions {
   std::string trace_policy;  ///< --trace-policy= (default: last policy)
 };
 
+/// Runs a bench binary's body under the repo's error-path convention:
+/// exceptions (e.g. a malformed numeric flag rejected by Args, or an
+/// invalid schedule) become a one-line `error: ...` on stderr and exit
+/// status 1 instead of std::terminate.
+template <typename Fn>
+int guarded_main(Fn&& fn) {
+  try {
+    return fn();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
 /// Applies --log-level=debug|info|warn|error; exits with status 2 on an
 /// unknown level name.
 inline void apply_log_level(const Args& args) {

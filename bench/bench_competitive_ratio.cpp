@@ -21,7 +21,9 @@
 #include "sim/engine.hpp"
 #include "util/rng.hpp"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   using namespace ecs;
   const Args args = Args::parse(argc, argv);
   bench::apply_log_level(args);
@@ -82,4 +84,10 @@ int main(int argc, char** argv) {
   std::cout << "\nThe observed worst ratio must stay below the Delta bound "
                "(and in practice sits far below it).\n";
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return ecs::bench::guarded_main([&] { return run(argc, argv); });
 }

@@ -21,7 +21,9 @@
 #include "util/rng.hpp"
 #include "workloads/random_instances.hpp"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   using namespace ecs;
   const Args args = Args::parse(argc, argv);
   bench::apply_log_level(args);
@@ -81,4 +83,10 @@ int main(int argc, char** argv) {
     std::cout << "\n";
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return ecs::bench::guarded_main([&] { return run(argc, argv); });
 }

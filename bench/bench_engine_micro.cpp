@@ -5,7 +5,22 @@
 // allocation and priorities) so the engine's bookkeeping — event queue,
 // activation, interval recording — dominates, plus the marginal cost of
 // schedule recording and of the section III-B validator.
+//
+// The engine_events_sparse series is the scaling probe for the active-set
+// event loop: n grows to 100k jobs while arrivals stay spread out, so the
+// number of *live* jobs at any instant is bounded and per-event cost must
+// stay flat in n. A policy that reacts only to the events that fired (never
+// sweeping all jobs) keeps the engine's own bookkeeping dominant.
+//
+// With --json-out=PATH (e.g. --json-out=BENCH_engine.json) the binary also
+// writes a compact machine-readable summary: one row per benchmark with the
+// per-iteration time, events per second and per-event nanoseconds.
 #include <benchmark/benchmark.h>
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
 
 #include "bench_common.hpp"
 
@@ -40,6 +55,56 @@ ecs::FixedPolicy make_fixed_policy(const ecs::Instance& instance) {
   return ecs::FixedPolicy(std::move(alloc), std::move(priority));
 }
 
+/// O(|events|) policy: allocates each job once, at its release, and stays
+/// silent otherwise. Unlike FixedPolicy (one directive per job per
+/// decision), its cost does not grow with n, so the sparse series measures
+/// the engine and not the policy.
+class OnReleasePolicy final : public ecs::Policy {
+ public:
+  explicit OnReleasePolicy(int clouds) : clouds_(clouds) {}
+  [[nodiscard]] std::string name() const override { return "OnRelease"; }
+  [[nodiscard]] std::vector<ecs::Directive> decide(
+      const ecs::SimView& view,
+      const std::vector<ecs::Event>& events) override {
+    (void)view;
+    std::vector<ecs::Directive> out;
+    for (const ecs::Event& e : events) {
+      if (e.kind != ecs::EventKind::kRelease) continue;
+      const int target = (e.job % 2 == 0)
+                             ? ecs::kAllocEdge
+                             : static_cast<int>(e.job / 2 % clouds_);
+      out.push_back(
+          ecs::Directive{e.job, target, static_cast<double>(e.job)});
+    }
+    return out;
+  }
+
+ private:
+  int clouds_;
+};
+
+/// Deterministic sparse-activity instance: arrivals are spaced so that both
+/// the edges and the clouds run well below saturation and the live set
+/// stays bounded (a few jobs) regardless of n.
+ecs::Instance sparse_instance(int n) {
+  const int edges = 20;
+  ecs::Instance instance;
+  instance.platform =
+      ecs::Platform(std::vector<double>(edges, 0.5), 4);
+  instance.jobs.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    ecs::Job job;
+    job.id = i;
+    job.origin = i % edges;
+    job.work = 1.0 + 0.25 * (i % 4);
+    job.release = 0.3 * i;
+    job.up = 0.2;
+    job.down = 0.1;
+    instance.jobs.push_back(job);
+  }
+  return instance;
+}
+
 void engine_events(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   const ecs::Instance instance = make_instance(n, 7);
@@ -52,11 +117,35 @@ void engine_events(benchmark::State& state) {
     events = result.stats.events;
     benchmark::DoNotOptimize(result.completions.data());
   }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events) *
+                          state.iterations());
   state.counters["events_per_s"] = benchmark::Counter(
       static_cast<double>(events),
       benchmark::Counter::kIsIterationInvariantRate);
 }
 BENCHMARK(engine_events)->Arg(200)->Arg(1000)->Arg(4000)
+    ->Unit(benchmark::kMillisecond);
+
+void engine_events_sparse(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const ecs::Instance instance = sparse_instance(n);
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    OnReleasePolicy policy(instance.platform.cloud_count());
+    ecs::EngineConfig config;
+    config.record_schedule = false;
+    const ecs::SimResult result = ecs::simulate(instance, policy, config);
+    events = result.stats.events;
+    benchmark::DoNotOptimize(result.completions.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events) *
+                          state.iterations());
+  state.counters["events_per_s"] = benchmark::Counter(
+      static_cast<double>(events),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(engine_events_sparse)
+    ->Arg(1000)->Arg(10000)->Arg(100000)
     ->Unit(benchmark::kMillisecond);
 
 void engine_with_recording(benchmark::State& state) {
@@ -85,13 +174,103 @@ void validator_cost(benchmark::State& state) {
 }
 BENCHMARK(validator_cost)->Arg(1000)->Unit(benchmark::kMillisecond);
 
+/// Console reporter that additionally collects every finished run and can
+/// write the compact JSON summary:
+///   [{"name": "engine_events_sparse/100000", "real_time_ms": ...,
+///     "events_per_s": ..., "per_event_ns": ...}, ...]
+/// events_per_s / per_event_ns are null for benchmarks without the counter
+/// (the validator bench processes no engine events). Subclassing the
+/// console reporter keeps the normal terminal output while avoiding the
+/// library's file-reporter path (which insists on --benchmark_out).
+class CompactJsonReporter final : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      Row row;
+      row.name = run.benchmark_name();
+      // Per-iteration wall time in milliseconds, independent of the
+      // benchmark's display unit.
+      row.real_time_ms =
+          run.iterations > 0
+              ? run.real_accumulated_time * 1e3 /
+                    static_cast<double>(run.iterations)
+              : 0.0;
+      const auto it = run.counters.find("events_per_s");
+      if (it != run.counters.end() && it->second.value > 0.0) {
+        row.events_per_s = it->second.value;
+        row.per_event_ns = 1e9 / it->second.value;
+        row.has_rate = true;
+      }
+      rows_.push_back(std::move(row));
+    }
+  }
+
+  void write(std::ostream& os) const {
+    os << "[\n";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      os << "  {\"name\": \"" << r.name << "\""
+         << ", \"real_time_ms\": " << r.real_time_ms;
+      if (r.has_rate) {
+        os << ", \"events_per_s\": " << r.events_per_s
+           << ", \"per_event_ns\": " << r.per_event_ns;
+      } else {
+        os << ", \"events_per_s\": null, \"per_event_ns\": null";
+      }
+      os << "}" << (i + 1 < rows_.size() ? "," : "") << "\n";
+    }
+    os << "]\n";
+  }
+
+ private:
+  struct Row {
+    std::string name;
+    double real_time_ms = 0.0;
+    double events_per_s = 0.0;
+    double per_event_ns = 0.0;
+    bool has_rate = false;
+  };
+  std::vector<Row> rows_;
+};
+
+/// Strips --json-out=PATH from argv (before benchmark::Initialize rejects
+/// it) and returns the path, empty when absent.
+std::string extract_json_out(int& argc, char** argv) {
+  const std::string prefix = "--json-out=";
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) {
+      path = arg.substr(prefix.size());
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+  return path;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   ecs::bench::apply_log_level_argv(argc, argv);
+  const std::string json_path = extract_json_out(argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
+  CompactJsonReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "cannot write benchmark JSON to " << json_path << "\n";
+      return 1;
+    }
+    reporter.write(out);
+    std::cout << "benchmark JSON -> " << json_path << "\n";
+  }
   return 0;
 }

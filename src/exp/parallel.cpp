@@ -28,16 +28,21 @@ void parallel_for(std::size_t count,
   }
 
   std::atomic<std::size_t> next{0};
+  std::atomic<bool> abort{false};
   std::exception_ptr first_error;
   std::mutex error_mutex;
 
   const auto worker = [&]() {
-    while (true) {
+    while (!abort.load(std::memory_order_relaxed)) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= count) return;
       try {
         body(i);
       } catch (...) {
+        // First failure wins and aborts the sweep: without the flag a
+        // thrown replication let the remaining thousands run to completion
+        // before the caller ever saw the error.
+        abort.store(true, std::memory_order_relaxed);
         std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
       }

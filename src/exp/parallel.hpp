@@ -21,7 +21,9 @@ namespace ecs {
 /// workers (0 = default_thread_count()). `body` must be safe to call
 /// concurrently for distinct indices. Exceptions thrown by `body` are
 /// captured and the first one is rethrown on the calling thread after all
-/// workers finish.
+/// workers finish. A failure aborts the run early: indices not yet claimed
+/// when the first exception lands are never started (in-flight bodies on
+/// other workers still run to completion).
 void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
                   unsigned threads = 0);
 

@@ -126,6 +126,22 @@ struct FaultWake {
   bool recovery = false;
 };
 
+/// Versioned entry of the lazy-deletion min-heap over predicted activity
+/// end times. An entry is valid while its version matches the job's
+/// current one AND the job is still mid-activity; preemption, completion,
+/// re-execution and fault aborts never search the heap — they simply leave
+/// the entry behind to be skipped (or compacted away) later.
+struct HeapEntry {
+  Time time = 0.0;
+  JobId job = -1;
+  std::uint32_t version = 0;
+};
+
+/// std::push_heap-style comparator making heap_.front() the earliest end.
+[[nodiscard]] bool heap_later(const HeapEntry& a, const HeapEntry& b) {
+  return a.time > b.time;
+}
+
 class Engine {
  public:
   Engine(const Instance& instance, Policy& policy, const EngineConfig& config)
@@ -160,6 +176,11 @@ class Engine {
     states_.resize(n);
     recorders_.resize(n);
     started_.assign(n, 0);
+    live_pos_.assign(n, -1);
+    entry_version_.assign(n, 0);
+    seen_round_.assign(n, 0);
+    live_ids_.reserve(16);
+    active_ids_.reserve(16);
     if (trace_ != nullptr) {
       spans_.assign(n, SpanState{});
       run_index_.assign(n, 0);
@@ -227,13 +248,60 @@ class Engine {
     stats_.events += events_.size();
   }
 
+  // --- live set: released-and-unfinished job ids, O(1) insert/erase ---
+
+  void live_insert(JobId id) {
+    live_pos_[id] = static_cast<std::int32_t>(live_ids_.size());
+    live_ids_.push_back(id);
+  }
+
+  void live_erase(JobId id) {
+    const std::int32_t pos = live_pos_[id];
+    const JobId moved = live_ids_.back();
+    live_ids_[pos] = moved;
+    live_pos_[moved] = pos;
+    live_ids_.pop_back();
+    live_pos_[id] = -1;
+  }
+
+  // --- lazy-deletion heap over predicted activity end times ---
+
+  void heap_push(JobId id, Time end) {
+    heap_.push_back(HeapEntry{end, id, ++entry_version_[id]});
+    std::push_heap(heap_.begin(), heap_.end(), &heap_later);
+  }
+
+  [[nodiscard]] bool heap_entry_valid(const HeapEntry& e) const {
+    return e.version == entry_version_[e.job] &&
+           states_[e.job].active != Activity::kNone;
+  }
+
+  /// Skims invalidated tops and returns the earliest valid activity end
+  /// (infinity when nothing is running).
+  [[nodiscard]] Time next_activity_end() {
+    while (!heap_.empty() && !heap_entry_valid(heap_.front())) {
+      std::pop_heap(heap_.begin(), heap_.end(), &heap_later);
+      heap_.pop_back();
+    }
+    return heap_.empty() ? kTimeInfinity : heap_.front().time;
+  }
+
+  /// Keeps the heap proportional to the active set: once stale entries
+  /// dominate, drop them all in one O(size) sweep (amortized O(1)/push).
+  void maybe_compact_heap() {
+    if (heap_.size() < 64 || heap_.size() < 4 * active_ids_.size()) return;
+    std::erase_if(heap_,
+                  [this](const HeapEntry& e) { return !heap_entry_valid(e); });
+    std::make_heap(heap_.begin(), heap_.end(), &heap_later);
+  }
+
   /// Releases every job whose release date is <= now (within tolerance).
   void fire_releases() {
     while (next_release_ < release_order_.size()) {
       JobState& s = states_[release_order_[next_release_]];
       if (!time_le(s.job.release, now_)) break;
       s.released = true;
-      ++live_count_;
+      live_insert(s.job.id);
       events_.push_back(Event{EventKind::kRelease, s.job.id, now_});
       if (trace_ != nullptr) {
         trace_instant(obs::TracePoint::kRelease, s.job.id, -1, 0.0);
@@ -293,8 +361,12 @@ class Engine {
   }
 
   void decide_and_activate() {
-    // 1. Ask the policy what to do about the events that just fired.
-    const SimView view(instance_, states_, now_);
+    // 1. Ask the policy what to do about the events that just fired. The
+    //    sorted live index gives SimView::live_jobs() in O(live) and, below,
+    //    the id-ordered implicit-keep walk the old full-state scan provided.
+    live_sorted_.assign(live_ids_.begin(), live_ids_.end());
+    std::sort(live_sorted_.begin(), live_sorted_.end());
+    const SimView view(instance_, states_, now_, &live_sorted_);
     const auto t0 = std::chrono::steady_clock::now();
     std::vector<Directive> directives = policy_.decide(view, events_);
     const auto t1 = std::chrono::steady_clock::now();
@@ -319,14 +391,18 @@ class Engine {
     //    is flagged so arbitration can spot preemptions: only these jobs —
     //    at most one per processor or port — can lose a resource they still
     //    need. The flag is consumed inside this round (apply_directive or
-    //    try_activate), never carried over.
-    for (JobState& s : states_) {
+    //    try_activate), never carried over. Only members of the active set
+    //    can be mid-activity; entries already stopped by a completion,
+    //    fault abort or message loss are skipped.
+    for (const JobId id : active_ids_) {
+      JobState& s = states_[id];
       if (s.active != Activity::kNone) {
         s.was_active = true;
-        recorders_[s.job.id].close(now_);
+        recorders_[id].close(now_);
         s.active = Activity::kNone;
       }
     }
+    active_ids_.clear();
 
     // 3. Apply allocation changes (the re-execution rule).
     {
@@ -353,11 +429,16 @@ class Engine {
           order_.push_back({d.priority, d.job});
         }
       }
-      seen_.assign(states_.size(), false);
-      for (const auto& [prio, id] : order_) seen_[id] = true;
-      for (const JobState& s : states_) {
-        if (s.live() && !seen_[s.job.id]) {
-          order_.push_back({kTimeInfinity, s.job.id});
+      // Round stamps replace a per-round O(n) boolean reset: a job is
+      // "seen" iff its stamp equals the current round's.
+      if (++round_ == 0) {  // wrap: old stamps could collide, wipe them
+        seen_round_.assign(seen_round_.size(), 0);
+        round_ = 1;
+      }
+      for (const auto& [prio, id] : order_) seen_round_[id] = round_;
+      for (const JobId id : live_sorted_) {
+        if (seen_round_[id] != round_) {
+          order_.push_back({kTimeInfinity, id});
         }
       }
       std::stable_sort(order_.begin(), order_.end(),
@@ -370,13 +451,17 @@ class Engine {
       for (const auto& [prio, id] : order_) {
         try_activate(states_[id]);
       }
+      // Completions must fire in job-id order (policies and traces observe
+      // the event order), so keep the active set sorted between rounds.
+      std::sort(active_ids_.begin(), active_ids_.end());
+      maybe_compact_heap();
     }
 
     // 5. Ready-queue depth after arbitration: live jobs holding no
     //    resource. A job holds a resource iff try_activate granted it one
     //    this round, so the depth falls out of two counters with no extra
     //    pass over states_.
-    const std::uint64_t waiting = live_count_ - granted_;
+    const std::uint64_t waiting = live_ids_.size() - granted_;
     if (waiting > stats_.max_queue_depth) stats_.max_queue_depth = waiting;
     if (metrics_ != nullptr) {
       metrics_->gauge_set(ids_->queue_depth, static_cast<double>(waiting));
@@ -389,8 +474,8 @@ class Engine {
     trace_counter(obs::TracePoint::kReadyQueueDepth,
                   static_cast<double>(waiting));
     double live_max = done_max_stretch_;
-    for (const JobState& s : states_) {
-      if (!s.live()) continue;
+    for (const JobId id : live_sorted_) {
+      const JobState& s = states_[id];
       const double denom = s.best_time > 0.0 ? s.best_time : 1.0;
       live_max = std::max(live_max, (now_ - s.job.release) / denom);
     }
@@ -533,6 +618,17 @@ class Engine {
     }
     s.active = needed;
     s.was_active = false;
+    // Lazy progress accounting: anchor the activity at now_ with its
+    // consumption rate, enter the active set, and predict the end time
+    // analytically. The prediction is exact — rates only change through a
+    // re-grant, which pushes a fresh (versioned) entry.
+    s.rate = needed == Activity::kCompute
+                 ? (s.alloc == kAllocEdge ? platform_.edge_speed(o)
+                                          : platform_.cloud_speed(s.alloc))
+                 : 1.0;
+    s.last_update = now_;
+    active_ids_.push_back(id);
+    heap_push(id, activity_end(s));
     ++granted_;
     recorders_[id].open(needed, now_);
     if (started_[id] == 0) {
@@ -573,12 +669,8 @@ class Engine {
   }
 
   void advance_to_next_event() {
-    Time next = kTimeInfinity;
-    for (const JobState& s : states_) {
-      if (s.active != Activity::kNone) {
-        next = std::min(next, activity_end(s));
-      }
-    }
+    // Earliest predicted activity end, straight off the heap top — no scan.
+    Time next = next_activity_end();
     if (next_release_ < release_order_.size()) {
       next = std::min(next,
                       states_[release_order_[next_release_]].job.release);
@@ -603,33 +695,17 @@ class Engine {
       throw std::runtime_error(os.str());
     }
 
-    const double dt = std::max(0.0, next - now_);
-    for (JobState& s : states_) {
-      if (s.active == Activity::kNone) continue;
-      switch (s.active) {
-        case Activity::kUplink:
-          s.rem_up = clamp_amount(s.rem_up - dt);
-          break;
-        case Activity::kCompute:
-          if (s.alloc == kAllocEdge) {
-            s.rem_work = clamp_amount(
-                s.rem_work - dt * platform_.edge_speed(s.job.origin));
-          } else {
-            s.rem_work = clamp_amount(
-                s.rem_work - dt * platform_.cloud_speed(s.alloc));
-          }
-          break;
-        case Activity::kDownlink:
-          s.rem_down = clamp_amount(s.rem_down - dt);
-          break;
-        case Activity::kNone:
-          break;
-      }
+    // Materialize progress for the active set only (every member was
+    // re-anchored at now_ this round, so the elapsed span is next - now_).
+    for (const JobId id : active_ids_) {
+      states_[id].advance_progress(next);
     }
     now_ = next;
 
-    // Fire completions.
-    for (JobState& s : states_) {
+    // Fire completions. active_ids_ is id-sorted, so completion events are
+    // emitted in job-id order — the order policies and traces observe.
+    for (const JobId id : active_ids_) {
+      JobState& s = states_[id];
       if (s.active == Activity::kNone) continue;
       bool fired = false;
       switch (s.active) {
@@ -664,7 +740,7 @@ class Engine {
         if (trace_ != nullptr) trace_close_span(s.job.id);
         if (s.all_amounts_done()) {
           s.done = true;
-          --live_count_;
+          live_erase(s.job.id);
           s.completion = now_;
           --remaining_jobs_;
           if (trace_ != nullptr || metrics_ != nullptr) {
@@ -702,10 +778,12 @@ class Engine {
   /// Compact dump of the live jobs — id, allocation, current activity —
   /// for the stall / event-cap diagnostics. Capped at 8 entries.
   [[nodiscard]] std::string describe_live_jobs() const {
+    std::vector<JobId> live(live_ids_.begin(), live_ids_.end());
+    std::sort(live.begin(), live.end());
     std::ostringstream os;
     int shown = 0;
-    for (const JobState& s : states_) {
-      if (!s.live()) continue;
+    for (const JobId id : live) {
+      const JobState& s = states_[id];
       if (shown == 8) {
         os << ", ...";
         break;
@@ -768,8 +846,15 @@ class Engine {
   /// stays on the books as an abandoned run because it physically occupied
   /// resources.
   void abort_jobs_on_cloud(CloudId crashed) {
-    for (JobState& s : states_) {
-      if (!s.live() || s.alloc != crashed) continue;
+    // Victims come from the live set (no instance-wide sweep); sort so the
+    // abort events keep firing in job-id order like the old full scan.
+    victims_.clear();
+    for (const JobId id : live_ids_) {
+      if (states_[id].alloc == crashed) victims_.push_back(id);
+    }
+    std::sort(victims_.begin(), victims_.end());
+    for (const JobId id : victims_) {
+      JobState& s = states_[id];
       if (trace_ != nullptr) {
         trace_close_span(s.job.id);
         trace_instant(obs::TracePoint::kFault, s.job.id, crashed, 0.0);
@@ -800,8 +885,11 @@ class Engine {
     const Activity hit = spec.kind == FaultKind::kUplinkLoss
                              ? Activity::kUplink
                              : Activity::kDownlink;
-    for (JobState& s : states_) {
-      if (!s.live() || s.alloc != spec.cloud || s.active != hit) continue;
+    // Only an active job can be mid-transmission; active_ids_ is id-sorted,
+    // so the first match is the lowest id, as with the old full scan.
+    for (const JobId id : active_ids_) {
+      JobState& s = states_[id];
+      if (s.alloc != spec.cloud || s.active != hit) continue;
       // The corrupted transmission physically used the link: its interval
       // stays recorded in the current run (quantity checks are >=).
       recorders_[s.job.id].close(now_);
@@ -889,9 +977,19 @@ class Engine {
   std::vector<Event> events_;
   SimStats stats_;
 
+  // --- active-set core: everything the per-event hot path touches ---
+  std::vector<JobId> active_ids_;  ///< jobs mid-activity, id-sorted per round
+  std::vector<JobId> live_ids_;    ///< released-and-unfinished, unordered
+  std::vector<std::int32_t> live_pos_;  ///< job -> index in live_ids_, or -1
+  std::vector<JobId> live_sorted_;      ///< per-round sorted copy of live_ids_
+  std::vector<HeapEntry> heap_;         ///< lazy-deletion end-time min-heap
+  std::vector<std::uint32_t> entry_version_;  ///< current heap version per job
+  std::vector<std::uint32_t> seen_round_;     ///< round stamp per job
+  std::uint32_t round_ = 0;
+  std::vector<JobId> victims_;  ///< scratch for crash-abort collection
+
   // Scratch buffers reused across decision rounds.
   std::vector<std::pair<double, JobId>> order_;
-  std::vector<char> seen_;
 
   // --- observability (null sinks = everything below stays idle) ---
   obs::TraceSink* trace_ = nullptr;
@@ -910,7 +1008,6 @@ class Engine {
   std::vector<SpanState> spans_;  ///< sized only when tracing
   std::vector<int> run_index_;    ///< bumped per reassignment / fault abort
   std::vector<char> started_;     ///< first activation already observed
-  std::uint64_t live_count_ = 0;  ///< jobs currently released and not done
   std::uint64_t granted_ = 0;     ///< resources granted this decision round
   double done_max_stretch_ = 0.0; ///< max stretch over finished jobs
 };

@@ -18,11 +18,16 @@
 //    the downlink starts.
 //
 // Between events every active activity progresses linearly, so the next
-// event time is computed analytically. The full activity history is
-// recorded into a core::Schedule, which the section III-B validator can
-// then check independently — the engine and the validator are two separate
-// implementations of the model, and the test suite plays them against each
-// other.
+// event time is computed analytically. The event loop is O(live + active)
+// per event, independent of the instance size: the engine tracks explicit
+// live/active job sets, accounts progress lazily per activity (rate +
+// last-update anchor) and keeps predicted activity end times in a
+// lazy-deletion min-heap (see DESIGN.md §5, "Engine internals").
+//
+// The full activity history is recorded into a core::Schedule, which the
+// section III-B validator can then check independently — the engine and
+// the validator are two separate implementations of the model, and the
+// test suite plays them against each other.
 #pragma once
 
 #include <cstdint>

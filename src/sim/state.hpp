@@ -51,6 +51,15 @@ struct JobState {
   double rem_work = 0.0;        ///< remaining work, in work units
   double rem_down = 0.0;        ///< remaining downlink time
   Activity active = Activity::kNone;  ///< what the job is doing right now
+  /// Lazy progress accounting (engine bookkeeping; policies should treat
+  /// both fields as opaque). While `active != kNone` the activity consumes
+  /// its remaining amount at `rate` units per unit of simulated time, and
+  /// the rem_* fields are authoritative only as of `last_update`. The
+  /// engine materializes the elapsed progress with advance_progress() —
+  /// per event this touches the *active* jobs only, never the whole
+  /// instance, which is what makes the event loop O(active) per event.
+  double rate = 0.0;
+  Time last_update = 0.0;
   /// Engine bookkeeping: the job was mid-activity when the current decision
   /// round began. Consumed by arbitration to detect preemptions in O(1);
   /// policies should ignore it.
@@ -81,6 +90,11 @@ struct JobState {
     return amount_done(rem_up) && amount_done(rem_work) &&
            amount_done(rem_down);
   }
+
+  /// Materializes the active activity's progress up to `to`: subtracts
+  /// rate * elapsed from the remaining amount of the current activity and
+  /// moves the accounting anchor. A no-op for idle jobs.
+  void advance_progress(Time to) noexcept;
 };
 
 }  // namespace ecs

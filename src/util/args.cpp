@@ -1,8 +1,11 @@
 #include "util/args.hpp"
 
 #include <algorithm>
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <sstream>
+#include <stdexcept>
 
 namespace ecs {
 namespace {
@@ -15,6 +18,37 @@ std::string to_lower(std::string s) {
   std::transform(s.begin(), s.end(), s.begin(),
                  [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
   return s;
+}
+
+[[noreturn]] void bad_number(const std::string& key, const std::string& value,
+                             const char* expected) {
+  throw std::invalid_argument("--" + key + ": expected " + expected +
+                              ", got \"" + value + "\"");
+}
+
+/// Strict integer conversion: the whole token must parse (no trailing
+/// garbage, no partial reads like "10x" -> 10) and fit in int64.
+std::int64_t parse_int(const std::string& key, const std::string& value) {
+  const char* begin = value.c_str();
+  char* end = nullptr;
+  errno = 0;
+  const std::int64_t out = std::strtoll(begin, &end, 10);
+  if (end == begin || *end != '\0') bad_number(key, value, "an integer");
+  if (errno == ERANGE) bad_number(key, value, "an integer in int64 range");
+  return out;
+}
+
+/// Strict floating-point conversion, same whole-token rule.
+double parse_double(const std::string& key, const std::string& value) {
+  const char* begin = value.c_str();
+  char* end = nullptr;
+  errno = 0;
+  const double out = std::strtod(begin, &end);
+  if (end == begin || *end != '\0') bad_number(key, value, "a number");
+  if (errno == ERANGE && (out == 0.0 || out == HUGE_VAL || out == -HUGE_VAL)) {
+    bad_number(key, value, "a number in double range");
+  }
+  return out;
 }
 
 }  // namespace
@@ -69,14 +103,14 @@ std::string Args::get_or(const std::string& key,
 std::int64_t Args::get_int(const std::string& key,
                            std::int64_t fallback) const {
   const auto v = get(key);
-  if (!v || v->empty()) return fallback;
-  return std::strtoll(v->c_str(), nullptr, 10);
+  if (!v || v->empty()) return fallback;  // absent or bare --flag
+  return parse_int(key, *v);
 }
 
 double Args::get_double(const std::string& key, double fallback) const {
   const auto v = get(key);
-  if (!v || v->empty()) return fallback;
-  return std::strtod(v->c_str(), nullptr);
+  if (!v || v->empty()) return fallback;  // absent or bare --flag
+  return parse_double(key, *v);
 }
 
 bool Args::get_bool(const std::string& key, bool fallback) const {
@@ -96,7 +130,7 @@ std::vector<double> Args::get_double_list(
   std::stringstream ss(*v);
   std::string item;
   while (std::getline(ss, item, ',')) {
-    if (!item.empty()) out.push_back(std::strtod(item.c_str(), nullptr));
+    if (!item.empty()) out.push_back(parse_double(key, item));
   }
   return out.empty() ? fallback : out;
 }
@@ -109,7 +143,7 @@ std::vector<std::int64_t> Args::get_int_list(
   std::stringstream ss(*v);
   std::string item;
   while (std::getline(ss, item, ',')) {
-    if (!item.empty()) out.push_back(std::strtoll(item.c_str(), nullptr, 10));
+    if (!item.empty()) out.push_back(parse_int(key, item));
   }
   return out.empty() ? fallback : out;
 }

@@ -27,6 +27,12 @@ class Args {
   [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
   [[nodiscard]] std::string get_or(const std::string& key,
                                    const std::string& fallback) const;
+
+  // Numeric accessors are strict: an absent flag (or a bare `--flag` with no
+  // value) yields the fallback, but a malformed or partially-numeric value
+  // ("abc", "10x", "1e999") throws std::invalid_argument naming the flag —
+  // a typo must never be silently read as 0 or truncated.
+
   [[nodiscard]] std::int64_t get_int(const std::string& key,
                                      std::int64_t fallback) const;
   [[nodiscard]] double get_double(const std::string& key,
@@ -34,10 +40,11 @@ class Args {
   /// Boolean flags: present without value => true; "0"/"false"/"no" => false.
   [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
 
-  /// Comma-separated list of doubles, e.g. --ccr=0.1,1,10.
+  /// Comma-separated list of doubles, e.g. --ccr=0.1,1,10. Empty segments
+  /// are skipped; malformed segments throw std::invalid_argument.
   [[nodiscard]] std::vector<double> get_double_list(
       const std::string& key, const std::vector<double>& fallback) const;
-  /// Comma-separated list of integers.
+  /// Comma-separated list of integers, same strictness as get_double_list.
   [[nodiscard]] std::vector<std::int64_t> get_int_list(
       const std::string& key, const std::vector<std::int64_t>& fallback) const;
 

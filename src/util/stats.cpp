@@ -5,6 +5,8 @@
 #include <cmath>
 #include <cstdio>
 #include <limits>
+#include <stdexcept>
+#include <string>
 
 namespace ecs {
 
@@ -58,8 +60,14 @@ double Accumulator::max() const noexcept { return n_ == 0 ? 0.0 : max_; }
 double Accumulator::sum() const noexcept { return sum_; }
 
 double percentile(std::span<const double> xs, double q) {
-  assert(!xs.empty());
-  assert(q >= 0.0 && q <= 1.0);
+  // Unconditional guards: the old assert-only checks vanished in release
+  // builds, turning an empty span into an out-of-bounds read and an
+  // out-of-range q into a silent extrapolation.
+  if (xs.empty()) return std::numeric_limits<double>::quiet_NaN();
+  if (!(q >= 0.0 && q <= 1.0)) {  // negated to also catch NaN
+    throw std::invalid_argument("percentile: q must be in [0, 1], got " +
+                                std::to_string(q));
+  }
   std::vector<double> sorted(xs.begin(), xs.end());
   std::sort(sorted.begin(), sorted.end());
   if (sorted.size() == 1) return sorted.front();

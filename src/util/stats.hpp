@@ -56,8 +56,9 @@ struct Summary {
 /// default-initialized Summary with count == 0.
 [[nodiscard]] Summary summarize(std::span<const double> xs);
 
-/// Linear-interpolated percentile of a sample, q in [0, 1].
-/// Requires a non-empty sample.
+/// Linear-interpolated percentile of a sample. An empty sample yields
+/// quiet NaN; q outside [0, 1] (or NaN) throws std::invalid_argument —
+/// both guards hold in release builds too.
 [[nodiscard]] double percentile(std::span<const double> xs, double q);
 
 /// Formats a double with the given precision, trimming trailing zeros.

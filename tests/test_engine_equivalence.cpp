@@ -1,0 +1,172 @@
+// Randomized engine-equivalence harness: observability and recording are
+// pure observers. For random instances (with outages and unannounced
+// faults), running the same policy with schedule recording on/off and
+// tracing on/off must produce IDENTICAL results — completion times exact to
+// the bit, stats equal field by field, interval histories equal whenever
+// they are recorded, and trace streams equal whenever they are emitted.
+//
+// This pins the active-set engine core against observer effects: any
+// accidental dependence of the hot path on a recorder, sink or counter
+// (e.g. a progress update done only when tracing) breaks this suite
+// immediately and exactly, with no tolerance to hide behind.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "sched/factory.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+#include "workloads/outages.hpp"
+#include "workloads/random_instances.hpp"
+
+namespace ecs {
+namespace {
+
+struct Variant {
+  SimResult result;
+  std::vector<obs::TraceRecord> trace;
+};
+
+Variant run_variant(const Instance& instance, const std::string& policy_name,
+                    const FaultPlan& faults, bool record, bool traced) {
+  const auto policy = make_policy(policy_name);
+  EngineConfig config;
+  config.record_schedule = record;
+  config.faults = faults;
+  obs::MemoryTraceSink sink;
+  if (traced) config.trace = &sink;
+  Variant v;
+  v.result = simulate(instance, *policy, config);
+  v.trace = sink.records();
+  return v;
+}
+
+void expect_same_run_record(const RunRecord& a, const RunRecord& b) {
+  EXPECT_EQ(a.alloc, b.alloc);
+  EXPECT_EQ(a.exec, b.exec);
+  EXPECT_EQ(a.uplink, b.uplink);
+  EXPECT_EQ(a.downlink, b.downlink);
+}
+
+void expect_same_schedule(const Schedule& a, const Schedule& b) {
+  ASSERT_EQ(a.job_count(), b.job_count());
+  for (int id = 0; id < a.job_count(); ++id) {
+    expect_same_run_record(a.job(id).final_run, b.job(id).final_run);
+    ASSERT_EQ(a.job(id).abandoned.size(), b.job(id).abandoned.size());
+    for (std::size_t r = 0; r < a.job(id).abandoned.size(); ++r) {
+      expect_same_run_record(a.job(id).abandoned[r], b.job(id).abandoned[r]);
+    }
+  }
+}
+
+/// Everything except policy_seconds (wall time is never reproducible).
+void expect_same_stats(const SimStats& a, const SimStats& b) {
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.decisions, b.decisions);
+  EXPECT_EQ(a.reassignments, b.reassignments);
+  EXPECT_EQ(a.fault_aborts, b.fault_aborts);
+  EXPECT_EQ(a.message_losses, b.message_losses);
+  EXPECT_EQ(a.preemptions, b.preemptions);
+  EXPECT_EQ(a.uplink_retransmits, b.uplink_retransmits);
+  EXPECT_EQ(a.downlink_retransmits, b.downlink_retransmits);
+  EXPECT_EQ(a.max_queue_depth, b.max_queue_depth);
+}
+
+void expect_same_fault_log(const std::vector<Event>& a,
+                           const std::vector<Event>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].job, b[i].job);
+    EXPECT_EQ(a[i].time, b[i].time);  // exact: same arithmetic, same bits
+    EXPECT_EQ(a[i].cloud, b[i].cloud);
+  }
+}
+
+class EngineEquivalence
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {};
+
+TEST_P(EngineEquivalence, ObserversDoNotPerturbTheRun) {
+  const auto& [policy_name, seed] = GetParam();
+
+  RandomInstanceConfig cfg;
+  cfg.n = 150;
+  cfg.cloud_count = 3;
+  cfg.slow_edges = 2;
+  cfg.fast_edges = 2;
+  cfg.load = seed % 2 == 0 ? 0.1 : 0.3;
+  cfg.ccr = seed % 3 == 0 ? 5.0 : 1.0;
+  Rng rng(1000 + seed);
+  Instance instance = make_random_instance(cfg, rng);
+
+  if (seed % 2 == 1) {  // announced outage windows on odd seeds
+    OutageConfig outage_cfg;
+    outage_cfg.fraction = 0.1;
+    outage_cfg.mean_duration = 10.0;
+    outage_cfg.horizon = 500.0;
+    Rng outage_rng(2000 + seed);
+    instance.cloud_outages =
+        make_cloud_outages(cfg.cloud_count, outage_cfg, outage_rng);
+  }
+
+  FaultPlan faults;
+  if (seed % 3 != 0) {  // unannounced crashes + losses on most seeds
+    FaultConfig fault_cfg;
+    fault_cfg.crash_rate = 0.002;
+    fault_cfg.mean_repair = 20.0;
+    fault_cfg.loss_rate = 0.005;
+    fault_cfg.horizon = 500.0;
+    Rng fault_rng(3000 + seed);
+    faults = make_fault_plan(cfg.cloud_count, fault_cfg, fault_rng);
+  }
+
+  const Variant rec_traced =
+      run_variant(instance, policy_name, faults, true, true);
+  const Variant rec_plain =
+      run_variant(instance, policy_name, faults, true, false);
+  const Variant bare_traced =
+      run_variant(instance, policy_name, faults, false, true);
+  const Variant bare_plain =
+      run_variant(instance, policy_name, faults, false, false);
+
+  // Completion times: exact equality against the fully-instrumented run.
+  for (const Variant* v : {&rec_plain, &bare_traced, &bare_plain}) {
+    ASSERT_EQ(v->result.completions.size(),
+              rec_traced.result.completions.size());
+    for (std::size_t i = 0; i < v->result.completions.size(); ++i) {
+      EXPECT_EQ(v->result.completions[i], rec_traced.result.completions[i])
+          << "job " << i;
+    }
+    expect_same_stats(v->result.stats, rec_traced.result.stats);
+    expect_same_fault_log(v->result.fault_log, rec_traced.result.fault_log);
+  }
+
+  // Interval histories: identical whenever recorded.
+  expect_same_schedule(rec_traced.result.schedule, rec_plain.result.schedule);
+
+  // Trace streams: identical whenever emitted (recording is invisible).
+  ASSERT_EQ(rec_traced.trace.size(), bare_traced.trace.size());
+  for (std::size_t i = 0; i < rec_traced.trace.size(); ++i) {
+    EXPECT_EQ(rec_traced.trace[i], bare_traced.trace[i]) << "record " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PoliciesBySeeds, EngineEquivalence,
+    ::testing::Combine(::testing::Values("edge-only", "greedy", "srpt",
+                                         "ssf-edf", "fcfs",
+                                         "failover-srpt"),
+                       ::testing::Range(0, 4)),
+    [](const auto& info) {
+      std::string name = std::get<0>(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name + "_seed" + std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace ecs

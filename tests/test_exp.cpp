@@ -51,6 +51,22 @@ TEST(Parallel, PropagatesException) {
                std::runtime_error);
 }
 
+TEST(Parallel, AbortsRemainingWorkOnFirstException) {
+  // With every body throwing, the abort flag must stop workers from
+  // claiming new indices: out of 100000 only a handful (at most one
+  // in-flight per worker, plus the raciness of the relaxed flag) may run.
+  std::atomic<int> invocations{0};
+  EXPECT_THROW(parallel_for(
+                   100000,
+                   [&](std::size_t) {
+                     invocations.fetch_add(1);
+                     throw std::runtime_error("boom");
+                   },
+                   4),
+               std::runtime_error);
+  EXPECT_LE(invocations.load(), 64);  // far below 100000 => short-circuited
+}
+
 TEST(Runner, ValidatedRunProducesMetrics) {
   const Instance instance = tiny_instance(1);
   RunOptions options;

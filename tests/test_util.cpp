@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 #include "util/args.hpp"
 #include "util/rng.hpp"
@@ -126,6 +127,18 @@ TEST(StatsTest, Percentiles) {
   EXPECT_DOUBLE_EQ(percentile(xs, 0.25), 2.0);
 }
 
+TEST(StatsTest, PercentileEmptyIsNaN) {
+  // Release builds must not read out of bounds; empty in => NaN out.
+  EXPECT_TRUE(std::isnan(percentile({}, 0.5)));
+}
+
+TEST(StatsTest, PercentileRejectsBadQ) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  EXPECT_THROW((void)percentile(xs, -0.1), std::invalid_argument);
+  EXPECT_THROW((void)percentile(xs, 1.1), std::invalid_argument);
+  EXPECT_THROW((void)percentile(xs, std::nan("")), std::invalid_argument);
+}
+
 TEST(StatsTest, SummarizeEmptyAndSingle) {
   EXPECT_EQ(summarize({}).count, 0u);
   const std::vector<double> one = {7.0};
@@ -185,6 +198,49 @@ TEST(ArgsTest, Lists) {
   EXPECT_EQ(ns[1], 200);
   const auto fallback = args.get_double_list("missing", {5.0});
   ASSERT_EQ(fallback.size(), 1u);
+}
+
+TEST(ArgsTest, RejectsMalformedNumbers) {
+  // Every token here used to be silently read as 0 (or truncated): a typo'd
+  // sweep flag would run the whole experiment with a bogus parameter.
+  const char* argv[] = {"prog", "--n=abc", "--load=0.5x", "--m=10x"};
+  const Args args = Args::parse(4, argv);
+  EXPECT_THROW((void)args.get_int("n", 7), std::invalid_argument);
+  EXPECT_THROW((void)args.get_double("load", 1.0), std::invalid_argument);
+  EXPECT_THROW((void)args.get_int("m", 7), std::invalid_argument);
+  EXPECT_THROW((void)args.get_double("n", 1.0), std::invalid_argument);
+}
+
+TEST(ArgsTest, RejectsOutOfRangeNumbers) {
+  const char* argv[] = {"prog", "--big=99999999999999999999", "--x=1e999"};
+  const Args args = Args::parse(3, argv);
+  EXPECT_THROW((void)args.get_int("big", 0), std::invalid_argument);
+  EXPECT_THROW((void)args.get_double("x", 0.0), std::invalid_argument);
+}
+
+TEST(ArgsTest, BareFlagStillFallsBack) {
+  // `--resume` followed by another flag parses as a valueless boolean; the
+  // numeric accessors keep treating that as "not provided".
+  const char* argv[] = {"prog", "--resume", "--n=3"};
+  const Args args = Args::parse(3, argv);
+  EXPECT_EQ(args.get_int("resume", 42), 42);
+  EXPECT_DOUBLE_EQ(args.get_double("resume", 1.5), 1.5);
+}
+
+TEST(ArgsTest, RejectsMalformedListSegments) {
+  const char* argv[] = {"prog", "--ccr=0.1,oops,10", "--n=1,2x"};
+  const Args args = Args::parse(3, argv);
+  EXPECT_THROW((void)args.get_double_list("ccr", {}), std::invalid_argument);
+  EXPECT_THROW((void)args.get_int_list("n", {}), std::invalid_argument);
+}
+
+TEST(ArgsTest, ListsSkipEmptySegments) {
+  const char* argv[] = {"prog", "--ccr=0.1,,10,"};
+  const Args args = Args::parse(2, argv);
+  const auto ccrs = args.get_double_list("ccr", {});
+  ASSERT_EQ(ccrs.size(), 2u);
+  EXPECT_DOUBLE_EQ(ccrs[0], 0.1);
+  EXPECT_DOUBLE_EQ(ccrs[1], 10.0);
 }
 
 TEST(ArgsTest, DoubleDashStopsParsing) {
