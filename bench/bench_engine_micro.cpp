@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "bench_micro_common.hpp"
 
 #include "core/validate.hpp"
 #include "sched/fixed.hpp"
@@ -63,11 +64,10 @@ class OnReleasePolicy final : public ecs::Policy {
  public:
   explicit OnReleasePolicy(int clouds) : clouds_(clouds) {}
   [[nodiscard]] std::string name() const override { return "OnRelease"; }
-  [[nodiscard]] std::vector<ecs::Directive> decide(
-      const ecs::SimView& view,
-      const std::vector<ecs::Event>& events) override {
+  void decide(const ecs::SimView& view,
+              const std::vector<ecs::Event>& events,
+              std::vector<ecs::Directive>& out) override {
     (void)view;
-    std::vector<ecs::Directive> out;
     for (const ecs::Event& e : events) {
       if (e.kind != ecs::EventKind::kRelease) continue;
       const int target = (e.job % 2 == 0)
@@ -76,7 +76,6 @@ class OnReleasePolicy final : public ecs::Policy {
       out.push_back(
           ecs::Directive{e.job, target, static_cast<double>(e.job)});
     }
-    return out;
   }
 
  private:
@@ -174,103 +173,11 @@ void validator_cost(benchmark::State& state) {
 }
 BENCHMARK(validator_cost)->Arg(1000)->Unit(benchmark::kMillisecond);
 
-/// Console reporter that additionally collects every finished run and can
-/// write the compact JSON summary:
-///   [{"name": "engine_events_sparse/100000", "real_time_ms": ...,
-///     "events_per_s": ..., "per_event_ns": ...}, ...]
-/// events_per_s / per_event_ns are null for benchmarks without the counter
-/// (the validator bench processes no engine events). Subclassing the
-/// console reporter keeps the normal terminal output while avoiding the
-/// library's file-reporter path (which insists on --benchmark_out).
-class CompactJsonReporter final : public benchmark::ConsoleReporter {
- public:
-  void ReportRuns(const std::vector<Run>& runs) override {
-    benchmark::ConsoleReporter::ReportRuns(runs);
-    for (const Run& run : runs) {
-      if (run.error_occurred) continue;
-      Row row;
-      row.name = run.benchmark_name();
-      // Per-iteration wall time in milliseconds, independent of the
-      // benchmark's display unit.
-      row.real_time_ms =
-          run.iterations > 0
-              ? run.real_accumulated_time * 1e3 /
-                    static_cast<double>(run.iterations)
-              : 0.0;
-      const auto it = run.counters.find("events_per_s");
-      if (it != run.counters.end() && it->second.value > 0.0) {
-        row.events_per_s = it->second.value;
-        row.per_event_ns = 1e9 / it->second.value;
-        row.has_rate = true;
-      }
-      rows_.push_back(std::move(row));
-    }
-  }
-
-  void write(std::ostream& os) const {
-    os << "[\n";
-    for (std::size_t i = 0; i < rows_.size(); ++i) {
-      const Row& r = rows_[i];
-      os << "  {\"name\": \"" << r.name << "\""
-         << ", \"real_time_ms\": " << r.real_time_ms;
-      if (r.has_rate) {
-        os << ", \"events_per_s\": " << r.events_per_s
-           << ", \"per_event_ns\": " << r.per_event_ns;
-      } else {
-        os << ", \"events_per_s\": null, \"per_event_ns\": null";
-      }
-      os << "}" << (i + 1 < rows_.size() ? "," : "") << "\n";
-    }
-    os << "]\n";
-  }
-
- private:
-  struct Row {
-    std::string name;
-    double real_time_ms = 0.0;
-    double events_per_s = 0.0;
-    double per_event_ns = 0.0;
-    bool has_rate = false;
-  };
-  std::vector<Row> rows_;
-};
-
-/// Strips --json-out=PATH from argv (before benchmark::Initialize rejects
-/// it) and returns the path, empty when absent.
-std::string extract_json_out(int& argc, char** argv) {
-  const std::string prefix = "--json-out=";
-  std::string path;
-  int out = 1;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg.rfind(prefix, 0) == 0) {
-      path = arg.substr(prefix.size());
-      continue;
-    }
-    argv[out++] = argv[i];
-  }
-  argc = out;
-  return path;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
   ecs::bench::apply_log_level_argv(argc, argv);
-  const std::string json_path = extract_json_out(argc, argv);
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  CompactJsonReporter reporter;
-  benchmark::RunSpecifiedBenchmarks(&reporter);
-  benchmark::Shutdown();
-  if (!json_path.empty()) {
-    std::ofstream out(json_path);
-    if (!out) {
-      std::cerr << "cannot write benchmark JSON to " << json_path << "\n";
-      return 1;
-    }
-    reporter.write(out);
-    std::cout << "benchmark JSON -> " << json_path << "\n";
-  }
-  return 0;
+  const std::string json_path = ecs::bench::extract_json_out(argc, argv);
+  ecs::bench::CompactJsonReporter reporter("events_per_s", "per_event_ns");
+  return ecs::bench::run_micro_benchmarks(argc, argv, json_path, reporter);
 }

@@ -6,6 +6,11 @@
 // are written into caller-preallocated slots, so the aggregation is
 // deterministic regardless of thread interleaving. On a single-core host
 // it degrades gracefully to a serial loop.
+//
+// Workers live in a lazily-initialized persistent pool (grown on demand,
+// joined at process exit), so repeated calls do not pay thread spawn/join
+// per invocation. Top-level calls from distinct threads serialize; a
+// nested parallel_for from inside a body runs serially on that thread.
 #pragma once
 
 #include <cstddef>

@@ -30,14 +30,16 @@ std::pair<int, Time> best_target_sticky(const Platform& platform,
   return {best_target, best};
 }
 
-std::vector<Directive> list_assign_directives(
-    const SimView& view, const std::vector<OrderedJob>& order) {
+void list_assign_directives(const SimView& view,
+                            const std::vector<OrderedJob>& order,
+                            ResourceClock& clock,
+                            std::vector<Directive>& out) {
   const Platform& platform = view.platform();
   const Time now = view.now();
-  // Outage-aware: projections mirror the engine's availability windows.
-  ResourceClock clock(view.instance(), now);
-  std::vector<Directive> directives;
-  directives.reserve(order.size());
+  // Outage-aware: projections mirror the engine's availability windows
+  // (the caller bound `clock` to the instance; reset is O(1)).
+  clock.reset(now);
+  out.reserve(out.size() + order.size());
   double priority = 0.0;
   for (const OrderedJob& entry : order) {
     const JobState& s = view.state(entry.id);
@@ -45,10 +47,17 @@ std::vector<Directive> list_assign_directives(
     (void)done;
     const bool immediate = clock.starts_now(platform, s, target, now);
     clock.commit(platform, s, target);
-    directives.push_back(
+    out.push_back(
         Directive{entry.id, immediate ? target : kTargetKeep, priority});
     priority += 1.0;
   }
+}
+
+std::vector<Directive> list_assign_directives(
+    const SimView& view, const std::vector<OrderedJob>& order) {
+  ResourceClock clock(view.instance(), view.now());
+  std::vector<Directive> directives;
+  list_assign_directives(view, order, clock, directives);
   return directives;
 }
 
@@ -80,28 +89,6 @@ int pick_fresh_cloud(const SimView& view,
     }
   }
   return best >= 0 ? best : fallback;
-}
-
-double min_feasible_stretch(double lo, double epsilon, int max_iterations,
-                            const std::function<bool(double)>& feasible) {
-  double hi = std::max(lo, 1.0);
-  int iterations = 0;
-  while (!feasible(hi) && iterations < max_iterations) {
-    hi *= 2.0;
-    ++iterations;
-  }
-  double best = hi;
-  double cursor = lo;
-  while ((best - cursor) > epsilon * best && iterations < max_iterations) {
-    const double mid = 0.5 * (cursor + best);
-    if (feasible(mid)) {
-      best = mid;
-    } else {
-      cursor = mid;
-    }
-    ++iterations;
-  }
-  return best;
 }
 
 bool contains_release(const std::vector<Event>& events) {

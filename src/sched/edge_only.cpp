@@ -6,43 +6,44 @@ namespace ecs {
 
 void EdgeOnlyPolicy::reset(const Instance& instance) {
   deadlines_.assign(instance.jobs.size(), kTimeInfinity);
+  entries_.clear();
+  touched_.assign(
+      static_cast<std::size_t>(instance.platform.edge_count()), 0);
 }
 
-bool EdgeOnlyPolicy::feasible_on_edge(
-    const SimView& view, EdgeId j, double stretch,
-    std::vector<double>* deadlines_out) const {
+bool EdgeOnlyPolicy::feasible_on_edge(const SimView& view, EdgeId j,
+                                      double stretch,
+                                      std::vector<double>* deadlines_out) {
   // On a single machine with every candidate job already released,
   // preemptive EDF is optimal and feasibility reduces to: process jobs by
   // deadline; the cumulative remaining execution time must meet each
   // deadline.
-  struct Entry {
-    JobId id;
-    double deadline;
-    double exec_time;  // remaining execution time on this edge
-  };
   const Platform& platform = view.platform();
   const double speed = platform.edge_speed(j);
-  std::vector<Entry> entries;
-  for (const JobState& s : view.states()) {
-    if (!s.live() || s.job.origin != j) continue;
+  entries_.clear();
+  for (const JobId id : view.live_jobs()) {
+    const JobState& s = view.state(id);
+    if (s.job.origin != j) continue;
     // Edge-Only never allocates elsewhere, so remaining work is meaningful
     // only for an edge allocation; an unassigned job is fresh.
     const double rem_work =
         (s.alloc == kAllocEdge) ? clamp_amount(s.rem_work) : s.job.work;
-    entries.push_back(Entry{s.job.id,
-                            s.job.release + stretch * s.best_time,
-                            rem_work / speed});
+    entries_.push_back(Entry{s.job.id,
+                             s.job.release + stretch * s.best_time,
+                             rem_work / speed});
   }
-  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
-    return a.deadline != b.deadline ? a.deadline < b.deadline : a.id < b.id;
-  });
+  std::sort(entries_.begin(), entries_.end(),
+            [](const Entry& a, const Entry& b) {
+              return a.deadline != b.deadline ? a.deadline < b.deadline
+                                              : a.id < b.id;
+            });
   Time cursor = view.now();
-  for (const Entry& e : entries) {
+  for (const Entry& e : entries_) {
     cursor += e.exec_time;
     if (time_gt(cursor, e.deadline)) return false;
   }
   if (deadlines_out != nullptr) {
-    for (const Entry& e : entries) (*deadlines_out)[e.id] = e.deadline;
+    for (const Entry& e : entries_) (*deadlines_out)[e.id] = e.deadline;
   }
   return true;
 }
@@ -52,8 +53,9 @@ void EdgeOnlyPolicy::recompute_edge_deadlines(const SimView& view, EdgeId j) {
   const double speed = platform.edge_speed(j);
   double lo = 1.0;
   bool any = false;
-  for (const JobState& s : view.states()) {
-    if (!s.live() || s.job.origin != j) continue;
+  for (const JobId id : view.live_jobs()) {
+    const JobState& s = view.state(id);
+    if (s.job.origin != j) continue;
     any = true;
     const double rem_work =
         (s.alloc == kAllocEdge) ? clamp_amount(s.rem_work) : s.job.work;
@@ -68,28 +70,28 @@ void EdgeOnlyPolicy::recompute_edge_deadlines(const SimView& view, EdgeId j) {
   (void)feasible_on_edge(view, j, best, &deadlines_);
 }
 
-std::vector<Directive> EdgeOnlyPolicy::decide(
-    const SimView& view, const std::vector<Event>& events) {
+void EdgeOnlyPolicy::decide(const SimView& view,
+                            const std::vector<Event>& events,
+                            std::vector<Directive>& out) {
   // Recompute deadlines only for edges that saw a release in this batch.
-  std::vector<char> touched(view.platform().edge_count(), 0);
+  touched_.assign(
+      static_cast<std::size_t>(view.platform().edge_count()), 0);
   for (const Event& e : events) {
     if (e.kind == EventKind::kRelease) {
-      touched[view.state(e.job).job.origin] = 1;
+      touched_[view.state(e.job).job.origin] = 1;
     }
   }
   for (EdgeId j = 0; j < view.platform().edge_count(); ++j) {
-    if (touched[j]) recompute_edge_deadlines(view, j);
+    if (touched_[j]) recompute_edge_deadlines(view, j);
   }
 
   // EDF on every edge: priority = deadline; the engine runs, per edge, the
   // allocated job with the smallest priority (preempting as needed).
-  std::vector<Directive> directives;
-  for (const JobState& s : view.states()) {
-    if (!s.live()) continue;
-    directives.push_back(
-        Directive{s.job.id, kAllocEdge, deadlines_[s.job.id]});
+  const std::span<const JobId> live = view.live_jobs();
+  out.reserve(out.size() + live.size());
+  for (const JobId id : live) {
+    out.push_back(Directive{id, kAllocEdge, deadlines_[id]});
   }
-  return directives;
 }
 
 }  // namespace ecs

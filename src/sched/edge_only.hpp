@@ -34,21 +34,32 @@ class EdgeOnlyPolicy final : public Policy {
 
   void reset(const Instance& instance) override;
 
-  [[nodiscard]] std::vector<Directive> decide(
-      const SimView& view, const std::vector<Event>& events) override;
+  void decide(const SimView& view, const std::vector<Event>& events,
+              std::vector<Directive>& out) override;
 
  private:
+  /// One candidate job of the per-edge EDF feasibility test.
+  struct Entry {
+    JobId id;
+    double deadline;
+    double exec_time;  ///< remaining execution time on this edge
+  };
+
   /// Smallest feasible stretch for the live jobs of edge `j` from the
   /// current state; exact up to epsilon (single-machine preemptive EDF).
   void recompute_edge_deadlines(const SimView& view, EdgeId j);
 
   /// Single-machine EDF feasibility for candidate stretch S on edge j.
+  /// Non-const: it reuses the workspace entry buffer.
   [[nodiscard]] bool feasible_on_edge(const SimView& view, EdgeId j,
                                       double stretch,
-                                      std::vector<double>* deadlines_out) const;
+                                      std::vector<double>* deadlines_out);
 
   EdgeOnlyConfig config_;
   std::vector<double> deadlines_;
+  // Workspace, reused across decide() calls (zero steady-state allocation).
+  std::vector<Entry> entries_;
+  std::vector<char> touched_;  ///< edges with a release in this batch
 };
 
 }  // namespace ecs

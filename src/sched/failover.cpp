@@ -41,6 +41,11 @@ void FailoverPolicy::reset(const Instance& instance) {
   failures_.assign(pc, 0);
   retry_at_.assign(pc, -kTimeInfinity);
   down_.assign(pc, 0);
+  faulted_.assign(pc, 0);
+  crashed_.assign(pc, 0);
+  cloud_load_.assign(pc, 0);
+  directed_stamp_.assign(instance.jobs.size(), 0);
+  round_ = 0;
   base_->reset(instance);
 }
 
@@ -87,15 +92,21 @@ int FailoverPolicy::reroute_target(const SimView& view, const JobState& state,
   return best_cloud;
 }
 
-std::vector<Directive> FailoverPolicy::decide(
-    const SimView& view, const std::vector<Event>& events) {
+void FailoverPolicy::decide(const SimView& view,
+                            const std::vector<Event>& events,
+                            std::vector<Directive>& out) {
   const Time now = view.now();
+  if (directed_stamp_.size() < view.states().size()) {
+    directed_stamp_.assign(view.states().size(), 0);  // never-reset guard
+  }
 
   // 1. Digest the fault/recovery events. Several kFault events for one
   //    cloud in the same batch (a crash aborting many jobs) count as ONE
   //    incident against that cloud's health.
-  std::vector<char> faulted(failures_.size(), 0);
-  std::vector<char> crashed(failures_.size(), 0);
+  std::vector<char>& faulted = faulted_;
+  std::vector<char>& crashed = crashed_;
+  faulted.assign(failures_.size(), 0);
+  crashed.assign(failures_.size(), 0);
   for (const Event& e : events) {
     if (e.cloud < 0 ||
         static_cast<std::size_t>(e.cloud) >= failures_.size()) {
@@ -128,20 +139,28 @@ std::vector<Directive> FailoverPolicy::decide(
   // 2. Let the base policy decide, then rewrite unhealthy placements.
   //    Reroutes balance on live resident counts (updated as we reroute) so
   //    a batch of stranded jobs spreads over the healthy clouds.
-  std::vector<int> cloud_load(failures_.size(), 0);
-  for (const JobState& s : view.states()) {
-    if (s.live() && is_cloud_alloc(s.alloc) &&
+  std::vector<int>& cloud_load = cloud_load_;
+  cloud_load.assign(failures_.size(), 0);
+  for (const JobId id : view.live_jobs()) {
+    const JobState& s = view.state(id);
+    if (is_cloud_alloc(s.alloc) &&
         static_cast<std::size_t>(s.alloc) < cloud_load.size()) {
       ++cloud_load[s.alloc];
     }
   }
-  std::vector<Directive> directives = base_->decide(view, events);
-  std::vector<char> directed(view.states().size(), 0);
-  for (Directive& d : directives) {
-    if (d.job < 0 || static_cast<std::size_t>(d.job) >= directed.size()) {
+  const std::size_t base_begin = out.size();
+  base_->decide(view, events, out);
+  if (++round_ == 0) {  // wrap: stale stamps could collide, wipe them
+    std::fill(directed_stamp_.begin(), directed_stamp_.end(), 0U);
+    round_ = 1;
+  }
+  for (std::size_t i = base_begin; i < out.size(); ++i) {
+    Directive& d = out[i];
+    if (d.job < 0 ||
+        static_cast<std::size_t>(d.job) >= directed_stamp_.size()) {
       continue;  // the engine reports malformed directives, not us
     }
-    directed[d.job] = 1;
+    directed_stamp_[d.job] = round_;
     const JobState& s = view.state(d.job);
     const int effective = d.target == kTargetKeep ? s.alloc : d.target;
     if (!is_cloud_alloc(effective) ||
@@ -159,17 +178,17 @@ std::vector<Directive> FailoverPolicy::decide(
 
   // 3. Evacuate residents of dead/blacklisted clouds that the base policy
   //    left alone (it sees nothing wrong with them).
-  for (const JobState& s : view.states()) {
-    if (!s.live() || directed[s.job.id] != 0) continue;
+  for (const JobId id : view.live_jobs()) {
+    const JobState& s = view.state(id);
+    if (directed_stamp_[id] == round_) continue;
     if (!is_cloud_alloc(s.alloc) ||
         static_cast<std::size_t>(s.alloc) >= failures_.size() ||
         !evacuate(s.alloc)) {
       continue;
     }
-    directives.push_back(Directive{s.job.id, reroute_target(view, s, now, cloud_load),
-                                   kEvacuationPriority});
+    out.push_back(Directive{s.job.id, reroute_target(view, s, now, cloud_load),
+                            kEvacuationPriority});
   }
-  return directives;
 }
 
 }  // namespace ecs

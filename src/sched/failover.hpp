@@ -24,6 +24,7 @@
 // its base policy's schedule event-for-event.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -49,8 +50,8 @@ class FailoverPolicy final : public Policy {
 
   [[nodiscard]] std::string name() const override;
   void reset(const Instance& instance) override;
-  [[nodiscard]] std::vector<Directive> decide(
-      const SimView& view, const std::vector<Event>& events) override;
+  void decide(const SimView& view, const std::vector<Event>& events,
+              std::vector<Directive>& out) override;
 
   /// Health introspection (tests and diagnostics).
   [[nodiscard]] bool blacklisted(CloudId k) const;
@@ -75,6 +76,15 @@ class FailoverPolicy final : public Policy {
   std::vector<int> failures_;     ///< faults seen per cloud
   std::vector<double> retry_at_;  ///< backoff expiry per cloud
   std::vector<char> down_;        ///< crashed and not yet recovered
+  // Workspace, reused across decide() calls (zero steady-state allocation).
+  std::vector<char> faulted_;     ///< per-cloud: saw a kFault this batch
+  std::vector<char> crashed_;     ///< per-cloud: saw a crash this batch
+  std::vector<int> cloud_load_;   ///< live residents per cloud (reroutes)
+  /// Round-stamped "has a base directive" marks: directed_stamp_[job] ==
+  /// round_ means the base policy issued a directive for the job this
+  /// round. Replaces an O(n) boolean reset per decide().
+  std::vector<std::uint32_t> directed_stamp_;
+  std::uint32_t round_ = 0;
 };
 
 }  // namespace ecs

@@ -4,17 +4,22 @@
 
 namespace ecs {
 
-std::vector<Directive> FcfsPolicy::decide(const SimView& view,
-                                          const std::vector<Event>& events) {
+void FcfsPolicy::reset(const Instance& instance) {
+  clock_.bind(instance, 0.0);
+  order_.clear();
+}
+
+void FcfsPolicy::decide(const SimView& view, const std::vector<Event>& events,
+                        std::vector<Directive>& out) {
   (void)events;
 
-  std::vector<OrderedJob> order;
-  for (const JobState& s : view.states()) {
-    if (!s.live()) continue;
-    order.push_back(OrderedJob{s.job.id, s.job.release});
+  order_.clear();
+  for (const JobId id : view.live_jobs()) {
+    order_.push_back(OrderedJob{id, view.state(id).job.release});
   }
-  sort_ordered(order);
-  return list_assign_directives(view, order);
+  sort_ordered(order_);
+  if (!clock_.bound()) clock_.bind(view.instance(), view.now());
+  list_assign_directives(view, order_, clock_, out);
 }
 
 }  // namespace ecs

@@ -15,8 +15,15 @@ class FcfsPolicy final : public Policy {
  public:
   [[nodiscard]] std::string name() const override { return "FCFS"; }
 
-  [[nodiscard]] std::vector<Directive> decide(
-      const SimView& view, const std::vector<Event>& events) override;
+  void reset(const Instance& instance) override;
+
+  void decide(const SimView& view, const std::vector<Event>& events,
+              std::vector<Directive>& out) override;
+
+ private:
+  // Workspace, reused across decide() calls (zero steady-state allocation).
+  std::vector<OrderedJob> order_;
+  ResourceClock clock_;
 };
 
 }  // namespace ecs

@@ -25,16 +25,14 @@ class FixedPolicy final : public Policy {
 
   [[nodiscard]] std::string name() const override { return "Fixed"; }
 
-  [[nodiscard]] std::vector<Directive> decide(
-      const SimView& view, const std::vector<Event>& events) override {
+  void decide(const SimView& view, const std::vector<Event>& events,
+              std::vector<Directive>& out) override {
     (void)events;
-    std::vector<Directive> directives;
-    for (const JobState& s : view.states()) {
-      if (!s.live()) continue;
-      directives.push_back(
-          Directive{s.job.id, alloc_.at(s.job.id), priority_.at(s.job.id)});
+    const std::span<const JobId> live = view.live_jobs();
+    out.reserve(out.size() + live.size());
+    for (const JobId id : live) {
+      out.push_back(Directive{id, alloc_.at(id), priority_.at(id)});
     }
-    return directives;
   }
 
  private:

@@ -14,18 +14,30 @@ constexpr double kSwitchMargin = 0.10;
 
 }  // namespace
 
-std::vector<Directive> GreedyPolicy::decide(const SimView& view,
-                                            const std::vector<Event>& events) {
+void GreedyPolicy::reset(const Instance& instance) {
+  (void)instance;
+  candidates_.clear();
+  edge_free_.clear();
+  cloud_free_.clear();
+}
+
+void GreedyPolicy::decide(const SimView& view,
+                          const std::vector<Event>& events,
+                          std::vector<Directive>& out) {
   (void)events;  // Greedy recomputes its choices from scratch at each event.
   const Platform& platform = view.platform();
   const Time now = view.now();
 
-  std::vector<JobId> candidates = view.live_jobs();
-  std::vector<char> edge_free(platform.edge_count(), 1);
-  std::vector<char> cloud_free(platform.cloud_count(), 1);
+  const std::span<const JobId> live = view.live_jobs();
+  std::vector<JobId>& candidates = candidates_;
+  candidates.assign(live.begin(), live.end());
+  std::vector<char>& edge_free = edge_free_;
+  std::vector<char>& cloud_free = cloud_free_;
+  edge_free.assign(static_cast<std::size_t>(platform.edge_count()), 1);
+  cloud_free.assign(static_cast<std::size_t>(platform.cloud_count()), 1);
 
-  std::vector<Directive> directives;
-  directives.reserve(candidates.size());
+  std::vector<Directive>& directives = out;
+  directives.reserve(directives.size() + candidates.size());
   double priority = 0.0;
 
 
@@ -107,7 +119,6 @@ std::vector<Directive> GreedyPolicy::decide(const SimView& view,
     }
     candidates.erase(candidates.begin() + static_cast<std::ptrdiff_t>(best_pos));
   }
-  return directives;
 }
 
 }  // namespace ecs

@@ -20,8 +20,16 @@ class GreedyPolicy final : public Policy {
  public:
   [[nodiscard]] std::string name() const override { return "Greedy"; }
 
-  [[nodiscard]] std::vector<Directive> decide(
-      const SimView& view, const std::vector<Event>& events) override;
+  void reset(const Instance& instance) override;
+
+  void decide(const SimView& view, const std::vector<Event>& events,
+              std::vector<Directive>& out) override;
+
+ private:
+  // Workspace, reused across decide() calls (zero steady-state allocation).
+  std::vector<JobId> candidates_;
+  std::vector<char> edge_free_;
+  std::vector<char> cloud_free_;
 };
 
 }  // namespace ecs

@@ -32,11 +32,17 @@ class SrptPolicy final : public Policy {
     return config_.allow_reexecution ? "SRPT" : "SRPT-noreexec";
   }
 
-  [[nodiscard]] std::vector<Directive> decide(
-      const SimView& view, const std::vector<Event>& events) override;
+  void reset(const Instance& instance) override;
+
+  void decide(const SimView& view, const std::vector<Event>& events,
+              std::vector<Directive>& out) override;
 
  private:
   SrptConfig config_;
+  // Workspace, reused across decide() calls (zero steady-state allocation).
+  std::vector<JobId> candidates_;
+  std::vector<char> edge_free_;
+  std::vector<char> cloud_free_;
 };
 
 }  // namespace ecs

@@ -8,37 +8,40 @@ namespace ecs {
 void SsfEdfPolicy::reset(const Instance& instance) {
   deadlines_.assign(instance.jobs.size(), kTimeInfinity);
   last_target_stretch_ = 0.0;
+  clock_.bind(instance, 0.0);
+  entries_.clear();
+  order_.clear();
 }
 
 bool SsfEdfPolicy::feasible(const SimView& view, double stretch,
-                            std::vector<double>* deadlines_out) const {
+                            std::vector<double>* deadlines_out) {
   const Platform& platform = view.platform();
-  const Time now = view.now();
 
   // Deadlines for this candidate stretch. The EDF order depends on the
-  // candidate (denominators differ between jobs), so it is recomputed for
-  // every probe — with the same (key, id) tie-break as decide().
-  std::vector<OrderedJob> entries;
-  for (const JobState& s : view.states()) {
-    if (!s.live()) continue;
-    entries.push_back(
+  // candidate (denominators differ between jobs), so the reused entry
+  // buffer is re-keyed and re-sorted for every probe — with the same
+  // (key, id) tie-break as decide().
+  entries_.clear();
+  for (const JobId id : view.live_jobs()) {
+    const JobState& s = view.state(id);
+    entries_.push_back(
         OrderedJob{s.job.id, s.job.release + stretch * s.best_time});
   }
-  sort_ordered(entries);
+  sort_ordered(entries_);
 
-  ResourceClock clock(view.instance(), now);
+  clock_.reset(view.now());
   bool ok = true;
-  for (const OrderedJob& e : entries) {
+  for (const OrderedJob& e : entries_) {
     const JobState& s = view.state(e.id);
-    const auto [target, done] = best_target_sticky(platform, clock, s);
-    clock.commit(platform, s, target);
+    const auto [target, done] = best_target_sticky(platform, clock_, s);
+    clock_.commit(platform, s, target);
     if (time_gt(done, e.key)) {
-      ok = false;
+      ok = false;  // short-circuit: one missed deadline sinks the candidate
       break;
     }
   }
   if (ok && deadlines_out != nullptr) {
-    for (const OrderedJob& e : entries) (*deadlines_out)[e.id] = e.key;
+    for (const OrderedJob& e : entries_) (*deadlines_out)[e.id] = e.key;
   }
   return ok;
 }
@@ -51,16 +54,21 @@ void SsfEdfPolicy::recompute_deadlines(const SimView& view) {
   // achievable stretch from the current state (and 1.0 overall).
   double lo = 1.0;
   bool any_live = false;
-  for (const JobState& s : view.states()) {
-    if (!s.live()) continue;
+  for (const JobId id : view.live_jobs()) {
+    const JobState& s = view.state(id);
     any_live = true;
     const Time best_done = best_uncontended_completion(platform, s, now);
     lo = std::max(lo, (best_done - s.job.release) / s.best_time);
   }
   if (!any_live) return;
 
-  const double best_feasible = min_feasible_stretch(
-      lo, config_.epsilon, config_.max_iterations,
+  // Warm start: consecutive releases see mostly the same live set, so the
+  // previous round's target stretch predicts this round's feasibility rung
+  // almost exactly; min_feasible_stretch_warm verifies the prediction and
+  // returns the same value the cold search would, with a fraction of the
+  // probes. The cold path (hint <= 0) covers the first release.
+  const double best_feasible = min_feasible_stretch_warm(
+      lo, config_.epsilon, config_.max_iterations, last_target_stretch_,
       [&](double s) { return feasible(view, s, nullptr); });
 
   const double target = config_.alpha * best_feasible;
@@ -74,8 +82,10 @@ void SsfEdfPolicy::recompute_deadlines(const SimView& view) {
   }
 }
 
-std::vector<Directive> SsfEdfPolicy::decide(const SimView& view,
-                                            const std::vector<Event>& events) {
+void SsfEdfPolicy::decide(const SimView& view,
+                          const std::vector<Event>& events,
+                          std::vector<Directive>& out) {
+  if (!clock_.bound()) clock_.bind(view.instance(), view.now());
   if (contains_release(events)) {
     recompute_deadlines(view);
   }
@@ -84,13 +94,12 @@ std::vector<Directive> SsfEdfPolicy::decide(const SimView& view,
   // put each on the processor where the projection completes it earliest.
   // Only jobs that actually start now are (re)allocated — see
   // list_assign_directives.
-  std::vector<OrderedJob> order;
-  for (const JobState& s : view.states()) {
-    if (!s.live()) continue;
-    order.push_back(OrderedJob{s.job.id, deadlines_[s.job.id]});
+  order_.clear();
+  for (const JobId id : view.live_jobs()) {
+    order_.push_back(OrderedJob{id, deadlines_[id]});
   }
-  sort_ordered(order);
-  return list_assign_directives(view, order);
+  sort_ordered(order_);
+  list_assign_directives(view, order_, clock_, out);
 }
 
 }  // namespace ecs

@@ -48,8 +48,8 @@ class SsfEdfPolicy final : public Policy {
 
   void reset(const Instance& instance) override;
 
-  [[nodiscard]] std::vector<Directive> decide(
-      const SimView& view, const std::vector<Event>& events) override;
+  void decide(const SimView& view, const std::vector<Event>& events,
+              std::vector<Directive>& out) override;
 
   /// Target stretch selected by the last binary search (for tests).
   [[nodiscard]] double last_target_stretch() const noexcept {
@@ -58,15 +58,21 @@ class SsfEdfPolicy final : public Policy {
 
  private:
   /// Tests whether target stretch S is achievable from the current state;
-  /// fills `deadlines` for live jobs when it is.
+  /// fills `deadlines` for live jobs when it is. Non-const: it reuses the
+  /// workspace entry buffer and projection clock.
   [[nodiscard]] bool feasible(const SimView& view, double stretch,
-                              std::vector<double>* deadlines_out) const;
+                              std::vector<double>* deadlines_out);
 
   void recompute_deadlines(const SimView& view);
 
   SsfEdfConfig config_;
   std::vector<double> deadlines_;  ///< per job; +inf until released
   double last_target_stretch_ = 0.0;
+  // Workspace, reused across decide() calls and feasibility probes (zero
+  // steady-state allocation; see DESIGN.md §6).
+  std::vector<OrderedJob> entries_;  ///< per-probe EDF entries
+  std::vector<OrderedJob> order_;    ///< decide()'s EDF order
+  ResourceClock clock_;  ///< probe + assignment projections (sequential)
 };
 
 }  // namespace ecs

@@ -368,7 +368,11 @@ class Engine {
     std::sort(live_sorted_.begin(), live_sorted_.end());
     const SimView view(instance_, states_, now_, &live_sorted_);
     const auto t0 = std::chrono::steady_clock::now();
-    std::vector<Directive> directives = policy_.decide(view, events_);
+    // One buffer, reused round after round: with the per-policy workspaces
+    // (DESIGN.md §6) the steady-state policy hot path allocates nothing.
+    std::vector<Directive>& directives = directives_;
+    directives.clear();
+    policy_.decide(view, events_, directives);
     const auto t1 = std::chrono::steady_clock::now();
     stats_.policy_seconds +=
         std::chrono::duration<double>(t1 - t0).count();
@@ -990,6 +994,7 @@ class Engine {
 
   // Scratch buffers reused across decision rounds.
   std::vector<std::pair<double, JobId>> order_;
+  std::vector<Directive> directives_;  ///< policy output, reused per round
 
   // --- observability (null sinks = everything below stays idle) ---
   obs::TraceSink* trace_ = nullptr;

@@ -20,6 +20,7 @@
 // allocation with the lowest priority (the engine stays work-conserving).
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -64,26 +65,40 @@ class SimView {
     return states_->at(id);
   }
 
-  /// Ids of released, unfinished jobs, ascending.
-  [[nodiscard]] std::vector<JobId> live_jobs() const {
+  /// Ids of released, unfinished jobs, ascending. Non-owning: the span
+  /// aliases the engine's sorted live index (no copy — this sits on every
+  /// policy's hot path) and is valid only while the view is. When the view
+  /// was built without a live index (hand-made views in tests), the list is
+  /// derived once from the states and cached in the view.
+  [[nodiscard]] std::span<const JobId> live_jobs() const {
     if (live_sorted_ != nullptr) return *live_sorted_;
-    std::vector<JobId> out;
-    for (const JobState& s : *states_) {
-      if (s.live()) out.push_back(s.job.id);
+    if (!fallback_built_) {
+      fallback_live_.clear();
+      for (const JobState& s : *states_) {
+        if (s.live()) fallback_live_.push_back(s.job.id);
+      }
+      fallback_built_ = true;
     }
-    return out;
+    return fallback_live_;
   }
 
  private:
   const Instance* instance_;
   const std::vector<JobState>* states_;
   const std::vector<JobId>* live_sorted_ = nullptr;
+  mutable std::vector<JobId> fallback_live_;  ///< lazy; null live_sorted_ only
+  mutable bool fallback_built_ = false;
   Time now_;
 };
 
 /// Base class for scheduling policies. Policies are stateful across one
 /// simulation (reset() is called at the start) but must not retain state
 /// across simulations.
+///
+/// decide() appends into a caller-owned buffer that the engine clears and
+/// reuses round after round; together with the per-policy workspaces
+/// (reused order/bitmap buffers and a resettable ResourceClock, see
+/// DESIGN.md §6) this makes the steady-state hot path allocation-free.
 class Policy {
  public:
   virtual ~Policy() = default;
@@ -95,8 +110,19 @@ class Policy {
 
   /// Called at every event batch. `events` holds everything that fired at
   /// the current time (several completions and releases can coincide).
-  [[nodiscard]] virtual std::vector<Directive> decide(
-      const SimView& view, const std::vector<Event>& events) = 0;
+  /// Appends the directives to `out`; the caller passes it in empty (the
+  /// engine clears and reuses one buffer across rounds) and `out` must not
+  /// alias any state the policy reads.
+  virtual void decide(const SimView& view, const std::vector<Event>& events,
+                      std::vector<Directive>& out) = 0;
+
+  /// Convenience for tests and tools: decide() into a fresh vector.
+  [[nodiscard]] std::vector<Directive> decide_copy(
+      const SimView& view, const std::vector<Event>& events) {
+    std::vector<Directive> out;
+    decide(view, events, out);
+    return out;
+  }
 };
 
 }  // namespace ecs

@@ -102,48 +102,79 @@ Time best_uncontended_completion(const Platform& platform,
   return best;
 }
 
-ResourceClock::ResourceClock(const Platform& platform, Time now)
-    : edge_cpu_(platform.edge_count(), now),
-      edge_send_(platform.edge_count(), now),
-      edge_recv_(platform.edge_count(), now),
-      cloud_cpu_(platform.cloud_count(), now),
-      cloud_send_(platform.cloud_count(), now),
-      cloud_recv_(platform.cloud_count(), now),
-      now_(now) {}
+ResourceClock::ResourceClock(const Platform& platform, Time now) {
+  bind(platform, now);
+}
 
-ResourceClock::ResourceClock(const Instance& instance, Time now)
-    : ResourceClock(instance.platform, now) {
+ResourceClock::ResourceClock(const Instance& instance, Time now) {
+  bind(instance, now);
+}
+
+void ResourceClock::bind(const Platform& platform, Time now) {
+  const auto edges = static_cast<std::size_t>(platform.edge_count());
+  const auto clouds = static_cast<std::size_t>(platform.cloud_count());
+  const auto size_lane = [](Lane& lane, std::size_t n) {
+    lane.time.assign(n, 0.0);
+    lane.epoch.assign(n, 0);
+  };
+  size_lane(edge_cpu_, edges);
+  size_lane(edge_send_, edges);
+  size_lane(edge_recv_, edges);
+  size_lane(cloud_cpu_, clouds);
+  size_lane(cloud_send_, clouds);
+  size_lane(cloud_recv_, clouds);
+  outages_ = nullptr;
+  epoch_ = 0;
+  reset(now);
+}
+
+void ResourceClock::bind(const Instance& instance, Time now) {
+  bind(instance.platform, now);
   if (!instance.cloud_outages.empty()) {
     outages_ = &instance.cloud_outages;
+  }
+}
+
+void ResourceClock::reset(Time now) noexcept {
+  now_ = now;
+  if (++epoch_ == 0) {
+    // Epoch wrap: stale tags from 2^32 resets ago could read as current.
+    // Wipe them (rare: once per 4 billion resets) and restart at 1.
+    for (Lane* lane : {&edge_cpu_, &edge_send_, &edge_recv_, &cloud_cpu_,
+                       &cloud_send_, &cloud_recv_}) {
+      std::fill(lane->epoch.begin(), lane->epoch.end(), 0U);
+    }
+    epoch_ = 1;
   }
 }
 
 ResourceClock::Projection ResourceClock::project_detail(
     const Platform& platform, const JobState& state, int target) const {
   const RemainingAmounts rem = remaining_on(state, target);
-  const EdgeId o = state.job.origin;
+  const auto o = static_cast<std::size_t>(state.job.origin);
   Projection p{};
   if (target == kAllocEdge) {
-    p.up_end = edge_cpu_[o];
-    p.exec_end = edge_cpu_[o] + rem.work / platform.edge_speed(o);
+    p.up_end = rd(edge_cpu_, o);
+    p.exec_end = rd(edge_cpu_, o) + rem.work / platform.edge_speed(state.job.origin);
     p.done = p.exec_end;
     return p;
   }
   const CloudId k = target;
+  const auto kc = static_cast<std::size_t>(k);
   const IntervalSet* outages = outages_of(k);
   // An already-uploaded job (rem.up == 0) has no uplink leg: it must not
   // inherit delays from other jobs' committed uplinks on the same ports
   // (commit() guards the port clocks the same way).
   const Time cursor = rem.up > 0.0
-                          ? std::max(edge_send_[o], cloud_recv_[k])
+                          ? std::max(rd(edge_send_, o), rd(cloud_recv_, kc))
                           : now_;
   p.up_end = advance_through_outages(outages, cursor, rem.up);
   p.exec_end =
-      advance_through_outages(outages, std::max(p.up_end, cloud_cpu_[k]),
+      advance_through_outages(outages, std::max(p.up_end, rd(cloud_cpu_, kc)),
                               rem.work / platform.cloud_speed(k));
   if (rem.down > 0.0) {
     const Time dn_start =
-        std::max({p.exec_end, cloud_send_[k], edge_recv_[o]});
+        std::max({p.exec_end, rd(cloud_send_, kc), rd(edge_recv_, o)});
     p.done = advance_through_outages(outages, dn_start, rem.down);
   } else {
     p.done = p.exec_end;
@@ -159,21 +190,21 @@ Time ResourceClock::project(const Platform& platform, const JobState& state,
 Time ResourceClock::commit(const Platform& platform, const JobState& state,
                            int target) {
   const Projection p = project_detail(platform, state, target);
-  const EdgeId o = state.job.origin;
+  const auto o = static_cast<std::size_t>(state.job.origin);
   if (target == kAllocEdge) {
-    edge_cpu_[o] = p.exec_end;
+    wr(edge_cpu_, o, p.exec_end);
     return p.done;
   }
-  const CloudId k = target;
+  const auto kc = static_cast<std::size_t>(target);
   const RemainingAmounts rem = remaining_on(state, target);
   if (rem.up > 0.0) {
-    edge_send_[o] = p.up_end;
-    cloud_recv_[k] = p.up_end;
+    wr(edge_send_, o, p.up_end);
+    wr(cloud_recv_, kc, p.up_end);
   }
-  cloud_cpu_[k] = p.exec_end;
+  wr(cloud_cpu_, kc, p.exec_end);
   if (rem.down > 0.0) {
-    cloud_send_[k] = p.done;
-    edge_recv_[o] = p.done;
+    wr(cloud_send_, kc, p.done);
+    wr(edge_recv_, o, p.done);
   }
   return p.done;
 }
@@ -182,23 +213,24 @@ bool ResourceClock::starts_now(const Platform& /*platform*/,
                                const JobState& state, int target,
                                Time now) const {
   const RemainingAmounts rem = remaining_on(state, target);
-  const EdgeId o = state.job.origin;
+  const auto o = static_cast<std::size_t>(state.job.origin);
   if (target == kAllocEdge) {
-    return time_le(edge_cpu_[o], now);
+    return time_le(rd(edge_cpu_, o), now);
   }
   const CloudId k = target;
+  const auto kc = static_cast<std::size_t>(k);
   // Nothing starts on a cloud inside one of its availability outages.
   if (const IntervalSet* outages = outages_of(k);
       outages != nullptr && outages->contains(now)) {
     return false;
   }
   if (rem.up > 0.0) {
-    return time_le(edge_send_[o], now) && time_le(cloud_recv_[k], now);
+    return time_le(rd(edge_send_, o), now) && time_le(rd(cloud_recv_, kc), now);
   }
   if (rem.work > 0.0) {
-    return time_le(cloud_cpu_[k], now);
+    return time_le(rd(cloud_cpu_, kc), now);
   }
-  return time_le(cloud_send_[k], now) && time_le(edge_recv_[o], now);
+  return time_le(rd(cloud_send_, kc), now) && time_le(rd(edge_recv_, o), now);
 }
 
 std::pair<int, Time> ResourceClock::best_target(

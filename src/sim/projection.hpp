@@ -18,6 +18,7 @@
 // amounts from scratch.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "core/platform.hpp"
@@ -54,14 +55,40 @@ namespace ecs {
 [[nodiscard]] CloudId fastest_cloud(const Platform& platform);
 
 /// Per-resource next-free times used by the list projection.
+///
+/// The clock is reusable: policies bind() it once per simulation (sizing
+/// the per-resource arrays, capturing the outage windows) and then reset()
+/// it at every projection pass. reset() is O(1) — each per-resource entry
+/// is epoch-tagged, an entry whose tag predates the current epoch reads as
+/// `now` (i.e. free), and commit() re-tags exactly the entries it writes.
+/// A freshly reset() clock is therefore indistinguishable from a newly
+/// constructed one, with no per-resource refill and no allocation.
 class ResourceClock {
  public:
+  /// Unbound clock; bind() must run before any projection.
+  ResourceClock() = default;
+
   ResourceClock(const Platform& platform, Time now);
 
   /// Outage-aware construction: projections suspend inside the announced
   /// availability windows of each cloud processor, exactly mirroring the
   /// engine's enforcement.
   ResourceClock(const Instance& instance, Time now);
+
+  /// Sizes the per-resource arrays for `platform` and resets to `now`.
+  /// Allocates (once); reset() afterwards never does.
+  void bind(const Platform& platform, Time now);
+
+  /// Outage-aware bind: also captures `instance.cloud_outages` (the
+  /// instance must outlive the clock's use).
+  void bind(const Instance& instance, Time now);
+
+  /// Restarts the clock at `now` with every resource free. O(1): bumps the
+  /// epoch so all stale entries read as `now`.
+  void reset(Time now) noexcept;
+
+  /// True once bind() (or a sizing constructor) has run.
+  [[nodiscard]] bool bound() const noexcept { return epoch_ != 0; }
 
   /// Completion time of the job on `target` given current clocks; does not
   /// modify the clocks.
@@ -77,8 +104,12 @@ class ResourceClock {
   [[nodiscard]] std::pair<int, Time> best_target(const Platform& platform,
                                                  const JobState& state) const;
 
-  [[nodiscard]] Time edge_cpu(EdgeId j) const { return edge_cpu_.at(j); }
-  [[nodiscard]] Time cloud_cpu(CloudId k) const { return cloud_cpu_.at(k); }
+  [[nodiscard]] Time edge_cpu(EdgeId j) const {
+    return rd(edge_cpu_, static_cast<std::size_t>(j));
+  }
+  [[nodiscard]] Time cloud_cpu(CloudId k) const {
+    return rd(cloud_cpu_, static_cast<std::size_t>(k));
+  }
 
   /// True when the job's *next* activity on `target` could begin
   /// immediately (at `now`) given the current clocks — i.e. the job would
@@ -95,6 +126,21 @@ class ResourceClock {
     Time exec_end;
     Time done;
   };
+  /// One per-resource lane: next-free times plus the epoch each entry was
+  /// written in. A stale epoch means "never touched since reset" = free.
+  struct Lane {
+    std::vector<Time> time;
+    std::vector<std::uint32_t> epoch;
+  };
+  // Unchecked indexing: these sit in the innermost projection loops and
+  // every caller derives `i` from a validated target / platform bound.
+  [[nodiscard]] Time rd(const Lane& lane, std::size_t i) const {
+    return lane.epoch[i] == epoch_ ? lane.time[i] : now_;
+  }
+  void wr(Lane& lane, std::size_t i, Time t) {
+    lane.time[i] = t;
+    lane.epoch[i] = epoch_;
+  }
   [[nodiscard]] Projection project_detail(const Platform& platform,
                                           const JobState& state,
                                           int target) const;
@@ -103,14 +149,15 @@ class ResourceClock {
                                                     : &outages_->at(k);
   }
 
-  std::vector<Time> edge_cpu_;
-  std::vector<Time> edge_send_;
-  std::vector<Time> edge_recv_;
-  std::vector<Time> cloud_cpu_;
-  std::vector<Time> cloud_send_;
-  std::vector<Time> cloud_recv_;
+  Lane edge_cpu_;
+  Lane edge_send_;
+  Lane edge_recv_;
+  Lane cloud_cpu_;
+  Lane cloud_send_;
+  Lane cloud_recv_;
   const std::vector<IntervalSet>* outages_ = nullptr;
   Time now_ = 0.0;
+  std::uint32_t epoch_ = 0;  ///< 0 = unbound; bind() starts at 1
 };
 
 /// Remaining amounts of the job if (re)started on `target`:

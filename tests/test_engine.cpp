@@ -133,12 +133,12 @@ TEST(Engine, ComputeOverlapsCommunication) {
 class SwitchPolicy final : public Policy {
  public:
   [[nodiscard]] std::string name() const override { return "Switch"; }
-  [[nodiscard]] std::vector<Directive> decide(
-      const SimView& view, const std::vector<Event>& events) override {
+  void decide(const SimView& view, const std::vector<Event>& events,
+              std::vector<Directive>& out) override {
     (void)events;
-    if (!view.state(0).live()) return {};
+    if (!view.state(0).live()) return;
     const int target = view.now() >= 2.0 ? 0 : kAllocEdge;
-    return {Directive{0, target, 0.0}};
+    out.push_back(Directive{0, target, 0.0});
   }
 };
 
@@ -152,10 +152,9 @@ TEST(Engine, ReexecutionDiscardsProgress) {
   class TwoJobSwitch final : public Policy {
    public:
     [[nodiscard]] std::string name() const override { return "Switch2"; }
-    [[nodiscard]] std::vector<Directive> decide(
-        const SimView& view, const std::vector<Event>& events) override {
+    void decide(const SimView& view, const std::vector<Event>& events,
+                std::vector<Directive>& out) override {
       (void)events;
-      std::vector<Directive> out;
       if (view.state(0).live()) {
         out.push_back(
             Directive{0, view.now() >= 2.0 ? 0 : kAllocEdge, 0.0});
@@ -163,7 +162,6 @@ TEST(Engine, ReexecutionDiscardsProgress) {
       if (view.state(1).live()) {
         out.push_back(Directive{1, kAllocEdge, 1.0});
       }
-      return out;
     }
   };
 
@@ -193,10 +191,9 @@ TEST(Engine, WorkConservationRunsUnselectedAllocatedJobs) {
    public:
     [[nodiscard]] std::string name() const override { return "OneShot"; }
     void reset(const Instance&) override { first_ = true; }
-    [[nodiscard]] std::vector<Directive> decide(
-        const SimView& view, const std::vector<Event>& events) override {
+    void decide(const SimView& view, const std::vector<Event>& events,
+                std::vector<Directive>& out) override {
       (void)events;
-      std::vector<Directive> out;
       if (view.state(0).live()) out.push_back(Directive{0, kAllocEdge, 0.0});
       if (first_) {
         if (view.state(1).live()) {
@@ -204,7 +201,6 @@ TEST(Engine, WorkConservationRunsUnselectedAllocatedJobs) {
         }
         first_ = false;
       }
-      return out;
     }
 
    private:
@@ -226,9 +222,9 @@ TEST(Engine, StallIsDetected) {
   class ParkAll final : public Policy {
    public:
     [[nodiscard]] std::string name() const override { return "ParkAll"; }
-    [[nodiscard]] std::vector<Directive> decide(
-        const SimView&, const std::vector<Event>&) override {
-      return {};  // never allocates anything
+    void decide(const SimView&, const std::vector<Event>&,
+                std::vector<Directive>&) override {
+      // never allocates anything
     }
   };
 
@@ -260,14 +256,12 @@ TEST(Engine, EventCapStopsThrashingPolicies) {
    public:
     [[nodiscard]] std::string name() const override { return "Thrash"; }
     void reset(const Instance&) override { flip_ = 0; }
-    [[nodiscard]] std::vector<Directive> decide(
-        const SimView& view, const std::vector<Event>& events) override {
+    void decide(const SimView& view, const std::vector<Event>& events,
+                std::vector<Directive>& out) override {
       (void)events;
-      std::vector<Directive> out;
       if (view.state(0).live()) out.push_back(Directive{0, flip_, 0.0});
       if (view.state(1).live()) out.push_back(Directive{1, kAllocEdge, 1.0});
       flip_ = 1 - flip_;
-      return out;
     }
 
    private:

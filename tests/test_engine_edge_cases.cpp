@@ -168,21 +168,19 @@ TEST(EngineEdge, PolicySeesPreDecisionActivityState) {
    public:
     bool saw_active_compute = false;
     [[nodiscard]] std::string name() const override { return "Recorder"; }
-    [[nodiscard]] std::vector<Directive> decide(
-        const SimView& view, const std::vector<Event>& events) override {
+    void decide(const SimView& view, const std::vector<Event>& events,
+                std::vector<Directive>& out) override {
       (void)events;
       if (view.now() > 0.5 && view.state(0).live()) {
         saw_active_compute |=
             view.state(0).active == Activity::kCompute;
       }
-      std::vector<Directive> out;
       for (const JobState& s : view.states()) {
         if (s.live()) {
           out.push_back(Directive{s.job.id, kAllocEdge,
                                   static_cast<double>(s.job.id)});
         }
       }
-      return out;
     }
   };
   Recorder policy;

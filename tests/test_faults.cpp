@@ -29,14 +29,14 @@ class ProbePolicy final : public Policy {
 
   void reset(const Instance& instance) override { fixed_.reset(instance); }
 
-  [[nodiscard]] std::vector<Directive> decide(
-      const SimView& view, const std::vector<Event>& events) override {
+  void decide(const SimView& view, const std::vector<Event>& events,
+              std::vector<Directive>& out) override {
     for (const Event& e : events) {
       if (e.kind == EventKind::kFault || e.kind == EventKind::kRecovery) {
         seen.push_back(e);
       }
     }
-    return fixed_.decide(view, events);
+    fixed_.decide(view, events, out);
   }
 
   std::vector<Event> seen;

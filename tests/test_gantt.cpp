@@ -91,10 +91,9 @@ TEST(Gantt, AbandonedRunsLowercase) {
   class MoveJob10 final : public Policy {
    public:
     [[nodiscard]] std::string name() const override { return "Move10"; }
-    [[nodiscard]] std::vector<Directive> decide(
-        const SimView& view, const std::vector<Event>& events) override {
+    void decide(const SimView& view, const std::vector<Event>& events,
+                std::vector<Directive>& out) override {
       (void)events;
-      std::vector<Directive> out;
       for (const JobState& s : view.states()) {
         if (!s.live()) continue;
         if (s.job.id == 10) {
@@ -106,7 +105,6 @@ TEST(Gantt, AbandonedRunsLowercase) {
                                   1.0 + s.job.id});
         }
       }
-      return out;
     }
   };
   MoveJob10 policy;

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Gate micro-benchmark results against a checked-in baseline.
+
+Reads two compact benchmark JSON files (the format written by the
+--json-out flag of bench_engine_micro / bench_policy_micro: a list of rows
+with "name" and a per-item nanoseconds field) and fails when any row's
+per-item time regressed by more than --max-ratio over the baseline.
+
+Rows are matched by name. Rows present in only one file are reported but
+do not fail the check (benchmark sets evolve); at least one row must match
+or the comparison is vacuous and fails. CI machines differ from the
+machine that produced the baseline, so the default ratio is deliberately
+coarse (3x): it catches complexity-class regressions (an O(live) path
+degrading to O(n), a workspace reuse reverting to per-call allocation),
+not percent-level noise.
+"""
+
+import argparse
+import json
+import sys
+
+
+def per_item_ns(row):
+    for key in ("per_decision_ns", "per_event_ns"):
+        if row.get(key) is not None:
+            return float(row[key])
+    # Fall back to wall time for rows without a rate counter.
+    if row.get("real_time_ms") is not None:
+        return float(row["real_time_ms"]) * 1e6
+    return None
+
+
+def load(path):
+    with open(path, encoding="utf-8") as f:
+        rows = json.load(f)
+    out = {}
+    for row in rows:
+        value = per_item_ns(row)
+        if value is not None and value > 0.0:
+            out[row["name"]] = value
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="checked-in baseline JSON")
+    parser.add_argument("--current", required=True,
+                        help="freshly measured JSON")
+    parser.add_argument("--max-ratio", type=float, default=3.0,
+                        help="fail when current/baseline exceeds this "
+                             "(default: 3.0)")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+
+    matched = sorted(set(baseline) & set(current))
+    only_baseline = sorted(set(baseline) - set(current))
+    only_current = sorted(set(current) - set(baseline))
+    for name in only_baseline:
+        print(f"note: baseline row not measured this run: {name}")
+    for name in only_current:
+        print(f"note: new row without baseline: {name}")
+    if not matched:
+        print("error: no benchmark rows in common between "
+              f"{args.baseline} and {args.current}", file=sys.stderr)
+        return 1
+
+    failures = []
+    for name in matched:
+        ratio = current[name] / baseline[name]
+        status = "FAIL" if ratio > args.max_ratio else "ok"
+        print(f"{status:4s} {name}: {current[name]:.1f} ns vs baseline "
+              f"{baseline[name]:.1f} ns (x{ratio:.2f})")
+        if ratio > args.max_ratio:
+            failures.append(name)
+
+    if failures:
+        print(f"error: {len(failures)} benchmark(s) regressed more than "
+              f"x{args.max_ratio}: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    print(f"all {len(matched)} matched benchmarks within x{args.max_ratio} "
+          "of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
