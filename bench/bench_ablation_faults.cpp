@@ -90,9 +90,8 @@ int run(int argc, char** argv) {
   }
   std::cout << "\n";
   bench::report_sweep(points, policies, base_options, "crash-rate");
-  bench::write_trace_artifacts(trace_options, policies, trace_label,
-                               trace_factory);
-  return 0;
+  return bench::write_trace_artifacts(trace_options, policies, trace_label,
+                                      trace_factory);
 }
 
 }  // namespace

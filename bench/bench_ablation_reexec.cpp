@@ -53,8 +53,8 @@ int run(int argc, char** argv) {
   }
   std::cout << "\n";
   bench::report_sweep(points, policies, options, "load");
-  bench::write_trace_artifacts(options, policies, trace_label,
-                               trace_factory);
+  const int status = bench::write_trace_artifacts(
+      options, policies, trace_label, trace_factory);
 
   std::cout << "re-executions per instance (mean)\n";
   Table table({"load", "srpt", "srpt-noreexec"});
@@ -65,7 +65,7 @@ int run(int argc, char** argv) {
                        point.policy("srpt-noreexec").reassignments.mean(), 1)});
   }
   table.print(std::cout);
-  return 0;
+  return status;
 }
 
 }  // namespace

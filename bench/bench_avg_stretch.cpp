@@ -69,9 +69,8 @@ int run(int argc, char** argv) {
   max_options.x_label = "load";
   std::cout << "\nmax stretch (same runs)\n";
   make_report(points, policies, max_options).print(std::cout);
-  bench::write_trace_artifacts(options, policies, trace_label,
-                               trace_factory);
-  return 0;
+  return bench::write_trace_artifacts(options, policies, trace_label,
+                                      trace_factory);
 }
 
 }  // namespace

@@ -21,7 +21,11 @@
 //   --trace-out=PATH     Chrome/Perfetto trace_event JSON (ui.perfetto.dev)
 //   --trace-jsonl=PATH   lossless JSONL trace (tools/trace_inspect reads it)
 //   --metrics-out=PATH   MetricsRegistry JSON snapshot of that run
+//   --metrics-prom=PATH  MetricsRegistry Prometheus text exposition
 //   --trace-policy=NAME  policy to trace (default: last policy of the run)
+//   --watchdog           run the traced replication under the online
+//                        invariant watchdog (obs/watchdog.hpp) and print
+//                        its report; exits 3 on a violation
 #pragma once
 
 #include <cstdlib>
@@ -37,6 +41,7 @@
 #include "obs/metrics.hpp"
 #include "obs/perfetto_sink.hpp"
 #include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
 #include "util/args.hpp"
 #include "util/log.hpp"
 
@@ -49,7 +54,9 @@ struct CommonOptions {
   std::string trace_path;    ///< --trace-out=   Perfetto trace_event JSON
   std::string trace_jsonl;   ///< --trace-jsonl= lossless JSONL trace
   std::string metrics_path;  ///< --metrics-out= metrics registry JSON
+  std::string metrics_prom;  ///< --metrics-prom= Prometheus exposition
   std::string trace_policy;  ///< --trace-policy= (default: last policy)
+  bool watchdog = false;     ///< --watchdog: invariant-check the traced run
 };
 
 /// Runs a bench binary's body under the repo's error-path convention:
@@ -117,7 +124,9 @@ inline CommonOptions parse_common(const Args& args, int default_reps) {
   options.trace_path = args.get_or("trace-out", "");
   options.trace_jsonl = args.get_or("trace-jsonl", "");
   options.metrics_path = args.get_or("metrics-out", "");
+  options.metrics_prom = args.get_or("metrics-prom", "");
   options.trace_policy = args.get_or("trace-policy", "");
+  options.watchdog = args.get_bool("watchdog", false);
   apply_log_level(args);
   return options;
 }
@@ -125,19 +134,23 @@ inline CommonOptions parse_common(const Args& args, int default_reps) {
 /// True when any observability artifact was requested.
 inline bool wants_trace_artifacts(const CommonOptions& options) {
   return !options.trace_path.empty() || !options.trace_jsonl.empty() ||
-         !options.metrics_path.empty();
+         !options.metrics_path.empty() || !options.metrics_prom.empty() ||
+         options.watchdog;
 }
 
 /// Re-runs the first replication of the given sweep point with the
 /// requested sinks attached and writes the artifact files. A no-op unless
-/// one of --trace-out / --trace-jsonl / --metrics-out was given. Runs the
-/// exact instance (and fault plan) of replication 0, so the trace shows one
-/// of the runs the sweep aggregated.
-inline void write_trace_artifacts(const CommonOptions& options,
-                                  const std::vector<std::string>& policies,
-                                  const std::string& label,
-                                  const InstanceFactory& factory) {
-  if (!wants_trace_artifacts(options) || policies.empty() || !factory) return;
+/// one of --trace-out / --trace-jsonl / --metrics-out / --metrics-prom /
+/// --watchdog was given. Runs the exact instance (and fault plan) of
+/// replication 0, so the trace shows one of the runs the sweep aggregated.
+/// Returns the process exit status: 0, or 3 when --watchdog detected an
+/// invariant violation (callers `return` it from main).
+[[nodiscard]] inline int write_trace_artifacts(
+    const CommonOptions& options, const std::vector<std::string>& policies,
+    const std::string& label, const InstanceFactory& factory) {
+  if (!wants_trace_artifacts(options) || policies.empty() || !factory) {
+    return 0;
+  }
   // Default to the last policy: the binaries list edge-only first, so the
   // last one is a cloud-using heuristic whose trace shows communication
   // spans and flow arrows (override with --trace-policy).
@@ -171,6 +184,8 @@ inline void write_trace_artifacts(const CommonOptions& options,
     }
   }
   obs::MetricsRegistry registry;
+  std::optional<obs::InvariantWatchdog> watchdog;
+  if (options.watchdog) watchdog.emplace();
 
   RunOptions run_options;
   run_options.engine = options.sweep.engine;
@@ -179,6 +194,10 @@ inline void write_trace_artifacts(const CommonOptions& options,
   }
   if (!tee.empty()) run_options.engine.trace = &tee;
   run_options.engine.metrics = &registry;
+  if (watchdog) run_options.engine.watchdog = &*watchdog;
+  // Traced artifacts carry decision provenance so trace_inspect --explain
+  // can reconstruct every job's causal story from the JSONL file.
+  run_options.engine.provenance = true;
   const RunOutcome outcome = run_policy(instance, policy, run_options);
 
   std::cout << "traced run: policy " << policy << ", point " << label
@@ -202,6 +221,20 @@ inline void write_trace_artifacts(const CommonOptions& options,
       std::cout << "  metrics JSON   -> " << options.metrics_path << "\n";
     }
   }
+  if (!options.metrics_prom.empty()) {
+    std::ofstream prom_file(options.metrics_prom);
+    if (!prom_file) {
+      std::cerr << "cannot write metrics to " << options.metrics_prom << "\n";
+    } else {
+      registry.write_prometheus(prom_file);
+      std::cout << "  Prometheus     -> " << options.metrics_prom << "\n";
+    }
+  }
+  if (watchdog) {
+    watchdog->report(std::cout);
+    if (!watchdog->ok()) return 3;
+  }
+  return 0;
 }
 
 /// Prints the stretch table and the scheduling-time table for a finished
@@ -225,6 +258,13 @@ inline void report_sweep(const std::vector<SweepPointResult>& points,
   const Table time_table = make_report(points, policies, time_options);
   std::cout << "\nscheduling time per instance [s]\n";
   time_table.print(std::cout);
+
+  const Table quantile_table =
+      make_stretch_quantile_report(points, policies, x_label);
+  std::cout << "\nper-job stretch tail (quantile sketch, "
+            << format_double(obs::QuantileSketch::kDefaultAlpha * 100.0, 0)
+            << "% relative error)\n";
+  quantile_table.print(std::cout);
   std::cout << "\n";
 
   if (!options.csv_path.empty()) {
@@ -235,6 +275,8 @@ inline void report_sweep(const std::vector<SweepPointResult>& points,
       stretch_table.write_csv(csv);
       csv << "\n";
       time_table.write_csv(csv);
+      csv << "\n";
+      quantile_table.write_csv(csv);
       std::cout << "CSV written to " << options.csv_path << "\n";
     }
   }

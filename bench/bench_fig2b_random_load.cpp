@@ -62,9 +62,8 @@ int run(int argc, char** argv) {
   }
   std::cout << "\n";
   bench::report_sweep(points, policies, options, "load");
-  bench::write_trace_artifacts(options, policies, trace_label,
-                               trace_factory);
-  return 0;
+  return bench::write_trace_artifacts(options, policies, trace_label,
+                                      trace_factory);
 }
 
 }  // namespace

@@ -111,6 +111,25 @@ Table make_report(const std::vector<SweepPointResult>& points,
   return table;
 }
 
+Table make_stretch_quantile_report(const std::vector<SweepPointResult>& points,
+                                   const std::vector<std::string>& policies,
+                                   const std::string& x_label, int precision) {
+  Table table({x_label, "policy", "jobs", "p50", "p90", "p99", "p99.9",
+               "max"});
+  for (const SweepPointResult& point : points) {
+    for (const std::string& p : policies) {
+      const obs::QuantileSketch& sketch = point.policy(p).stretch_sketch;
+      table.add_row({point.label, p, std::to_string(sketch.count()),
+                     format_double(sketch.quantile(0.50), precision),
+                     format_double(sketch.quantile(0.90), precision),
+                     format_double(sketch.quantile(0.99), precision),
+                     format_double(sketch.quantile(0.999), precision),
+                     format_double(sketch.max(), precision)});
+    }
+  }
+  return table;
+}
+
 void print_bench_header(std::ostream& out, const std::string& title,
                         const std::string& description, int replications,
                         std::uint64_t seed) {

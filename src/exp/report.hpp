@@ -51,6 +51,15 @@ struct ReportOptions {
                                 const std::vector<std::string>& policies,
                                 const ReportOptions& options = {});
 
+/// Tail table from the merged per-job stretch sketches: one row per
+/// (point, policy), columns p50 / p90 / p99 / p99.9 / max plus the job
+/// count. Quantiles carry the sketches' relative-error bound (default 1%,
+/// obs/sketch.hpp) — the sweep never retains per-job samples.
+[[nodiscard]] Table make_stretch_quantile_report(
+    const std::vector<SweepPointResult>& points,
+    const std::vector<std::string>& policies,
+    const std::string& x_label = "point", int precision = 3);
+
 /// Prints a standard bench header (figure id, settings) to `out`.
 void print_bench_header(std::ostream& out, const std::string& title,
                         const std::string& description, int replications,

@@ -43,6 +43,9 @@ SweepPointResult run_sweep_point(const std::string& label,
     double wall_seconds = 0.0;
     double reassignments = 0.0;
     double events = 0.0;
+    double max_queue_depth = 0.0;
+    obs::QuantileSketch stretch;  ///< per-job stretches of this replication
+    obs::QuantileSketch flow;     ///< per-job flow times of this replication
   };
   std::vector<Slot> slots(static_cast<std::size_t>(reps) * policies.size());
 
@@ -75,6 +78,12 @@ SweepPointResult run_sweep_point(const std::string& label,
           slot.reassignments =
               static_cast<double>(outcome.stats.reassignments);
           slot.events = static_cast<double>(outcome.stats.events);
+          slot.max_queue_depth =
+              static_cast<double>(outcome.stats.max_queue_depth);
+          for (const JobMetrics& jm : outcome.metrics.per_job) {
+            slot.stretch.observe(jm.stretch);
+            slot.flow.observe(jm.response);
+          }
         }
       },
       options.threads);
@@ -88,6 +97,9 @@ SweepPointResult run_sweep_point(const std::string& label,
       agg.wall_seconds.add(slot.wall_seconds);
       agg.reassignments.add(slot.reassignments);
       agg.events.add(slot.events);
+      agg.stretch_sketch.merge(slot.stretch);
+      agg.flow_sketch.merge(slot.flow);
+      agg.queue_depth_sketch.observe(slot.max_queue_depth);
     }
   }
   return result;

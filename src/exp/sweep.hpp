@@ -16,6 +16,7 @@
 
 #include "core/platform.hpp"
 #include "exp/runner.hpp"
+#include "obs/sketch.hpp"
 #include "util/stats.hpp"
 
 namespace ecs {
@@ -35,6 +36,14 @@ struct PolicyAggregate {
   Accumulator wall_seconds;
   Accumulator reassignments;
   Accumulator events;
+  /// Distribution summaries across ALL jobs of ALL replications, without
+  /// retaining per-job samples: every quantile estimate carries the
+  /// sketch's relative-error bound (obs/sketch.hpp, default 1%). Each
+  /// parallel_for worker fills a private per-replication sketch; the
+  /// merge — exact, order-independent — happens serially afterwards.
+  obs::QuantileSketch stretch_sketch;    ///< per-job stretch S_i
+  obs::QuantileSketch flow_sketch;       ///< per-job flow time C_i - r_i
+  obs::QuantileSketch queue_depth_sketch;///< per-replication max queue depth
 };
 
 struct SweepPointResult {

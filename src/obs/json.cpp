@@ -4,6 +4,7 @@
 #include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <stdexcept>
 
 namespace ecs::obs::json {
@@ -306,12 +307,37 @@ std::string escape(const std::string& raw) {
   return out;
 }
 
-std::string number(double value) {
-  if (std::isnan(value)) return "0";
-  if (std::isinf(value)) return value > 0 ? "1e308" : "-1e308";
+std::string number(double value, NonFinitePolicy policy) {
+  if (std::isnan(value)) return "null";
+  if (std::isinf(value)) {
+    if (policy == NonFinitePolicy::kClamp) {
+      return value > 0 ? "1e308" : "-1e308";
+    }
+    return value > 0 ? "\"Infinity\"" : "\"-Infinity\"";
+  }
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.17g", value);
   return buf;
+}
+
+double to_double(const Value& value) {
+  switch (value.type) {
+    case Value::Type::kNumber:
+      return value.number;
+    case Value::Type::kNull:
+      return std::numeric_limits<double>::quiet_NaN();
+    case Value::Type::kString:
+      if (value.string == "Infinity") {
+        return std::numeric_limits<double>::infinity();
+      }
+      if (value.string == "-Infinity") {
+        return -std::numeric_limits<double>::infinity();
+      }
+      throw std::runtime_error("json: string is not a number: " +
+                               value.string);
+    default:
+      throw std::runtime_error("json: not a number");
+  }
 }
 
 }  // namespace ecs::obs::json

@@ -52,8 +52,29 @@ struct Value {
 /// quotes themselves).
 [[nodiscard]] std::string escape(const std::string& raw);
 
-/// Formats a double as a JSON number: round-trip precision, and infinities
-/// / NaN (not representable in JSON) clamped to +/-1e308 / 0.
-[[nodiscard]] std::string number(double value);
+/// How `number` renders values JSON cannot express as numbers (NaN, ±inf).
+enum class NonFinitePolicy {
+  /// Lossless: NaN -> null, ±inf -> the strings "Infinity" / "-Infinity".
+  /// Pair with to_double() on the read side for an exact round trip. The
+  /// default for our own formats (JSONL traces, metrics dumps).
+  kStrings,
+  /// NaN -> null, ±inf clamped to ±1e308. For sinks whose consumers insist
+  /// on plain numbers (e.g. Chrome trace_event timestamps): the value is
+  /// visibly saturated instead of silently wrapped, and NaN still surfaces
+  /// as null rather than masquerading as 0.
+  kClamp,
+};
+
+/// Formats a double as a JSON value: numbers at round-trip precision;
+/// non-finite values per `policy` (never the silent 0 / ±1e308 mangling of
+/// earlier versions).
+[[nodiscard]] std::string number(double value,
+                                 NonFinitePolicy policy =
+                                     NonFinitePolicy::kStrings);
+
+/// Reads a double written by number(): plain numbers pass through, null
+/// -> NaN, "Infinity"/"-Infinity" -> ±inf. Throws std::runtime_error on
+/// any other type or string.
+[[nodiscard]] double to_double(const Value& value);
 
 }  // namespace ecs::obs::json

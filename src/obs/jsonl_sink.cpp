@@ -23,7 +23,8 @@ void JsonlTraceSink::record(const TraceRecord& rec) {
         << ",\"origin\":" << rec.origin << ",\"cloud\":" << rec.cloud
         << ",\"t0\":" << json::number(rec.begin)
         << ",\"t1\":" << json::number(rec.end)
-        << ",\"value\":" << json::number(rec.value) << "}\n";
+        << ",\"value\":" << json::number(rec.value)
+        << ",\"reason\":" << rec.reason << "}\n";
 }
 
 void JsonlTraceSink::end_trace(Time makespan) {
@@ -53,7 +54,7 @@ JsonlTrace read_jsonl_trace(std::istream& in) {
       trace.meta.cloud_count = static_cast<int>(value.at("clouds").as_int());
       trace.meta.job_count = static_cast<int>(value.at("jobs").as_int());
     } else if (type == "end") {
-      trace.makespan = value.at("makespan").as_number();
+      trace.makespan = json::to_double(value.at("makespan"));
       trace.complete = true;
     } else {
       TraceRecord rec;
@@ -64,9 +65,13 @@ JsonlTrace read_jsonl_trace(std::istream& in) {
       rec.alloc = static_cast<int>(value.at("alloc").as_int());
       rec.origin = static_cast<EdgeId>(value.at("origin").as_int());
       rec.cloud = static_cast<int>(value.at("cloud").as_int());
-      rec.begin = value.at("t0").as_number();
-      rec.end = value.at("t1").as_number();
-      rec.value = value.at("value").as_number();
+      // Times / values may be non-finite (written as null / "Infinity").
+      rec.begin = json::to_double(value.at("t0"));
+      rec.end = json::to_double(value.at("t1"));
+      rec.value = json::to_double(value.at("value"));
+      // Absent in traces from before decision provenance existed.
+      const json::Value* reason = value.find("reason");
+      rec.reason = reason != nullptr ? static_cast<int>(reason->as_int()) : 0;
       trace.records.push_back(rec);
     }
   }

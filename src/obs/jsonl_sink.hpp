@@ -4,7 +4,7 @@
 //
 //   {"type":"meta","policy":"srpt","edges":2,"clouds":1,"jobs":10}
 //   {"type":"span","point":"uplink","job":0,"run":0,"alloc":0,"origin":1,
-//    "cloud":-1,"t0":0,"t1":1.5,"value":0}
+//    "cloud":-1,"t0":0,"t1":1.5,"value":0,"reason":0}
 //   {"type":"instant","point":"release","job":0,...}
 //   {"type":"counter","point":"ready-queue-depth","value":3,...}
 //   {"type":"end","makespan":42.5}

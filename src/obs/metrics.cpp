@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <ostream>
 #include <stdexcept>
 
@@ -70,6 +71,12 @@ MetricsRegistry::Id MetricsRegistry::histogram(const std::string& name,
   return get_or_create(hist_ids_, histograms_, name, std::move(bounds));
 }
 
+MetricsRegistry::Id MetricsRegistry::sketch(const std::string& name,
+                                            double alpha) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return get_or_create(sketch_ids_, sketches_, name, alpha);
+}
+
 void MetricsRegistry::add(Id id, std::uint64_t delta) noexcept {
   counters_[static_cast<std::size_t>(id)].value.fetch_add(
       delta, std::memory_order_relaxed);
@@ -95,6 +102,18 @@ void MetricsRegistry::add_nanos(Id id, std::uint64_t nanos) noexcept {
   Timer& t = timers_[static_cast<std::size_t>(id)];
   t.nanos.fetch_add(nanos, std::memory_order_relaxed);
   t.count.fetch_add(1, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::sketch_observe(Id id, double value) {
+  Sketch& s = sketches_[static_cast<std::size_t>(id)];
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.sketch.observe(value);
+}
+
+void MetricsRegistry::sketch_merge(Id id, const QuantileSketch& other) {
+  Sketch& s = sketches_[static_cast<std::size_t>(id)];
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.sketch.merge(other);
 }
 
 namespace {
@@ -148,6 +167,14 @@ HistogramSnapshot MetricsRegistry::histogram_value(
   snap.count = h.count.load(std::memory_order_relaxed);
   snap.sum = h.sum.load(std::memory_order_relaxed);
   return snap;
+}
+
+QuantileSketch MetricsRegistry::sketch_value(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Id id = require_id(sketch_ids_, name, "sketch");
+  const Sketch& s = sketches_[static_cast<std::size_t>(id)];
+  std::lock_guard<std::mutex> sketch_lock(s.mutex);
+  return s.sketch;
 }
 
 void MetricsRegistry::write_json(std::ostream& out) const {
@@ -204,7 +231,116 @@ void MetricsRegistry::write_json(std::ostream& out) const {
         << ",\"count\":" << h.count.load(std::memory_order_relaxed) << "}";
     first = false;
   }
+  out << "\n  },\n  \"sketches\": {";
+  first = true;
+  for (const auto& [name, id] : sketch_ids_) {
+    const Sketch& s = sketches_[static_cast<std::size_t>(id)];
+    std::lock_guard<std::mutex> sketch_lock(s.mutex);
+    const QuantileSketch& q = s.sketch;
+    out << (first ? "" : ",") << "\n    " << key(name)
+        << "{\"alpha\":" << json::number(q.alpha())
+        << ",\"count\":" << q.count()
+        << ",\"sum\":" << json::number(q.sum())
+        << ",\"min\":" << json::number(q.min())
+        << ",\"max\":" << json::number(q.max())
+        << ",\"p50\":" << json::number(q.quantile(0.50))
+        << ",\"p90\":" << json::number(q.quantile(0.90))
+        << ",\"p99\":" << json::number(q.quantile(0.99))
+        << ",\"p999\":" << json::number(q.quantile(0.999)) << "}";
+    first = false;
+  }
   out << "\n  }\n}\n";
+}
+
+namespace {
+
+/// Prometheus metric-name charset: [a-zA-Z0-9_:]; anything else becomes _.
+std::string prom_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, 1, '_');
+  return out;
+}
+
+/// Prometheus sample values: NaN and ±Inf are legal bare tokens.
+std::string prom_value(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  return json::number(value);
+}
+
+}  // namespace
+
+void MetricsRegistry::write_prometheus(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, id] : counter_ids_) {
+    const std::string n = prom_name(name);
+    out << "# TYPE " << n << " counter\n"
+        << n << " "
+        << counters_[static_cast<std::size_t>(id)].value.load(
+               std::memory_order_relaxed)
+        << "\n";
+  }
+  for (const auto& [name, id] : gauge_ids_) {
+    const Gauge& g = gauges_[static_cast<std::size_t>(id)];
+    const std::string n = prom_name(name);
+    out << "# TYPE " << n << "_last gauge\n"
+        << n << "_last " << prom_value(g.last.load(std::memory_order_relaxed))
+        << "\n"
+        << "# TYPE " << n << "_max gauge\n"
+        << n << "_max " << prom_value(g.max.load(std::memory_order_relaxed))
+        << "\n";
+  }
+  for (const auto& [name, id] : timer_ids_) {
+    const Timer& t = timers_[static_cast<std::size_t>(id)];
+    const std::string n = prom_name(name);
+    out << "# TYPE " << n << "_seconds_total counter\n"
+        << n << "_seconds_total "
+        << prom_value(
+               static_cast<double>(t.nanos.load(std::memory_order_relaxed)) *
+               1e-9)
+        << "\n"
+        << "# TYPE " << n << "_count counter\n"
+        << n << "_count " << t.count.load(std::memory_order_relaxed) << "\n";
+  }
+  for (const auto& [name, id] : hist_ids_) {
+    const Histogram& h = histograms_[static_cast<std::size_t>(id)];
+    const std::string n = prom_name(name);
+    out << "# TYPE " << n << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += h.counts[i].load(std::memory_order_relaxed);
+      out << n << "_bucket{le=\"" << prom_value(h.bounds[i]) << "\"} "
+          << cumulative << "\n";
+    }
+    cumulative += h.counts[h.bounds.size()].load(std::memory_order_relaxed);
+    out << n << "_bucket{le=\"+Inf\"} " << cumulative << "\n"
+        << n << "_sum " << prom_value(h.sum.load(std::memory_order_relaxed))
+        << "\n"
+        << n << "_count " << h.count.load(std::memory_order_relaxed) << "\n";
+  }
+  for (const auto& [name, id] : sketch_ids_) {
+    const Sketch& s = sketches_[static_cast<std::size_t>(id)];
+    std::lock_guard<std::mutex> sketch_lock(s.mutex);
+    const QuantileSketch& q = s.sketch;
+    const std::string n = prom_name(name);
+    out << "# TYPE " << n << " summary\n";
+    constexpr double kQuantiles[] = {0.5, 0.9, 0.99, 0.999};
+    for (const double qq : kQuantiles) {
+      out << n << "{quantile=\"" << json::number(qq) << "\"} "
+          << prom_value(q.quantile(qq)) << "\n";
+    }
+    out << n << "_sum " << prom_value(q.sum()) << "\n"
+        << n << "_count " << q.count() << "\n"
+        << "# TYPE " << n << "_min gauge\n"
+        << n << "_min " << prom_value(q.min()) << "\n"
+        << "# TYPE " << n << "_max gauge\n"
+        << n << "_max " << prom_value(q.max()) << "\n";
+  }
 }
 
 }  // namespace ecs::obs

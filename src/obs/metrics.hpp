@@ -11,6 +11,10 @@
 // gauge_set, add_nanos) are lock-free relaxed atomics, so one registry can
 // be shared by every run of a multi-threaded sweep and accumulates totals
 // across runs. Snapshots taken while writers are active are approximate.
+// The exception is the sketch family (quantile sketches are bucket maps,
+// not single words): sketch_observe/sketch_merge take a per-sketch mutex.
+// Sweeps that care about the hot path keep a private QuantileSketch per
+// worker and merge once at the end (obs/sketch.hpp; merging is exact).
 //
 // Like tracing, metrics are opt-in: the engine holds a nullable
 // MetricsRegistry* and skips all bookkeeping (including clock reads) when
@@ -26,6 +30,8 @@
 #include <mutex>
 #include <string>
 #include <vector>
+
+#include "obs/sketch.hpp"
 
 namespace ecs::obs {
 
@@ -67,6 +73,10 @@ class MetricsRegistry {
   /// histogram returns it (the bounds argument is then ignored).
   [[nodiscard]] Id histogram(const std::string& name,
                              std::vector<double> bounds);
+  /// Quantile sketch with relative accuracy `alpha` (obs/sketch.hpp).
+  /// Re-registering an existing sketch returns it (alpha then ignored).
+  [[nodiscard]] Id sketch(const std::string& name,
+                          double alpha = QuantileSketch::kDefaultAlpha);
 
   // --- updates (lock-free, safe from any thread) ---
   void add(Id id, std::uint64_t delta = 1) noexcept;
@@ -74,20 +84,38 @@ class MetricsRegistry {
   void observe(Id id, double value) noexcept;
   void add_nanos(Id id, std::uint64_t nanos) noexcept;
 
+  // --- sketch updates (per-sketch mutex, safe from any thread) ---
+  void sketch_observe(Id id, double value);
+  /// Folds a privately accumulated sketch in (exact; see sketch.hpp).
+  void sketch_merge(Id id, const QuantileSketch& other);
+
   // --- snapshots (by name; throw std::out_of_range on unknown names) ---
   [[nodiscard]] std::uint64_t counter_value(const std::string& name) const;
   [[nodiscard]] GaugeSnapshot gauge_value(const std::string& name) const;
   [[nodiscard]] TimerSnapshot timer_value(const std::string& name) const;
   [[nodiscard]] HistogramSnapshot histogram_value(
       const std::string& name) const;
+  /// Copy of the named sketch (itself mergeable into other sketches).
+  [[nodiscard]] QuantileSketch sketch_value(const std::string& name) const;
 
   /// Full JSON dump:
   ///   {"counters":{name:value,...},
   ///    "gauges":{name:{"last":..,"max":..},...},
   ///    "timers":{name:{"seconds":..,"count":..},...},
   ///    "histograms":{name:{"bounds":[..],"counts":[..],
-  ///                        "sum":..,"count":..},...}}
+  ///                        "sum":..,"count":..},...},
+  ///    "sketches":{name:{"alpha":..,"count":..,"sum":..,"min":..,
+  ///                      "max":..,"p50":..,"p90":..,"p99":..,
+  ///                      "p999":..},...}}
   void write_json(std::ostream& out) const;
+
+  /// Prometheus text exposition (version 0.0.4): counters as `counter`,
+  /// gauges as two `gauge` series (_last/_max), timers as
+  /// `<name>_seconds_total` + `<name>_count`, histograms as cumulative
+  /// `histogram` series with `le` labels, sketches as `summary` series
+  /// with `quantile` labels (p50/p90/p99/p99.9) plus _sum/_count/_min/_max.
+  /// Names are sanitized to the Prometheus charset ([a-zA-Z0-9_:]).
+  void write_prometheus(std::ostream& out) const;
 
  private:
   struct Counter {
@@ -109,15 +137,22 @@ class MetricsRegistry {
     std::atomic<std::uint64_t> count{0};
     std::atomic<double> sum{0.0};
   };
+  struct Sketch {
+    explicit Sketch(double alpha) : sketch(alpha) {}
+    mutable std::mutex mutex;
+    QuantileSketch sketch;
+  };
 
   // Instruments live in deques so update paths can hold plain ids: deques
   // never relocate existing elements on growth.
   mutable std::mutex mutex_;  ///< guards the name maps and deque growth
-  std::map<std::string, Id> counter_ids_, gauge_ids_, timer_ids_, hist_ids_;
+  std::map<std::string, Id> counter_ids_, gauge_ids_, timer_ids_, hist_ids_,
+      sketch_ids_;
   std::deque<Counter> counters_;
   std::deque<Gauge> gauges_;
   std::deque<Timer> timers_;
   std::deque<Histogram> histograms_;
+  std::deque<Sketch> sketches_;
 };
 
 /// RAII wall-clock scope feeding a registry timer. A null registry makes

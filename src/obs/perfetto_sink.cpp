@@ -13,6 +13,12 @@ namespace {
 
 constexpr double kMicrosPerTimeUnit = 1e6;
 
+/// Chrome's trace_event JSON insists on plain numbers for ts/dur/values,
+/// so non-finite doubles saturate instead of round-tripping as strings.
+std::string pnum(double value) {
+  return json::number(value, json::NonFinitePolicy::kClamp);
+}
+
 std::string metadata(const char* what, int tid, const std::string& name) {
   std::ostringstream os;
   os << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << tid << ",\"name\":\"" << what
@@ -104,7 +110,7 @@ void PerfettoTraceSink::emit_span(const TraceRecord& rec) {
     if (tid < 0) continue;
     std::ostringstream os;
     os << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << tid << ",\"ts\":"
-       << json::number(ts) << ",\"dur\":" << json::number(dur)
+       << pnum(ts) << ",\"dur\":" << pnum(dur)
        << ",\"cat\":\"activity\",\"name\":\"J" << rec.job << " "
        << to_string(rec.point) << "\",\"args\":{\"job\":" << rec.job
        << ",\"run\":" << rec.run << ",\"alloc\":" << rec.alloc << "}}";
@@ -117,21 +123,21 @@ void PerfettoTraceSink::emit_instant(const TraceRecord& rec) {
   const double ts = rec.begin * kMicrosPerTimeUnit;
   std::ostringstream os;
   os << "{\"ph\":\"i\",\"pid\":1,\"tid\":0,\"s\":\"p\",\"ts\":"
-     << json::number(ts) << ",\"cat\":\"" << to_string(rec.point)
+     << pnum(ts) << ",\"cat\":\"" << to_string(rec.point)
      << "\",\"name\":\"" << to_string(rec.point);
   if (rec.job >= 0) os << " J" << rec.job;
   if (rec.cloud >= 0) os << " cloud" << rec.cloud;
   os << "\",\"args\":{\"job\":" << rec.job << ",\"cloud\":" << rec.cloud
-     << ",\"value\":" << json::number(rec.value) << "}}";
+     << ",\"value\":" << pnum(rec.value) << "}}";
   push(ts, os.str());
 }
 
 void PerfettoTraceSink::emit_counter(const TraceRecord& rec) {
   const double ts = rec.begin * kMicrosPerTimeUnit;
   std::ostringstream os;
-  os << "{\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":" << json::number(ts)
+  os << "{\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":" << pnum(ts)
      << ",\"name\":\"" << to_string(rec.point)
-     << "\",\"args\":{\"value\":" << json::number(rec.value) << "}}";
+     << "\",\"args\":{\"value\":" << pnum(rec.value) << "}}";
   push(ts, os.str());
 }
 
@@ -163,7 +169,7 @@ void PerfettoTraceSink::emit_flows() {
       const char* ph = i == 0 ? "s" : (i + 1 == spans.size() ? "f" : "t");
       std::ostringstream os;
       os << "{\"ph\":\"" << ph << "\",\"pid\":1,\"tid\":" << tid
-         << ",\"ts\":" << json::number(mid)
+         << ",\"ts\":" << pnum(mid)
          << ",\"cat\":\"job-flow\",\"name\":\"" << id << "\",\"id\":\"" << id
          << "\"";
       if (*ph == 'f') os << ",\"bp\":\"e\"";
@@ -178,7 +184,7 @@ void PerfettoTraceSink::end_trace(Time makespan) {
   {
     std::ostringstream os;
     os << "{\"ph\":\"i\",\"pid\":1,\"tid\":0,\"s\":\"g\",\"ts\":"
-       << json::number(makespan * kMicrosPerTimeUnit)
+       << pnum(makespan * kMicrosPerTimeUnit)
        << ",\"name\":\"makespan\",\"args\":{}}";
     push(makespan * kMicrosPerTimeUnit, os.str());
   }

@@ -1,0 +1,243 @@
+#include "obs/provenance.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace ecs::obs {
+
+std::string to_string(ProvenanceKind kind) {
+  switch (kind) {
+    case ProvenanceKind::kRelease: return "release";
+    case ProvenanceKind::kAssign: return "assign";
+    case ProvenanceKind::kReassign: return "reassign";
+    case ProvenanceKind::kKeep: return "keep";
+    case ProvenanceKind::kPreempt: return "preempt";
+    case ProvenanceKind::kFaultAbort: return "fault-abort";
+    case ProvenanceKind::kUplinkLoss: return "uplink-loss";
+    case ProvenanceKind::kDownlinkLoss: return "downlink-loss";
+    case ProvenanceKind::kComplete: return "complete";
+  }
+  return "?";
+}
+
+std::string alloc_name(int alloc, EdgeId origin) {
+  if (alloc == kAllocUnassigned) return "unassigned";
+  if (alloc == kAllocEdge) {
+    return origin >= 0 ? "edge" + std::to_string(origin) : "edge";
+  }
+  return "cloud" + std::to_string(alloc);
+}
+
+namespace {
+
+/// Placement kind from the (source, target) allocation pair.
+ProvenanceKind placement_kind(int source, int target) {
+  if (target == source) return ProvenanceKind::kKeep;
+  return source == kAllocUnassigned ? ProvenanceKind::kAssign
+                                    : ProvenanceKind::kReassign;
+}
+
+}  // namespace
+
+std::optional<ProvenanceRecord> provenance_from_trace(const TraceRecord& rec) {
+  if (rec.kind != TraceKind::kInstant || rec.job < 0) return std::nullopt;
+  ProvenanceRecord out;
+  out.time = rec.begin;
+  out.job = rec.job;
+  out.run = rec.run;
+  out.origin = rec.origin;
+  switch (rec.point) {
+    case TracePoint::kRelease:
+      out.kind = ProvenanceKind::kRelease;
+      return out;
+    case TracePoint::kDirective:
+      // Authoritative placement record: alloc = resolved target, cloud =
+      // allocation before the directive, value = priority.
+      out.kind = placement_kind(rec.cloud, rec.alloc);
+      out.source = rec.cloud;
+      out.target = rec.alloc;
+      out.reason = reason_from_int(rec.reason);
+      out.value = rec.value;
+      return out;
+    case TracePoint::kReassignment:
+      // Legacy placement instant (traces without provenance): value holds
+      // the previous allocation, alloc the new one. No reason available.
+      out.kind = placement_kind(static_cast<int>(rec.value), rec.alloc);
+      out.source = static_cast<int>(rec.value);
+      out.target = rec.alloc;
+      return out;
+    case TracePoint::kPreemption:
+      out.kind = ProvenanceKind::kPreempt;
+      out.source = rec.alloc;
+      out.target = rec.alloc;
+      return out;
+    case TracePoint::kFault:
+      // Per-victim fault instant (job >= 0): the crash wiped this run.
+      out.kind = ProvenanceKind::kFaultAbort;
+      out.source = rec.alloc;
+      out.target = kAllocUnassigned;
+      return out;
+    case TracePoint::kUplinkLoss:
+      out.kind = ProvenanceKind::kUplinkLoss;
+      out.source = rec.alloc;
+      out.target = rec.alloc;
+      return out;
+    case TracePoint::kDownlinkLoss:
+      out.kind = ProvenanceKind::kDownlinkLoss;
+      out.source = rec.alloc;
+      out.target = rec.alloc;
+      return out;
+    case TracePoint::kCompletion:
+      out.kind = ProvenanceKind::kComplete;
+      out.source = rec.alloc;
+      out.target = rec.alloc;
+      out.value = rec.value;  // realized stretch
+      return out;
+    default:
+      return std::nullopt;  // spans, counters, decisions, recoveries
+  }
+}
+
+void ProvenanceLog::begin_trace(const TraceMeta& meta) {
+  meta_ = meta;
+  chains_.clear();
+  chains_.resize(static_cast<std::size_t>(std::max(meta.job_count, 0)));
+  makespan_ = 0.0;
+}
+
+void ProvenanceLog::record(const TraceRecord& rec) {
+  const std::optional<ProvenanceRecord> prov = provenance_from_trace(rec);
+  if (!prov.has_value()) return;
+  if (static_cast<std::size_t>(prov->job) >= chains_.size()) {
+    chains_.resize(static_cast<std::size_t>(prov->job) + 1);
+  }
+  std::vector<ProvenanceRecord>& chain = chains_[prov->job];
+  // A kDirective and the legacy kReassignment instant describe the same
+  // move; the directive (which carries the reason) arrives first and wins.
+  if (!chain.empty() && rec.point == TracePoint::kReassignment) {
+    const ProvenanceRecord& last = chain.back();
+    if ((last.kind == ProvenanceKind::kAssign ||
+         last.kind == ProvenanceKind::kReassign ||
+         last.kind == ProvenanceKind::kKeep) &&
+        last.time == prov->time && last.source == prov->source &&
+        last.target == prov->target) {
+      return;
+    }
+  }
+  chain.push_back(*prov);
+}
+
+void ProvenanceLog::end_trace(Time makespan) { makespan_ = makespan; }
+
+const std::vector<ProvenanceRecord>& ProvenanceLog::chain(JobId job) const {
+  static const std::vector<ProvenanceRecord> kEmpty;
+  if (job < 0 || static_cast<std::size_t>(job) >= chains_.size()) {
+    return kEmpty;
+  }
+  return chains_[job];
+}
+
+bool ProvenanceLog::complete_chain(JobId job) const {
+  const std::vector<ProvenanceRecord>& c = chain(job);
+  if (c.empty()) return false;
+  bool released = false;
+  bool placed = false;
+  bool completed = false;
+  for (const ProvenanceRecord& r : c) {
+    switch (r.kind) {
+      case ProvenanceKind::kRelease:
+        if (placed || completed) return false;  // out of order
+        released = true;
+        break;
+      case ProvenanceKind::kAssign:
+      case ProvenanceKind::kReassign:
+        if (!released || completed) return false;
+        placed = true;
+        break;
+      case ProvenanceKind::kComplete:
+        if (!released || !placed || completed) return false;
+        completed = true;
+        break;
+      default:
+        if (completed) return false;  // activity after completion
+        break;
+    }
+  }
+  return released && placed && completed;
+}
+
+std::optional<double> ProvenanceLog::final_stretch(JobId job) const {
+  const std::vector<ProvenanceRecord>& c = chain(job);
+  for (auto it = c.rbegin(); it != c.rend(); ++it) {
+    if (it->kind == ProvenanceKind::kComplete) return it->value;
+  }
+  return std::nullopt;
+}
+
+JobId ProvenanceLog::worst_job() const {
+  JobId worst = -1;
+  double worst_stretch = -1.0;
+  for (std::size_t j = 0; j < chains_.size(); ++j) {
+    const std::optional<double> s = final_stretch(static_cast<JobId>(j));
+    if (s.has_value() && *s > worst_stretch) {
+      worst_stretch = *s;
+      worst = static_cast<JobId>(j);
+    }
+  }
+  return worst;
+}
+
+void ProvenanceLog::explain(JobId job, std::ostream& out) const {
+  const std::vector<ProvenanceRecord>& c = chain(job);
+  out << "job " << job;
+  if (!c.empty() && c.front().origin >= 0) {
+    out << " (origin edge" << c.front().origin << ")";
+  }
+  out << ": " << c.size() << " provenance record"
+      << (c.size() == 1 ? "" : "s") << "\n";
+  if (c.empty()) {
+    out << "  (no records: job id unseen in this trace)\n";
+    return;
+  }
+  for (const ProvenanceRecord& r : c) {
+    out << "  t=" << r.time << " run " << r.run << " "
+        << to_string(r.kind);
+    switch (r.kind) {
+      case ProvenanceKind::kRelease:
+        break;
+      case ProvenanceKind::kAssign:
+        out << " -> " << alloc_name(r.target, r.origin);
+        break;
+      case ProvenanceKind::kReassign:
+        out << " " << alloc_name(r.source, r.origin) << " -> "
+            << alloc_name(r.target, r.origin);
+        break;
+      case ProvenanceKind::kKeep:
+        out << " " << alloc_name(r.target, r.origin);
+        break;
+      case ProvenanceKind::kPreempt:
+      case ProvenanceKind::kUplinkLoss:
+      case ProvenanceKind::kDownlinkLoss:
+        out << " on " << alloc_name(r.source, r.origin);
+        break;
+      case ProvenanceKind::kFaultAbort:
+        out << " on " << alloc_name(r.source, r.origin)
+            << " (progress lost)";
+        break;
+      case ProvenanceKind::kComplete:
+        out << " on " << alloc_name(r.source, r.origin)
+            << " stretch=" << r.value;
+        break;
+    }
+    if (r.reason != ReasonCode::kUnspecified) {
+      out << " [" << ecs::to_string(r.reason) << "]";
+    }
+    out << "\n";
+  }
+  const std::optional<double> s = final_stretch(job);
+  if (!s.has_value()) {
+    out << "  (job did not complete before the trace ended)\n";
+  }
+}
+
+}  // namespace ecs::obs

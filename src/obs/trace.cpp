@@ -30,6 +30,8 @@ std::string to_string(TracePoint point) {
       return "downlink-loss";
     case TracePoint::kDecision:
       return "decision";
+    case TracePoint::kDirective:
+      return "directive";
     case TracePoint::kLiveMaxStretch:
       return "live-max-stretch";
     case TracePoint::kReadyQueueDepth:
@@ -62,6 +64,7 @@ TracePoint parse_trace_point(const std::string& name) {
       TracePoint::kReassignment,   TracePoint::kFault,
       TracePoint::kRecovery,       TracePoint::kUplinkLoss,
       TracePoint::kDownlinkLoss,   TracePoint::kDecision,
+      TracePoint::kDirective,
       TracePoint::kLiveMaxStretch, TracePoint::kReadyQueueDepth,
       TracePoint::kEdgeUtilization, TracePoint::kCloudUtilization,
   };

@@ -49,6 +49,10 @@ enum class TracePoint : std::uint8_t {
   kUplinkLoss,   ///< in-flight uplink corrupted; upload restarts
   kDownlinkLoss, ///< in-flight downlink corrupted; download restarts
   kDecision,     ///< policy invocation; value = directive count
+  kDirective,    ///< decision provenance: one applied directive (alloc =
+                 ///< resolved target, cloud = previous allocation, value =
+                 ///< priority, reason = policy's ReasonCode). Emitted only
+                 ///< when EngineConfig::provenance (or a watchdog) is set.
   // Counters, sampled after each decision round.
   kLiveMaxStretch,   ///< max stretch over finished and in-flight jobs
   kReadyQueueDepth,  ///< live jobs holding no resource
@@ -75,6 +79,7 @@ struct TraceRecord {
   Time begin = 0.0;   ///< span start; instant / sample time
   Time end = 0.0;     ///< span end; == begin for instants and counters
   double value = 0.0; ///< counter sample / stretch / directive count
+  int reason = 0;     ///< ReasonCode of a kDirective record (0 otherwise)
 
   [[nodiscard]] bool operator==(const TraceRecord&) const = default;
 };

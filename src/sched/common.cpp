@@ -33,7 +33,9 @@ std::pair<int, Time> best_target_sticky(const Platform& platform,
 void list_assign_directives(const SimView& view,
                             const std::vector<OrderedJob>& order,
                             ResourceClock& clock,
-                            std::vector<Directive>& out) {
+                            std::vector<Directive>& out,
+                            ReasonCode local_reason,
+                            ReasonCode offload_reason) {
   const Platform& platform = view.platform();
   const Time now = view.now();
   // Outage-aware: projections mirror the engine's availability windows
@@ -47,8 +49,11 @@ void list_assign_directives(const SimView& view,
     (void)done;
     const bool immediate = clock.starts_now(platform, s, target, now);
     clock.commit(platform, s, target);
-    out.push_back(
-        Directive{entry.id, immediate ? target : kTargetKeep, priority});
+    const ReasonCode reason =
+        !immediate ? ReasonCode::kQueuedBehindPriority
+                   : (is_cloud_alloc(target) ? offload_reason : local_reason);
+    out.push_back(Directive{entry.id, immediate ? target : kTargetKeep,
+                            priority, reason});
     priority += 1.0;
   }
 }

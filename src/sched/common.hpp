@@ -153,13 +153,19 @@ template <typename FeasibleFn>
 /// because the projection shuffled the queue behind the running jobs. All
 /// directives carry the rank in `order` as priority.
 ///
+/// Provenance: immediate placements are annotated with `local_reason`
+/// (edge target) or `offload_reason` (cloud target) — the calling policy's
+/// semantics for "why this side of the platform" — and queued jobs with
+/// kQueuedBehindPriority.
+///
 /// Workspace form: `clock` must be bound to the view's instance (the
 /// function resets it); directives are appended to `out`. Neither argument
 /// allocates once warm — this is the zero-allocation hot path.
-void list_assign_directives(const SimView& view,
-                            const std::vector<OrderedJob>& order,
-                            ResourceClock& clock,
-                            std::vector<Directive>& out);
+void list_assign_directives(
+    const SimView& view, const std::vector<OrderedJob>& order,
+    ResourceClock& clock, std::vector<Directive>& out,
+    ReasonCode local_reason = ReasonCode::kProjectedBestCompletion,
+    ReasonCode offload_reason = ReasonCode::kProjectedBestCompletion);
 
 /// Allocating convenience overload (tests, one-off tools).
 [[nodiscard]] std::vector<Directive> list_assign_directives(

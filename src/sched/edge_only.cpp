@@ -90,7 +90,8 @@ void EdgeOnlyPolicy::decide(const SimView& view,
   const std::span<const JobId> live = view.live_jobs();
   out.reserve(out.size() + live.size());
   for (const JobId id : live) {
-    out.push_back(Directive{id, kAllocEdge, deadlines_[id]});
+    out.push_back(Directive{id, kAllocEdge, deadlines_[id],
+                            ReasonCode::kEdgeOnlyEdf});
   }
 }
 

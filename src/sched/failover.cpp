@@ -63,9 +63,15 @@ bool FailoverPolicy::evacuate(CloudId k) const {
   return down_[k] != 0 || blacklisted(k);
 }
 
+ReasonCode FailoverPolicy::reroute_cause(CloudId k) const {
+  if (down_[k] != 0) return ReasonCode::kFailoverCrashEvacuation;
+  if (blacklisted(k)) return ReasonCode::kFailoverBlacklist;
+  return ReasonCode::kFailoverBackoff;
+}
+
 int FailoverPolicy::reroute_target(const SimView& view, const JobState& state,
-                                   Time now,
-                                   std::vector<int>& cloud_load) const {
+                                   Time now, std::vector<int>& cloud_load,
+                                   bool* no_healthy_cloud) const {
   // Fastest healthy cloud, ties broken by fewest resident jobs: a fault
   // typically strands many jobs at once, and funneling them all onto one
   // survivor both congests it and concentrates the blast radius of the
@@ -82,6 +88,7 @@ int FailoverPolicy::reroute_target(const SimView& view, const JobState& state,
       best_cloud = k;
     }
   }
+  if (no_healthy_cloud != nullptr) *no_healthy_cloud = best_cloud < 0;
   if (best_cloud < 0) return kAllocEdge;  // graceful degradation
   const Time on_cloud =
       uncontended_completion(view.instance(), state, best_cloud, now);
@@ -167,12 +174,19 @@ void FailoverPolicy::decide(const SimView& view,
         static_cast<std::size_t>(effective) >= failures_.size()) {
       continue;
     }
-    if (d.target == kTargetKeep || effective == s.alloc) {
-      // Not a new placement: move the job only off dead/blacklisted clouds
-      // (a backoff window alone does not justify discarding progress).
-      if (evacuate(effective)) d.target = reroute_target(view, s, now, cloud_load);
-    } else if (avoid_new(effective, now)) {
-      d.target = reroute_target(view, s, now, cloud_load);
+    const bool rewrite = (d.target == kTargetKeep || effective == s.alloc)
+                             // Not a new placement: move the job only off
+                             // dead/blacklisted clouds (a backoff window
+                             // alone does not justify discarding progress).
+                             ? evacuate(effective)
+                             : avoid_new(effective, now);
+    if (rewrite) {
+      const ReasonCode cause = reroute_cause(effective);
+      bool no_healthy = false;
+      d.target = reroute_target(view, s, now, cloud_load, &no_healthy);
+      d.reason = (d.target == kAllocEdge && no_healthy)
+                     ? ReasonCode::kFailoverDegradeToEdge
+                     : cause;
     }
   }
 
@@ -186,8 +200,13 @@ void FailoverPolicy::decide(const SimView& view,
         !evacuate(s.alloc)) {
       continue;
     }
-    out.push_back(Directive{s.job.id, reroute_target(view, s, now, cloud_load),
-                            kEvacuationPriority});
+    const ReasonCode cause = reroute_cause(s.alloc);
+    bool no_healthy = false;
+    const int target = reroute_target(view, s, now, cloud_load, &no_healthy);
+    out.push_back(Directive{s.job.id, target, kEvacuationPriority,
+                            (target == kAllocEdge && no_healthy)
+                                ? ReasonCode::kFailoverDegradeToEdge
+                                : cause});
   }
 }
 

@@ -66,10 +66,14 @@ class FailoverPolicy final : public Policy {
   /// broken by the fewest resident jobs, tracked in `cloud_load` and
   /// updated on every reroute so one batch of stranded jobs spreads out)
   /// or the origin edge, whichever finishes earlier (uncontended
-  /// estimate); the edge when every cloud is unhealthy.
+  /// estimate); the edge when every cloud is unhealthy — `no_healthy_cloud`
+  /// (when non-null) reports that case, for provenance annotation.
   [[nodiscard]] int reroute_target(const SimView& view, const JobState& state,
-                                   Time now,
-                                   std::vector<int>& cloud_load) const;
+                                   Time now, std::vector<int>& cloud_load,
+                                   bool* no_healthy_cloud = nullptr) const;
+  /// Provenance cause for moving work off cloud k (crash > blacklist >
+  /// backoff, mirroring the rewrite rules' precedence).
+  [[nodiscard]] ReasonCode reroute_cause(CloudId k) const;
 
   std::unique_ptr<Policy> base_;
   FailoverConfig config_;

@@ -19,7 +19,9 @@ void FcfsPolicy::decide(const SimView& view, const std::vector<Event>& events,
   }
   sort_ordered(order_);
   if (!clock_.bound()) clock_.bind(view.instance(), view.now());
-  list_assign_directives(view, order_, clock_, out);
+  list_assign_directives(view, order_, clock_, out,
+                         ReasonCode::kFcfsArrivalOrder,
+                         ReasonCode::kFcfsArrivalOrder);
 }
 
 }  // namespace ecs

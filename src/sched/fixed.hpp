@@ -31,7 +31,8 @@ class FixedPolicy final : public Policy {
     const std::span<const JobId> live = view.live_jobs();
     out.reserve(out.size() + live.size());
     for (const JobId id : live) {
-      out.push_back(Directive{id, alloc_.at(id), priority_.at(id)});
+      out.push_back(Directive{id, alloc_.at(id), priority_.at(id),
+                              ReasonCode::kFixedAssignment});
     }
   }
 

@@ -48,6 +48,7 @@ void GreedyPolicy::decide(const SimView& view,
     double best_tiebreak = std::numeric_limits<double>::infinity();
     std::size_t best_pos = candidates.size();
     int best_resource = kAllocUnassigned;
+    ReasonCode best_reason = ReasonCode::kGreedyBestStretch;
     const int fresh = pick_fresh_cloud(view, cloud_free);
 
     for (std::size_t pos = 0; pos < candidates.size(); ++pos) {
@@ -88,10 +89,15 @@ void GreedyPolicy::decide(const SimView& view,
       if (argmin == kAllocUnassigned) continue;  // nothing available for it
       // Moving away from the current allocation discards progress; demand
       // a real improvement, not a near-tie (see kSwitchMargin).
+      ReasonCode reason = ReasonCode::kGreedyBestStretch;
       if (keep_target != kAllocUnassigned && argmin != keep_target &&
           min_stretch > keep_stretch * (1.0 - kSwitchMargin)) {
         argmin = keep_target;
         min_stretch = keep_stretch;
+        reason = ReasonCode::kGreedySwitchMarginHold;
+      }
+      if (argmin == kTargetKeep) {
+        reason = ReasonCode::kGreedyWaitForOwnResource;
       }
       // Select the job with the highest achievable min-stretch; on ties,
       // the job with the smallest best-case time — short jobs are the most
@@ -105,12 +111,14 @@ void GreedyPolicy::decide(const SimView& view,
         best_tiebreak = s.best_time;
         best_pos = pos;
         best_resource = argmin;
+        best_reason = reason;
       }
     }
 
     if (best_pos == candidates.size()) break;  // no job can be placed
     const JobId chosen = candidates[best_pos];
-    directives.push_back(Directive{chosen, best_resource, priority});
+    directives.push_back(
+        Directive{chosen, best_resource, priority, best_reason});
     priority += 1.0;
     if (best_resource == kAllocEdge) {
       edge_free[view.state(chosen).job.origin] = 0;

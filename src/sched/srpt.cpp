@@ -70,7 +70,10 @@ void SrptPolicy::decide(const SimView& view, const std::vector<Event>& events,
 
     if (best_pos == candidates.size()) break;  // nothing placeable
     const JobId chosen = candidates[best_pos];
-    directives.push_back(Directive{chosen, best_resource, priority});
+    directives.push_back(Directive{
+        chosen, best_resource, priority,
+        best_resource == kTargetKeep ? ReasonCode::kSrptWaitForOwnResource
+                                     : ReasonCode::kSrptShortestRemaining});
     priority += 1.0;
     if (best_resource == kAllocEdge) {
       edge_free[view.state(chosen).job.origin] = 0;

@@ -99,7 +99,11 @@ void SsfEdfPolicy::decide(const SimView& view,
     order_.push_back(OrderedJob{id, deadlines_[id]});
   }
   sort_ordered(order_);
-  list_assign_directives(view, order_, clock_, out);
+  // A cloud placement means the edge projection could not hold the
+  // deadline-driven target stretch — the paper's delegation criterion.
+  list_assign_directives(view, order_, clock_, out,
+                         ReasonCode::kDeadlineFeasibleLocal,
+                         ReasonCode::kDeadlineInfeasibleOnEdge);
 }
 
 }  // namespace ecs

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <limits>
 #include <optional>
 #include <sstream>
 #include <stdexcept>
@@ -10,6 +11,7 @@
 #include "core/validate.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
 
 namespace ecs {
 namespace {
@@ -152,6 +154,15 @@ class Engine {
         busy_(instance.platform),
         trace_(config.trace),
         metrics_(config.metrics) {
+    // A watchdog taps the trace stream through an internal tee, so it
+    // works with or without a user trace sink attached.
+    if (config.watchdog != nullptr) {
+      tee_.add(config.trace);
+      tee_.add(config.watchdog);
+      trace_ = &tee_;
+    }
+    provenance_on_ =
+        (config.provenance || config.watchdog != nullptr) && trace_ != nullptr;
     if (metrics_ != nullptr) ids_.emplace(*metrics_);
     require_valid_instance(instance_);
     config_.faults.normalize();
@@ -184,6 +195,10 @@ class Engine {
     if (trace_ != nullptr) {
       spans_.assign(n, SpanState{});
       run_index_.assign(n, 0);
+      if (provenance_on_) {
+        last_dir_target_.assign(n, kDirectiveNone);
+        last_dir_reason_.assign(n, 0);
+      }
       obs::TraceMeta meta;
       meta.policy = policy_.name();
       meta.edge_count = platform_.edge_count();
@@ -346,6 +361,44 @@ class Engine {
     trace_->record(rec);
   }
 
+  /// Emits one decision-provenance instant (TracePoint::kDirective):
+  /// alloc = resolved target, cloud = allocation before the directive,
+  /// value = priority, reason = the policy's ReasonCode. Caller guards on
+  /// provenance_on_.
+  void trace_directive(JobId job, int source, int target,
+                       const Directive& d) {
+    obs::TraceRecord rec;
+    rec.kind = obs::TraceKind::kInstant;
+    rec.point = obs::TracePoint::kDirective;
+    rec.job = job;
+    rec.run = run_index_[job];
+    rec.origin = states_[job].job.origin;
+    rec.alloc = target;
+    rec.cloud = source;
+    rec.begin = rec.end = now_;
+    rec.value = d.priority;
+    rec.reason = static_cast<int>(d.reason);
+    trace_->record(rec);
+    last_dir_target_[job] = target;
+    last_dir_reason_[job] = static_cast<int>(d.reason);
+  }
+
+  /// Provenance for a directive that does not move the job (kTargetKeep or
+  /// an explicit re-confirmation of the current allocation). Policies emit
+  /// these at EVERY event, so identical repeats are deduplicated: a keep is
+  /// recorded when its resolved target or reason differs from the job's
+  /// last emitted directive.
+  void trace_keep_directive(const Directive& d) {
+    if (d.job < 0 || d.job >= static_cast<JobId>(states_.size())) return;
+    const JobState& s = states_[d.job];
+    if (!s.live()) return;
+    if (last_dir_target_[d.job] == s.alloc &&
+        last_dir_reason_[d.job] == static_cast<int>(d.reason)) {
+      return;
+    }
+    trace_directive(d.job, s.alloc, s.alloc, d);
+  }
+
   void trace_counter(obs::TracePoint point, double value) {
     obs::TraceRecord rec;
     rec.kind = obs::TraceKind::kCounter;
@@ -499,7 +552,12 @@ class Engine {
   }
 
   void apply_directive(const Directive& d) {
-    if (d.target == kTargetKeep) return;
+    if (d.target == kTargetKeep) {
+      // Keeps skip all validation (a keep for a finished or unknown job is
+      // harmless); provenance still wants the deduplicated decision.
+      if (provenance_on_) trace_keep_directive(d);
+      return;
+    }
     if (d.job < 0 || d.job >= static_cast<JobId>(states_.size())) {
       throw std::runtime_error("policy " + policy_.name() +
                                " issued a directive for unknown job " +
@@ -514,7 +572,11 @@ class Engine {
                                std::to_string(d.target) + " for job " +
                                std::to_string(d.job));
     }
-    if (d.target == s.alloc) return;
+    if (d.target == s.alloc) {
+      if (provenance_on_) trace_keep_directive(d);
+      return;
+    }
+    if (provenance_on_) trace_directive(d.job, s.alloc, d.target, d);
 
     Recorder& rec = recorders_[d.job];
     rec.close(now_);
@@ -875,6 +937,9 @@ class Engine {
       s.rem_work = 0.0;
       s.rem_down = 0.0;
       s.active = Activity::kNone;
+      // The abort changed the allocation without a directive: the next
+      // keep/assign decision is new information and must be re-emitted.
+      if (provenance_on_) last_dir_target_[s.job.id] = kDirectiveNone;
       ++stats_.fault_aborts;
       push_fault_event(Event{EventKind::kFault, s.job.id, now_, crashed});
     }
@@ -1000,6 +1065,13 @@ class Engine {
   obs::TraceSink* trace_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
   std::optional<Instruments> ids_;  ///< engaged iff metrics_ != nullptr
+  obs::TeeTraceSink tee_;  ///< user sink + watchdog, when a watchdog is set
+  bool provenance_on_ = false;
+  /// Sentinel for "no directive emitted yet" in last_dir_target_ (any
+  /// value no allocation can take).
+  static constexpr int kDirectiveNone = std::numeric_limits<int>::min();
+  std::vector<int> last_dir_target_;  ///< keep-dedup state (provenance only)
+  std::vector<int> last_dir_reason_;
 
   /// Open trace span per job. Tracked separately from Recorder because
   /// recorder intervals close and reopen on every decision round, while a

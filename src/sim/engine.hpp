@@ -41,6 +41,7 @@
 namespace ecs {
 
 namespace obs {
+class InvariantWatchdog;
 class MetricsRegistry;
 class TraceSink;
 }  // namespace obs
@@ -68,6 +69,21 @@ struct EngineConfig {
   /// owned; thread-safe, so one registry may be shared across the runs of a
   /// parallel sweep to accumulate totals. Null = no bookkeeping.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Emit decision provenance: one TracePoint::kDirective instant per
+  /// applied directive (reassignments always; keep-decisions deduplicated —
+  /// re-confirming the same target for the same reason at every event is
+  /// noise). Requires a trace destination (`trace` or `watchdog`); with
+  /// neither it is inert. Off by default: provenance inflates traces and
+  /// the engine's hot path must stay allocation-free when observability is
+  /// off.
+  bool provenance = false;
+  /// Optional online invariant watchdog (obs/watchdog.hpp): checks the
+  /// one-port, precedence, no-migration, exclusivity and release invariants
+  /// at the offending event. Not owned; must outlive simulate(). Setting a
+  /// watchdog routes the trace stream into it (even when `trace` is null)
+  /// and implies `provenance`, so violations can link the decisions that
+  /// caused them. Null (the default) costs nothing.
+  obs::InvariantWatchdog* watchdog = nullptr;
 };
 
 struct SimStats {

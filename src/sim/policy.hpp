@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/platform.hpp"
+#include "obs/reason.hpp"
 #include "sim/state.hpp"
 
 namespace ecs {
@@ -36,6 +37,11 @@ struct Directive {
   JobId job = -1;
   int target = kTargetKeep;  ///< kAllocEdge, cloud index, or kTargetKeep
   double priority = 0.0;     ///< lower = scheduled first
+  /// Why the policy chose this target (obs/reason.hpp). Purely diagnostic:
+  /// the engine never branches on it — it only copies the code into the
+  /// decision-provenance trace when provenance is enabled — so annotated
+  /// and unannotated policies produce bit-identical schedules.
+  ReasonCode reason = ReasonCode::kUnspecified;
 };
 
 /// Read-only view of the simulation passed to policies.

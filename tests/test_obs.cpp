@@ -3,6 +3,8 @@
 // sinks, and the metrics registry.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <map>
 #include <sstream>
 #include <stdexcept>
@@ -261,6 +263,98 @@ TEST(ObsMetrics, ScopeTimerIsNoopOnNullRegistry) {
   EXPECT_EQ(registry.timer_value("t").count, 1u);
   { const obs::ScopeTimer none(nullptr, id); }
   EXPECT_EQ(registry.timer_value("t").count, 1u);
+}
+
+TEST(ObsJson, NonFiniteNumbersRoundTrip) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  // Lossless string policy (the default for our own formats).
+  EXPECT_EQ(obs::json::number(nan), "null");
+  EXPECT_EQ(obs::json::number(inf), "\"Infinity\"");
+  EXPECT_EQ(obs::json::number(-inf), "\"-Infinity\"");
+  // Clamp policy for plain-number consumers: saturated, never silently 0.
+  EXPECT_EQ(obs::json::number(inf, obs::json::NonFinitePolicy::kClamp),
+            "1e308");
+  EXPECT_EQ(obs::json::number(-inf, obs::json::NonFinitePolicy::kClamp),
+            "-1e308");
+  EXPECT_EQ(obs::json::number(nan, obs::json::NonFinitePolicy::kClamp),
+            "null");
+  // number() -> parse -> to_double round-trips every class of value.
+  for (const double v : {0.0, -1.5, 1e-300, 3.14159, inf, -inf}) {
+    const obs::json::Value parsed = obs::json::parse(obs::json::number(v));
+    EXPECT_EQ(obs::json::to_double(parsed), v);
+  }
+  EXPECT_TRUE(std::isnan(
+      obs::json::to_double(obs::json::parse(obs::json::number(nan)))));
+  EXPECT_THROW((void)obs::json::to_double(obs::json::parse("\"abc\"")),
+               std::runtime_error);
+}
+
+TEST(ObsMetrics, SketchFamilyAndJson) {
+  obs::MetricsRegistry registry;
+  const obs::MetricsRegistry::Id id = registry.sketch("job.stretch.sketch");
+  for (int i = 1; i <= 100; ++i) {
+    registry.sketch_observe(id, static_cast<double>(i));
+  }
+  // Merging a worker-private sketch accumulates exactly.
+  obs::QuantileSketch worker;
+  for (int i = 101; i <= 200; ++i) worker.observe(static_cast<double>(i));
+  registry.sketch_merge(id, worker);
+
+  const obs::QuantileSketch snap = registry.sketch_value("job.stretch.sketch");
+  EXPECT_EQ(snap.count(), 200u);
+  EXPECT_DOUBLE_EQ(snap.min(), 1.0);
+  EXPECT_DOUBLE_EQ(snap.max(), 200.0);
+  EXPECT_NEAR(snap.quantile(0.5), 100.0, 100.0 * 2.0 * snap.alpha() + 1.0);
+  // Re-registration returns the same instrument; alpha mismatch throws.
+  EXPECT_EQ(registry.sketch("job.stretch.sketch"), id);
+  EXPECT_THROW((void)registry.sketch_value("missing"), std::out_of_range);
+
+  std::ostringstream out;
+  registry.write_json(out);
+  const obs::json::Value root = obs::json::parse(out.str());
+  const obs::json::Value& s =
+      root.at("sketches").at("job.stretch.sketch");
+  EXPECT_EQ(s.at("count").as_int(), 200);
+  EXPECT_DOUBLE_EQ(s.at("min").as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(s.at("max").as_number(), 200.0);
+  EXPECT_GT(s.at("p99").as_number(), s.at("p50").as_number());
+}
+
+TEST(ObsMetrics, PrometheusExposition) {
+  obs::MetricsRegistry registry;
+  registry.add(registry.counter("engine.events"), 42);
+  registry.gauge_set(registry.gauge("queue.depth"), 3.0);
+  registry.add_nanos(registry.timer("decide"), 2'000'000'000ULL);
+  const auto h = registry.histogram("job.stretch", {1.0, 2.0});
+  registry.observe(h, 0.5);
+  registry.observe(h, 1.5);
+  registry.observe(h, 9.0);
+  const auto sk = registry.sketch("stretch.sketch");
+  for (int i = 1; i <= 10; ++i) {
+    registry.sketch_observe(sk, static_cast<double>(i));
+  }
+
+  std::ostringstream out;
+  registry.write_prometheus(out);
+  const std::string text = out.str();
+  // Names sanitized to the Prometheus charset, one TYPE line per family.
+  EXPECT_NE(text.find("# TYPE engine_events counter"), std::string::npos);
+  EXPECT_NE(text.find("engine_events 42"), std::string::npos);
+  EXPECT_NE(text.find("queue_depth_last gauge"), std::string::npos);
+  EXPECT_NE(text.find("decide_seconds_total 2"), std::string::npos);
+  // Histogram buckets are cumulative and end at +Inf == count.
+  EXPECT_NE(text.find("job_stretch_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("job_stretch_bucket{le=\"2\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("job_stretch_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("job_stretch_count 3"), std::string::npos);
+  // Sketches export as quantile summaries.
+  EXPECT_NE(text.find("stretch_sketch{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("stretch_sketch{quantile=\"0.999\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("stretch_sketch_count 10"), std::string::npos);
 }
 
 TEST(ObsTrace, PointNamesRoundTrip) {

@@ -1,0 +1,166 @@
+// Tests for the mergeable quantile sketch (obs/sketch.hpp): the documented
+// relative-error bound against exact order statistics (including the exact
+// stretch_percentile() of a 10k-job simulated instance), exact mergeability
+// across worker shards, and the edge cases (zeros, negatives, non-finite).
+#include "obs/sketch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "exp/runner.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "workloads/random_instances.hpp"
+
+namespace ecs {
+namespace {
+
+/// Asserts the sketch's q-quantile lies within the relative-error band
+/// around the bracketing order statistics of the sorted sample. The sketch
+/// picks the order statistic of rank floor(q * (n - 1)); the exact
+/// percentile() interpolates between neighbours, so the admissible band is
+/// [lo * (1 - alpha), hi * (1 + alpha)] over both neighbours.
+void expect_quantile_within(const obs::QuantileSketch& sketch,
+                            std::vector<double> sorted, double q) {
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const double lo = sorted[static_cast<std::size_t>(std::floor(rank))];
+  const double hi = sorted[static_cast<std::size_t>(std::ceil(rank))];
+  const double estimate = sketch.quantile(q);
+  const double alpha = sketch.alpha();
+  EXPECT_GE(estimate, lo * (1.0 - alpha) - 1e-12) << "q = " << q;
+  EXPECT_LE(estimate, hi * (1.0 + alpha) + 1e-12) << "q = " << q;
+}
+
+TEST(Sketch, EmptyAndExactExtremes) {
+  obs::QuantileSketch sketch;
+  EXPECT_TRUE(sketch.empty());
+  EXPECT_EQ(sketch.count(), 0u);
+  EXPECT_DOUBLE_EQ(sketch.quantile(0.5), 0.0);
+  sketch.observe(3.0);
+  sketch.observe(7.0);
+  sketch.observe(5.0);
+  EXPECT_EQ(sketch.count(), 3u);
+  EXPECT_DOUBLE_EQ(sketch.min(), 3.0);
+  EXPECT_DOUBLE_EQ(sketch.max(), 7.0);
+  // q = 0 / q = 1 return the exact observed extremes, not bucket midpoints.
+  EXPECT_DOUBLE_EQ(sketch.quantile(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(sketch.quantile(1.0), 7.0);
+  EXPECT_NEAR(sketch.mean(), 5.0, 1e-12);
+}
+
+TEST(Sketch, RelativeErrorBoundOnWideLogUniformSample) {
+  // Values across six decades: the regime log buckets are built for.
+  Rng rng(123);
+  obs::QuantileSketch sketch;
+  std::vector<double> values;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = std::pow(10.0, rng.uniform(-3.0, 3.0));
+    values.push_back(v);
+    sketch.observe(v);
+  }
+  for (const double q : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}) {
+    expect_quantile_within(sketch, values, q);
+  }
+}
+
+TEST(Sketch, MatchesExactStretchPercentileOn10kJobInstance) {
+  // The acceptance check of the sweep reports: sketch p50/p99 of the
+  // per-job stretch distribution of a 10k-job run within the documented
+  // relative-error bound of the exact ScheduleMetrics::stretch_percentile.
+  RandomInstanceConfig cfg;
+  cfg.n = 10000;
+  cfg.ccr = 1.0;
+  cfg.load = 0.5;
+  Rng rng(42);
+  const Instance instance = make_random_instance(cfg, rng);
+  RunOptions options;
+  options.validate = false;
+  const RunOutcome outcome = run_policy(instance, "srpt", options);
+
+  obs::QuantileSketch sketch;
+  std::vector<double> stretches;
+  for (const JobMetrics& jm : outcome.metrics.per_job) {
+    sketch.observe(jm.stretch);
+    stretches.push_back(jm.stretch);
+  }
+  ASSERT_EQ(sketch.count(), 10000u);
+  for (const double q : {0.5, 0.9, 0.99}) {
+    expect_quantile_within(sketch, stretches, q);
+    // And against the interpolated exact percentile with the documented
+    // relative bound (stretch >= 1, so relative tolerance is well-defined).
+    const double exact = outcome.metrics.stretch_percentile(q);
+    EXPECT_NEAR(sketch.quantile(q), exact,
+                (sketch.alpha() + 1e-3) * exact + 1e-9)
+        << "q = " << q;
+  }
+}
+
+TEST(Sketch, MergeOfWorkerShardsEqualsSingleSketch) {
+  // The sweep merges per-worker sketches; merging must reproduce the
+  // single-observer sketch exactly (same buckets -> same quantiles).
+  Rng rng(7);
+  obs::QuantileSketch whole;
+  std::vector<obs::QuantileSketch> shards(8, obs::QuantileSketch{});
+  for (int i = 0; i < 5000; ++i) {
+    const double v = std::pow(10.0, rng.uniform(-2.0, 4.0));
+    whole.observe(v);
+    shards[static_cast<std::size_t>(i) % shards.size()].observe(v);
+  }
+  obs::QuantileSketch merged;
+  // Deliberately merge in a scrambled order: merging is order-independent.
+  for (const std::size_t s : {3u, 0u, 7u, 1u, 5u, 2u, 6u, 4u}) {
+    merged.merge(shards[s]);
+  }
+  EXPECT_EQ(merged.count(), whole.count());
+  EXPECT_DOUBLE_EQ(merged.min(), whole.min());
+  EXPECT_DOUBLE_EQ(merged.max(), whole.max());
+  EXPECT_NEAR(merged.sum(), whole.sum(), 1e-9 * std::abs(whole.sum()));
+  for (double q = 0.0; q <= 1.0; q += 0.01) {
+    EXPECT_DOUBLE_EQ(merged.quantile(q), whole.quantile(q)) << "q = " << q;
+  }
+}
+
+TEST(Sketch, MergeRejectsMismatchedAlpha) {
+  obs::QuantileSketch coarse(0.05);
+  obs::QuantileSketch fine(0.01);
+  coarse.observe(1.0);
+  EXPECT_THROW(fine.merge(coarse), std::invalid_argument);
+  // Merging an empty same-alpha sketch is a no-op, not an error.
+  obs::QuantileSketch other(0.01);
+  fine.observe(2.0);
+  fine.merge(other);
+  EXPECT_EQ(fine.count(), 1u);
+}
+
+TEST(Sketch, ZeroNegativeAndNonFiniteInputs) {
+  obs::QuantileSketch sketch;
+  sketch.observe(0.0);
+  sketch.observe(-5.0);  // clamps to 0: tracked quantities are non-negative
+  sketch.observe(obs::QuantileSketch::kMinTrackable / 2.0);
+  EXPECT_EQ(sketch.count(), 3u);
+  EXPECT_DOUBLE_EQ(sketch.quantile(0.5), 0.0);
+  // min/max track the raw observations; the zero bucket only flattens ranks.
+  EXPECT_DOUBLE_EQ(sketch.max(), obs::QuantileSketch::kMinTrackable / 2.0);
+  sketch.observe(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(sketch.count(), 3u);  // NaN has no rank; dropped entirely
+  EXPECT_THROW(obs::QuantileSketch{0.0}, std::invalid_argument);
+  EXPECT_THROW(obs::QuantileSketch{1.0}, std::invalid_argument);
+}
+
+TEST(Sketch, ClearResetsEverything) {
+  obs::QuantileSketch sketch;
+  for (int i = 1; i <= 100; ++i) sketch.observe(static_cast<double>(i));
+  sketch.clear();
+  EXPECT_TRUE(sketch.empty());
+  EXPECT_EQ(sketch.bucket_count(), 0u);
+  EXPECT_DOUBLE_EQ(sketch.quantile(0.99), 0.0);
+}
+
+}  // namespace
+}  // namespace ecs

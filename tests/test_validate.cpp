@@ -279,6 +279,24 @@ TEST(Validate, WrongJobCountReported) {
   EXPECT_EQ(violations[0].kind, ViolationKind::kBadAllocation);
 }
 
+TEST(Validate, FlagsMigratedProgressAcrossCrash) {
+  // Progress carried across a crash of the run's machine is the offline
+  // face of the no-migration rule: a run may not keep work the platform
+  // lost. The online watchdog flags the same shape as kMigration when a
+  // run's spans appear on two allocations (tests/test_watchdog.cpp).
+  Instance instance;
+  instance.platform = Platform({0.5}, 1);
+  instance.jobs = {{0, 0, 4.0, 0.0, 0.0, 0.0}};
+  Schedule schedule(1);
+  schedule.job(0).final_run.alloc = 0;
+  schedule.job(0).final_run.exec.add(0.0, 2.0);   // before the crash
+  schedule.job(0).final_run.exec.add(6.0, 8.0);   // resumed afterwards
+  FaultPlan plan;
+  plan.faults.push_back(FaultSpec{FaultKind::kCrash, 0, 3.0, 5.0});
+  const auto violations = validate_schedule(instance, schedule, plan);
+  EXPECT_TRUE(has_kind(violations, ViolationKind::kFaultRestart));
+}
+
 TEST(Validate, RequireValidThrowsWithDiagnostics) {
   const Instance instance = two_job_instance();
   Schedule schedule = good_schedule();

@@ -1,0 +1,281 @@
+// Tests for the online invariant watchdog (obs/watchdog.hpp). Synthetic
+// trace streams inject each violation kind in isolation and the watchdog
+// must flag it at the offending record, linking the decision provenance of
+// the jobs involved; every engine-produced run must come out clean. These
+// are the online twins of the offline validator tests (test_validate.cpp):
+// the same one-port / precedence / migration invariants, caught mid-run.
+#include "obs/watchdog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/provenance.hpp"
+#include "obs/reason.hpp"
+#include "obs/trace.hpp"
+#include "sched/factory.hpp"
+#include "sim/engine.hpp"
+#include "sim/faults.hpp"
+#include "util/rng.hpp"
+#include "workloads/random_instances.hpp"
+
+namespace ecs {
+namespace {
+
+obs::TraceMeta two_job_meta() {
+  obs::TraceMeta meta;
+  meta.policy = "synthetic";
+  meta.edge_count = 2;
+  meta.cloud_count = 2;
+  meta.job_count = 2;
+  return meta;
+}
+
+obs::TraceRecord release_at(JobId job, Time t, EdgeId origin = 0) {
+  obs::TraceRecord rec;
+  rec.kind = obs::TraceKind::kInstant;
+  rec.point = obs::TracePoint::kRelease;
+  rec.job = job;
+  rec.origin = origin;
+  rec.begin = rec.end = t;
+  return rec;
+}
+
+/// A provenance directive: the decision that placed `job` on `target`.
+obs::TraceRecord directive(JobId job, int run, int source, int target,
+                           Time t, EdgeId origin = 0) {
+  obs::TraceRecord rec;
+  rec.kind = obs::TraceKind::kInstant;
+  rec.point = obs::TracePoint::kDirective;
+  rec.job = job;
+  rec.run = run;
+  rec.alloc = target;
+  rec.cloud = source;
+  rec.origin = origin;
+  rec.begin = rec.end = t;
+  rec.reason = static_cast<int>(ReasonCode::kSrptShortestRemaining);
+  return rec;
+}
+
+obs::TraceRecord span(obs::TracePoint point, JobId job, int run, int alloc,
+                      EdgeId origin, Time begin, Time end) {
+  obs::TraceRecord rec;
+  rec.kind = obs::TraceKind::kSpan;
+  rec.point = point;
+  rec.job = job;
+  rec.run = run;
+  rec.alloc = alloc;
+  rec.origin = origin;
+  rec.begin = begin;
+  rec.end = end;
+  return rec;
+}
+
+/// Feeds a synthetic record stream (in non-decreasing close time, as the
+/// engine emits it) and returns the watchdog for inspection.
+obs::InvariantWatchdog run_stream(const std::vector<obs::TraceRecord>& recs) {
+  obs::InvariantWatchdog watchdog;
+  watchdog.begin_trace(two_job_meta());
+  for (const obs::TraceRecord& rec : recs) watchdog.record(rec);
+  watchdog.end_trace(recs.empty() ? 0.0 : recs.back().end);
+  return watchdog;
+}
+
+bool has_kind(const obs::InvariantWatchdog& watchdog,
+              obs::InvariantKind kind) {
+  for (const obs::InvariantViolation& v : watchdog.violations()) {
+    if (v.kind == kind) return true;
+  }
+  return false;
+}
+
+TEST(Watchdog, CleanStreamPasses) {
+  // J0 on edge 0; J1 via cloud 0: a conforming pipeline.
+  const auto wd = run_stream({
+      release_at(0, 0.0), release_at(1, 0.0),
+      directive(0, 0, kAllocUnassigned, kAllocEdge, 0.0),
+      directive(1, 0, kAllocUnassigned, 0, 0.0),
+      span(obs::TracePoint::kUplink, 1, 0, 0, 0, 0.0, 1.0),
+      span(obs::TracePoint::kExec, 1, 0, 0, 0, 1.0, 3.0),
+      span(obs::TracePoint::kExec, 0, 0, kAllocEdge, 0, 0.0, 4.0),
+      span(obs::TracePoint::kDownlink, 1, 0, 0, 0, 3.0, 4.0),
+  });
+  EXPECT_TRUE(wd.ok());
+  EXPECT_EQ(wd.violation_count(), 0u);
+  EXPECT_EQ(wd.spans_checked(), 4u);
+}
+
+TEST(Watchdog, FlagsOnePortSendConflictAtOffendingEvent) {
+  // Two jobs uploading from edge 0 at overlapping times (to different
+  // clouds, so only the edge's send port is oversubscribed).
+  const auto wd = run_stream({
+      release_at(0, 0.0), release_at(1, 0.0),
+      directive(0, 0, kAllocUnassigned, 0, 0.0),
+      directive(1, 0, kAllocUnassigned, 1, 0.0),
+      span(obs::TracePoint::kUplink, 0, 0, 0, 0, 0.0, 2.0),
+      span(obs::TracePoint::kUplink, 1, 0, 1, 0, 1.0, 3.0),  // offender
+  });
+  EXPECT_FALSE(wd.ok());
+  ASSERT_TRUE(has_kind(wd, obs::InvariantKind::kPortConflict));
+  const obs::InvariantViolation& v = wd.violations().front();
+  EXPECT_EQ(v.kind, obs::InvariantKind::kPortConflict);
+  // Flagged AT the offending record, naming the other holder of the port.
+  EXPECT_EQ(v.offending.job, 1);
+  EXPECT_DOUBLE_EQ(v.offending.begin, 1.0);
+  EXPECT_EQ(v.other_job, 0);
+  // ... and carrying the decisions that put both jobs there.
+  ASSERT_GE(v.provenance.size(), 1u);
+  bool offender_decision = false;
+  for (const obs::ProvenanceRecord& p : v.provenance) {
+    offender_decision |= p.job == 1 && p.kind == obs::ProvenanceKind::kAssign;
+  }
+  EXPECT_TRUE(offender_decision);
+}
+
+TEST(Watchdog, FlagsCloudReceivePortConflict) {
+  // Different edges, same cloud, overlapping uplinks: the cloud's receive
+  // port is the oversubscribed resource.
+  const auto wd = run_stream({
+      release_at(0, 0.0, 0), release_at(1, 0.0, 1),
+      span(obs::TracePoint::kUplink, 0, 0, 0, 0, 0.0, 2.0),
+      span(obs::TracePoint::kUplink, 1, 0, 0, 1, 1.0, 3.0),
+  });
+  EXPECT_TRUE(has_kind(wd, obs::InvariantKind::kPortConflict));
+}
+
+TEST(Watchdog, FullDuplexOverlapIsAllowed) {
+  // An uplink and a downlink on the same edge/cloud pair may overlap: the
+  // send and receive ports are distinct.
+  const auto wd = run_stream({
+      release_at(0, 0.0), release_at(1, 0.0),
+      span(obs::TracePoint::kUplink, 0, 0, 0, 0, 0.0, 1.0),
+      span(obs::TracePoint::kExec, 0, 0, 0, 0, 1.0, 3.0),
+      span(obs::TracePoint::kUplink, 1, 0, 0, 0, 3.0, 4.0),
+      span(obs::TracePoint::kDownlink, 0, 0, 0, 0, 3.0, 4.0),
+  });
+  EXPECT_TRUE(wd.ok());
+}
+
+TEST(Watchdog, FlagsProcessorConflict) {
+  const auto wd = run_stream({
+      release_at(0, 0.0), release_at(1, 0.0),
+      span(obs::TracePoint::kExec, 0, 0, kAllocEdge, 0, 0.0, 4.0),
+      span(obs::TracePoint::kExec, 1, 0, kAllocEdge, 0, 1.0, 5.0),
+  });
+  ASSERT_TRUE(has_kind(wd, obs::InvariantKind::kProcessorConflict));
+  EXPECT_EQ(wd.violations().front().other_job, 0);
+}
+
+TEST(Watchdog, FlagsBrokenPrecedenceAtOffendingEvent) {
+  // Execution starts at 1.0 while the run's uplink runs until 2.0.
+  const auto wd = run_stream({
+      release_at(0, 0.0),
+      directive(0, 0, kAllocUnassigned, 0, 0.0),
+      span(obs::TracePoint::kUplink, 0, 0, 0, 0, 0.0, 2.0),
+      span(obs::TracePoint::kExec, 0, 0, 0, 0, 1.0, 3.0),  // offender
+  });
+  EXPECT_FALSE(wd.ok());
+  ASSERT_TRUE(has_kind(wd, obs::InvariantKind::kPrecedence));
+  const obs::InvariantViolation& v = wd.violations().front();
+  EXPECT_EQ(v.offending.point, obs::TracePoint::kExec);
+  EXPECT_DOUBLE_EQ(v.offending.begin, 1.0);
+  // The linked provenance explains which decision placed the run.
+  ASSERT_GE(v.provenance.size(), 1u);
+  EXPECT_EQ(v.provenance.front().job, 0);
+}
+
+TEST(Watchdog, FlagsDownlinkBeforeExecEnd) {
+  const auto wd = run_stream({
+      release_at(0, 0.0),
+      span(obs::TracePoint::kUplink, 0, 0, 0, 0, 0.0, 1.0),
+      span(obs::TracePoint::kDownlink, 0, 0, 0, 0, 1.0, 2.0),
+      span(obs::TracePoint::kExec, 0, 0, 0, 0, 1.0, 3.0),
+  });
+  EXPECT_TRUE(has_kind(wd, obs::InvariantKind::kPrecedence));
+}
+
+TEST(Watchdog, FlagsMigrationWithinARun) {
+  // Run 0 observed on cloud 0 and then cloud 1: progress migrated, which
+  // the model forbids (a move requires a new run from zero).
+  const auto wd = run_stream({
+      release_at(0, 0.0),
+      span(obs::TracePoint::kExec, 0, 0, 0, 0, 0.0, 1.0),
+      span(obs::TracePoint::kExec, 0, 0, 1, 0, 2.0, 3.0),
+  });
+  ASSERT_TRUE(has_kind(wd, obs::InvariantKind::kMigration));
+  // The same shape with a bumped run index is the legal re-execution.
+  const auto wd2 = run_stream({
+      release_at(0, 0.0),
+      span(obs::TracePoint::kExec, 0, 0, 0, 0, 0.0, 1.0),
+      span(obs::TracePoint::kExec, 0, 1, 1, 0, 2.0, 3.0),
+  });
+  EXPECT_TRUE(wd2.ok());
+}
+
+TEST(Watchdog, FlagsSelfOverlapAndBeforeRelease) {
+  const auto overlap = run_stream({
+      release_at(0, 0.0),
+      span(obs::TracePoint::kExec, 0, 0, kAllocEdge, 0, 0.0, 2.0),
+      span(obs::TracePoint::kExec, 0, 1, kAllocEdge, 0, 1.0, 3.0),
+  });
+  EXPECT_TRUE(has_kind(overlap, obs::InvariantKind::kSelfOverlap));
+
+  const auto early = run_stream({
+      release_at(0, 5.0),
+      span(obs::TracePoint::kExec, 0, 0, kAllocEdge, 0, 4.5, 6.0),
+  });
+  EXPECT_TRUE(has_kind(early, obs::InvariantKind::kBeforeRelease));
+}
+
+TEST(Watchdog, ReportNamesViolationAndProvenance) {
+  const auto wd = run_stream({
+      release_at(0, 0.0), release_at(1, 0.0),
+      directive(0, 0, kAllocUnassigned, 0, 0.0),
+      directive(1, 0, kAllocUnassigned, 1, 0.0),
+      span(obs::TracePoint::kUplink, 0, 0, 0, 0, 0.0, 2.0),
+      span(obs::TracePoint::kUplink, 1, 0, 1, 0, 1.0, 3.0),
+  });
+  std::ostringstream out;
+  wd.report(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("port-conflict"), std::string::npos);
+  EXPECT_NE(text.find("provenance"), std::string::npos);
+}
+
+TEST(Watchdog, EngineRunsComeOutClean) {
+  // Every engine-produced stream must satisfy the invariants, including
+  // under unannounced faults and message losses.
+  RandomInstanceConfig cfg;
+  cfg.n = 120;
+  cfg.ccr = 1.0;
+  cfg.load = 0.8;
+  Rng rng(11);
+  const Instance instance = make_random_instance(cfg, rng);
+  FaultConfig fault_cfg;
+  fault_cfg.crash_rate = 0.01;
+  fault_cfg.loss_rate = 0.01;
+  fault_cfg.mean_repair = 20.0;
+  Rng fault_rng(13);
+  const FaultPlan plan =
+      make_fault_plan(instance.platform.cloud_count(), fault_cfg, fault_rng);
+  for (const char* name :
+       {"greedy", "srpt", "ssf-edf", "failover-srpt", "edge-only"}) {
+    obs::InvariantWatchdog watchdog;
+    EngineConfig config;
+    config.watchdog = &watchdog;  // no user trace sink: engine tees itself
+    config.faults = plan;
+    const auto policy = make_policy(name);
+    (void)simulate(instance, *policy, config);
+    EXPECT_TRUE(watchdog.ok()) << name << ": " << [&] {
+      std::ostringstream out;
+      watchdog.report(out);
+      return out.str();
+    }();
+    EXPECT_GT(watchdog.spans_checked(), 0u) << name;
+  }
+}
+
+}  // namespace
+}  // namespace ecs

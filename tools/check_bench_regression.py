@@ -1,10 +1,12 @@
 #!/usr/bin/env python3
 """Gate micro-benchmark results against a checked-in baseline.
 
-Reads two compact benchmark JSON files (the format written by the
---json-out flag of bench_engine_micro / bench_policy_micro: a list of rows
-with "name" and a per-item nanoseconds field) and fails when any row's
+Reads compact benchmark JSON files (the format written by the --json-out
+flag of bench_engine_micro / bench_policy_micro: a list of rows with
+"name" and a per-item nanoseconds field) and fails when any row's
 per-item time regressed by more than --max-ratio over the baseline.
+--baseline/--current may be repeated to gate several suites in one
+invocation; the i-th baseline is compared against the i-th current file.
 
 Rows are matched by name. Rows present in only one file are reported but
 do not fail the check (benchmark sets evolve); at least one row must match
@@ -41,19 +43,11 @@ def load(path):
     return out
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--baseline", required=True,
-                        help="checked-in baseline JSON")
-    parser.add_argument("--current", required=True,
-                        help="freshly measured JSON")
-    parser.add_argument("--max-ratio", type=float, default=3.0,
-                        help="fail when current/baseline exceeds this "
-                             "(default: 3.0)")
-    args = parser.parse_args()
-
-    baseline = load(args.baseline)
-    current = load(args.current)
+def compare(baseline_path, current_path, max_ratio):
+    """Returns the list of regressed row names, or None when no rows match
+    (a vacuous comparison, which the caller treats as failure)."""
+    baseline = load(baseline_path)
+    current = load(current_path)
 
     matched = sorted(set(baseline) & set(current))
     only_baseline = sorted(set(baseline) - set(current))
@@ -64,25 +58,54 @@ def main():
         print(f"note: new row without baseline: {name}")
     if not matched:
         print("error: no benchmark rows in common between "
-              f"{args.baseline} and {args.current}", file=sys.stderr)
-        return 1
+              f"{baseline_path} and {current_path}", file=sys.stderr)
+        return None
 
     failures = []
     for name in matched:
         ratio = current[name] / baseline[name]
-        status = "FAIL" if ratio > args.max_ratio else "ok"
+        status = "FAIL" if ratio > max_ratio else "ok"
         print(f"{status:4s} {name}: {current[name]:.1f} ns vs baseline "
               f"{baseline[name]:.1f} ns (x{ratio:.2f})")
-        if ratio > args.max_ratio:
+        if ratio > max_ratio:
             failures.append(name)
 
-    if failures:
-        print(f"error: {len(failures)} benchmark(s) regressed more than "
-              f"x{args.max_ratio}: {', '.join(failures)}", file=sys.stderr)
-        return 1
-    print(f"all {len(matched)} matched benchmarks within x{args.max_ratio} "
-          "of baseline")
-    return 0
+    if not failures:
+        print(f"all {len(matched)} matched benchmarks within x{max_ratio} "
+              "of baseline")
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True, action="append",
+                        help="checked-in baseline JSON (repeatable)")
+    parser.add_argument("--current", required=True, action="append",
+                        help="freshly measured JSON (repeatable, paired "
+                             "with --baseline by position)")
+    parser.add_argument("--max-ratio", type=float, default=3.0,
+                        help="fail when current/baseline exceeds this "
+                             "(default: 3.0)")
+    args = parser.parse_args()
+
+    if len(args.baseline) != len(args.current):
+        print("error: --baseline and --current must be given the same "
+              "number of times", file=sys.stderr)
+        return 2
+
+    exit_code = 0
+    for baseline_path, current_path in zip(args.baseline, args.current):
+        if len(args.baseline) > 1:
+            print(f"== {current_path} vs {baseline_path} ==")
+        failures = compare(baseline_path, current_path, args.max_ratio)
+        if failures is None:
+            exit_code = 1
+        elif failures:
+            print(f"error: {len(failures)} benchmark(s) regressed more "
+                  f"than x{args.max_ratio}: {', '.join(failures)}",
+                  file=sys.stderr)
+            exit_code = 1
+    return exit_code
 
 
 if __name__ == "__main__":

@@ -1,12 +1,23 @@
 // trace_inspect.cpp - Summarizes a JSONL simulation trace on the terminal.
 //
 //   trace_inspect --trace=run.jsonl [--metrics=run-metrics.json] [--top=N]
+//                 [--explain=JOB_ID|worst] [--check]
 //
 // Prints the run's meta line, record counts per trace point, the busiest
 // processors by occupied span time, the worst-stretch completions, the most
 // disrupted jobs (re-executions: reassignments + fault aborts + losses),
 // and the maxima of the sampled time series. With --metrics= it also dumps
 // the metrics-registry snapshot (phase timers, counters, histograms).
+//
+//   --explain=JOB_ID   replay the trace through the provenance log and
+//                      print the full causal chain of scheduler decisions
+//                      behind that job's final stretch ("worst" picks the
+//                      worst-stretch completion). Requires a trace written
+//                      with provenance enabled for reason codes; older
+//                      traces still yield the directive-free chain.
+//   --check            replay the trace through the online invariant
+//                      watchdog (obs/watchdog.hpp) and print its report;
+//                      exits 3 when a violation is found.
 //
 // The trace comes from any binary's --trace-jsonl= flag; the metrics JSON
 // from --metrics-out= (see docs/OBSERVABILITY.md).
@@ -22,7 +33,9 @@
 
 #include "obs/json.hpp"
 #include "obs/jsonl_sink.hpp"
+#include "obs/provenance.hpp"
 #include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
 #include "util/args.hpp"
 #include "util/log.hpp"
 
@@ -96,6 +109,14 @@ void print_metrics(const std::string& path) {
   }
 }
 
+/// Replays a parsed trace through a sink in the live call order, so the
+/// offline tools see exactly what an attached sink saw during the run.
+void replay(const obs::JsonlTrace& trace, obs::TraceSink& sink) {
+  sink.begin_trace(trace.meta);
+  for (const obs::TraceRecord& rec : trace.records) sink.record(rec);
+  if (trace.complete) sink.end_trace(trace.makespan);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -117,12 +138,20 @@ int main(int argc, char** argv) {
   }
   const std::string metrics_path = args.get_or("metrics", "");
   const int top = static_cast<int>(args.get_int("top", 5));
+  const std::string explain = args.get_or("explain", "");
+  const bool check = args.get_bool("check", false);
   if (trace_path.empty() && metrics_path.empty()) {
     std::cerr << "usage: trace_inspect --trace=run.jsonl "
-                 "[--metrics=metrics.json] [--top=N]\n";
+                 "[--metrics=metrics.json] [--top=N] "
+                 "[--explain=JOB_ID|worst] [--check]\n";
+    return 2;
+  }
+  if ((!explain.empty() || check) && trace_path.empty()) {
+    std::cerr << "--explain/--check need --trace=run.jsonl\n";
     return 2;
   }
 
+  int status = 0;
   if (!trace_path.empty()) {
     obs::JsonlTrace trace;
     try {
@@ -219,8 +248,44 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(ranked[i].first));
       }
     }
+
+    if (!explain.empty()) {
+      obs::ProvenanceLog log;
+      replay(trace, log);
+      JobId job = -1;
+      if (explain == "worst") {
+        job = log.worst_job();
+        if (job < 0) {
+          std::cerr << "--explain=worst: trace has no completions\n";
+          return 1;
+        }
+      } else {
+        try {
+          job = std::stoi(explain);
+        } catch (const std::exception&) {
+          std::cerr << "--explain expects a job id or 'worst', got '"
+                    << explain << "'\n";
+          return 2;
+        }
+        if (job < 0 || job >= log.job_count()) {
+          std::cerr << "--explain=" << job << ": trace has "
+                    << log.job_count() << " job(s)\n";
+          return 1;
+        }
+      }
+      std::cout << "\n";
+      log.explain(job, std::cout);
+    }
+
+    if (check) {
+      obs::InvariantWatchdog watchdog;
+      replay(trace, watchdog);
+      std::cout << "\n";
+      watchdog.report(std::cout);
+      if (!watchdog.ok()) status = 3;
+    }
   }
 
   if (!metrics_path.empty()) print_metrics(metrics_path);
-  return 0;
+  return status;
 }
