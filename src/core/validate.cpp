@@ -164,6 +164,25 @@ void check_self_overlap(const Job& job, const JobSchedule& js,
   out.insert(out.end(), conflicts.begin(), conflicts.end());
 }
 
+/// True when the run recorded at least one interval of any kind.
+[[nodiscard]] bool run_has_activity(const RunRecord& run) {
+  return !run.uplink.empty() || !run.exec.empty() || !run.downlink.empty();
+}
+
+/// A refused (rejected or shed) job must leave no intervals behind; it is
+/// exempt from every other per-job requirement.
+void check_refused_job(const Job& job, const JobSchedule& js,
+                       std::vector<Violation>& out) {
+  bool active = run_has_activity(js.final_run);
+  for (const RunRecord& run : js.abandoned) active = active || run_has_activity(run);
+  if (!active) return;
+  std::ostringstream os;
+  os << "J" << job.id
+     << " was rejected or shed by admission control but recorded activity";
+  out.push_back(
+      Violation{ViolationKind::kRejectedActivity, job.id, -1, os.str()});
+}
+
 }  // namespace
 
 std::string to_string(ViolationKind kind) {
@@ -190,6 +209,8 @@ std::string to_string(ViolationKind kind) {
       return "fault-conflict";
     case ViolationKind::kFaultRestart:
       return "fault-restart";
+    case ViolationKind::kRejectedActivity:
+      return "rejected-activity";
   }
   return "unknown";
 }
@@ -204,8 +225,14 @@ std::string to_string(const Violation& violation) {
   return out;
 }
 
-std::vector<Violation> validate_schedule(const Instance& instance,
-                                         const Schedule& schedule) {
+namespace {
+
+/// Full structural validation; `refused_mask` (nullable, size n) marks jobs
+/// admission control refused — they must record no activity and skip the
+/// allocation / quantity requirements.
+std::vector<Violation> validate_schedule_impl(
+    const Instance& instance, const Schedule& schedule,
+    const std::vector<char>* refused_mask) {
   std::vector<Violation> out;
   const Platform& platform = instance.platform;
   const int n = instance.job_count();
@@ -216,11 +243,18 @@ std::vector<Violation> validate_schedule(const Instance& instance,
             " jobs but the instance has " + std::to_string(n)});
     return out;
   }
+  const auto refused = [&](int i) {
+    return refused_mask != nullptr && (*refused_mask)[i] != 0;
+  };
 
   // Per-job checks.
   for (int i = 0; i < n; ++i) {
     const Job& job = instance.jobs[i];
     const JobSchedule& js = schedule.job(i);
+    if (refused(i)) {
+      check_refused_job(job, js, out);
+      continue;
+    }
     check_final_run(instance, job, js.final_run, out);
     check_run_before_release(js.final_run, job, /*abandoned=*/false, out);
     for (const RunRecord& run : js.abandoned) {
@@ -237,6 +271,7 @@ std::vector<Violation> validate_schedule(const Instance& instance,
       edge_recv(pe), cloud_cpu(pc), cloud_send(pc), cloud_recv(pc);
 
   for (int i = 0; i < n; ++i) {
+    if (refused(i)) continue;  // refused jobs recorded nothing (checked above)
     const Job& job = instance.jobs[i];
     const JobSchedule& js = schedule.job(i);
     const auto claim_run = [&](const RunRecord& run) {
@@ -275,6 +310,7 @@ std::vector<Violation> validate_schedule(const Instance& instance,
   // while it is requested by another application.
   if (!instance.cloud_outages.empty()) {
     for (int i = 0; i < n; ++i) {
+      if (refused(i)) continue;
       const JobSchedule& js = schedule.job(i);
       const auto check_run = [&](const RunRecord& run) {
         if (!is_cloud_alloc(run.alloc) || run.alloc >= pc ||
@@ -302,11 +338,22 @@ std::vector<Violation> validate_schedule(const Instance& instance,
   return out;
 }
 
+}  // namespace
+
 std::vector<Violation> validate_schedule(const Instance& instance,
-                                         const Schedule& schedule,
-                                         const FaultPlan& faults) {
-  std::vector<Violation> out = validate_schedule(instance, schedule);
-  if (faults.empty()) return out;
+                                         const Schedule& schedule) {
+  return validate_schedule_impl(instance, schedule, nullptr);
+}
+
+namespace {
+
+/// Appends the fault-plan checks (kFaultConflict / kFaultRestart) to `out`.
+/// Jobs with no recorded intervals (e.g. refused by admission) are
+/// naturally exempt: every check quantifies over recorded intervals.
+void append_fault_violations(const Instance& instance,
+                             const Schedule& schedule,
+                             const FaultPlan& faults,
+                             std::vector<Violation>& out) {
   const int pc = instance.platform.cloud_count();
 
   // Crash windows per cloud. (Only struct fields of the plan are used here:
@@ -359,6 +406,35 @@ std::vector<Violation> validate_schedule(const Instance& instance,
     check_run(js.final_run, /*abandoned=*/false);
     for (const RunRecord& run : js.abandoned) check_run(run, true);
   }
+}
+
+}  // namespace
+
+std::vector<Violation> validate_schedule(const Instance& instance,
+                                         const Schedule& schedule,
+                                         const FaultPlan& faults) {
+  std::vector<Violation> out = validate_schedule_impl(instance, schedule,
+                                                      nullptr);
+  if (!faults.empty()) {
+    append_fault_violations(instance, schedule, faults, out);
+  }
+  return out;
+}
+
+std::vector<Violation> validate_schedule(const Instance& instance,
+                                         const Schedule& schedule,
+                                         const FaultPlan& faults,
+                                         const std::vector<JobId>& refused) {
+  std::vector<char> mask(
+      static_cast<std::size_t>(std::max(instance.job_count(), 0)), 0);
+  for (const JobId id : refused) {
+    if (id >= 0 && static_cast<std::size_t>(id) < mask.size()) mask[id] = 1;
+  }
+  std::vector<Violation> out =
+      validate_schedule_impl(instance, schedule, &mask);
+  if (!faults.empty()) {
+    append_fault_violations(instance, schedule, faults, out);
+  }
   return out;
 }
 
@@ -389,6 +465,15 @@ void require_valid_schedule(const Instance& instance,
                             const Schedule& schedule,
                             const FaultPlan& faults) {
   const auto violations = validate_schedule(instance, schedule, faults);
+  if (!violations.empty()) throw_violations(violations);
+}
+
+void require_valid_schedule(const Instance& instance,
+                            const Schedule& schedule,
+                            const FaultPlan& faults,
+                            const std::vector<JobId>& refused) {
+  const auto violations =
+      validate_schedule(instance, schedule, faults, refused);
   if (!violations.empty()) throw_violations(violations);
 }
 

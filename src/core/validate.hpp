@@ -40,6 +40,9 @@ enum class ViolationKind {
   kOutageConflict,      ///< activity scheduled during a cloud outage
   kFaultConflict,       ///< activity on a cloud while it was crashed
   kFaultRestart,        ///< a run kept progress across a crash of its cloud
+  /// A job that admission control rejected or shed has recorded activity —
+  /// refused jobs must leave no intervals behind.
+  kRejectedActivity,
 };
 
 struct Violation {
@@ -69,6 +72,16 @@ struct Violation {
     const Instance& instance, const Schedule& schedule,
     const FaultPlan& faults);
 
+/// Admission-aware overload: `refused` lists the jobs admission control
+/// rejected at arrival or shed before they started (SimResult::
+/// admission_log). A refused job is exempt from the allocation and quantity
+/// requirements but must have recorded NO activity at all — any interval of
+/// its final or abandoned runs is a kRejectedActivity violation. All other
+/// checks run unchanged over the remaining jobs.
+[[nodiscard]] std::vector<Violation> validate_schedule(
+    const Instance& instance, const Schedule& schedule,
+    const FaultPlan& faults, const std::vector<JobId>& refused);
+
 /// Convenience wrapper.
 [[nodiscard]] bool is_valid_schedule(const Instance& instance,
                                      const Schedule& schedule);
@@ -83,5 +96,11 @@ void require_valid_schedule(const Instance& instance,
 void require_valid_schedule(const Instance& instance,
                             const Schedule& schedule,
                             const FaultPlan& faults);
+
+/// Admission-aware overload of require_valid_schedule.
+void require_valid_schedule(const Instance& instance,
+                            const Schedule& schedule,
+                            const FaultPlan& faults,
+                            const std::vector<JobId>& refused);
 
 }  // namespace ecs

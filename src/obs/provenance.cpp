@@ -16,6 +16,8 @@ std::string to_string(ProvenanceKind kind) {
     case ProvenanceKind::kUplinkLoss: return "uplink-loss";
     case ProvenanceKind::kDownlinkLoss: return "downlink-loss";
     case ProvenanceKind::kComplete: return "complete";
+    case ProvenanceKind::kReject: return "reject";
+    case ProvenanceKind::kShed: return "shed";
   }
   return "?";
 }
@@ -92,6 +94,18 @@ std::optional<ProvenanceRecord> provenance_from_trace(const TraceRecord& rec) {
       out.source = rec.alloc;
       out.target = rec.alloc;
       out.value = rec.value;  // realized stretch
+      return out;
+    case TracePoint::kReject:
+      out.kind = ProvenanceKind::kReject;
+      out.reason = reason_from_int(rec.reason);
+      out.value = rec.value;  // resident count at refusal
+      return out;
+    case TracePoint::kShed:
+      out.kind = ProvenanceKind::kShed;
+      out.source = rec.alloc;
+      out.target = kAllocUnassigned;
+      out.reason = reason_from_int(rec.reason);
+      out.value = rec.value;  // stretch lower bound at eviction
       return out;
     default:
       return std::nullopt;  // spans, counters, decisions, recoveries
@@ -227,6 +241,12 @@ void ProvenanceLog::explain(JobId job, std::ostream& out) const {
       case ProvenanceKind::kComplete:
         out << " on " << alloc_name(r.source, r.origin)
             << " stretch=" << r.value;
+        break;
+      case ProvenanceKind::kReject:
+        out << " (admission refused; " << r.value << " resident)";
+        break;
+      case ProvenanceKind::kShed:
+        out << " (admission evicted; stretch bound " << r.value << ")";
         break;
     }
     if (r.reason != ReasonCode::kUnspecified) {

@@ -36,6 +36,8 @@ enum class ProvenanceKind : std::uint8_t {
   kUplinkLoss,   ///< upload corrupted; re-transmitted from zero
   kDownlinkLoss, ///< download corrupted; re-transmitted
   kComplete,     ///< job finished; value = realized stretch
+  kReject,       ///< admission refused the arrival; value = resident count
+  kShed,         ///< admission evicted it before it started; value = bound
 };
 
 [[nodiscard]] std::string to_string(ProvenanceKind kind);

@@ -40,6 +40,12 @@ std::string to_string(ReasonCode reason) {
       return "failover-crash-evacuation";
     case ReasonCode::kFailoverDegradeToEdge:
       return "failover-degrade-to-edge";
+    case ReasonCode::kAdmissionQueueFull:
+      return "admission-queue-full";
+    case ReasonCode::kAdmissionStretchHopeless:
+      return "admission-stretch-hopeless";
+    case ReasonCode::kAdmissionDeadlineInfeasible:
+      return "admission-deadline-infeasible";
   }
   return "unknown";
 }
@@ -64,6 +70,9 @@ constexpr ReasonCode kAllReasons[] = {
     ReasonCode::kFailoverBackoff,
     ReasonCode::kFailoverCrashEvacuation,
     ReasonCode::kFailoverDegradeToEdge,
+    ReasonCode::kAdmissionQueueFull,
+    ReasonCode::kAdmissionStretchHopeless,
+    ReasonCode::kAdmissionDeadlineInfeasible,
 };
 
 }  // namespace
@@ -77,7 +86,7 @@ ReasonCode parse_reason_code(const std::string& name) {
 
 ReasonCode reason_from_int(int value) noexcept {
   if (value < 0 ||
-      value > static_cast<int>(ReasonCode::kFailoverDegradeToEdge)) {
+      value > static_cast<int>(ReasonCode::kAdmissionDeadlineInfeasible)) {
     return ReasonCode::kUnspecified;
   }
   return static_cast<ReasonCode>(value);

@@ -53,6 +53,13 @@ enum class ReasonCode : std::uint8_t {
   kFailoverBackoff = 14,         ///< cloud inside its retry-backoff window
   kFailoverCrashEvacuation = 15, ///< cloud crashed and is still down
   kFailoverDegradeToEdge = 16,   ///< no healthy cloud (or edge faster)
+
+  // Admission control (sim/engine.cpp, EngineConfig::admission). These are
+  // engine decisions, not policy decisions: they annotate the
+  // TracePoint::kReject / kShed instants and the SimResult admission log.
+  kAdmissionQueueFull = 17,          ///< max_live / max_queue cap reached
+  kAdmissionStretchHopeless = 18,    ///< shed: worst stretch lower bound
+  kAdmissionDeadlineInfeasible = 19, ///< shed: stretch_limit already missed
 };
 
 /// Stable snake-case name for logs, explain output and JSON.

@@ -40,6 +40,10 @@ std::string to_string(TracePoint point) {
       return "edge-utilization";
     case TracePoint::kCloudUtilization:
       return "cloud-utilization";
+    case TracePoint::kReject:
+      return "reject";
+    case TracePoint::kShed:
+      return "shed";
   }
   return "unknown";
 }
@@ -67,6 +71,7 @@ TracePoint parse_trace_point(const std::string& name) {
       TracePoint::kDirective,
       TracePoint::kLiveMaxStretch, TracePoint::kReadyQueueDepth,
       TracePoint::kEdgeUtilization, TracePoint::kCloudUtilization,
+      TracePoint::kReject,         TracePoint::kShed,
   };
   for (TracePoint p : kAll) {
     if (to_string(p) == name) return p;

@@ -58,6 +58,11 @@ enum class TracePoint : std::uint8_t {
   kReadyQueueDepth,  ///< live jobs holding no resource
   kEdgeUtilization,  ///< fraction of edge processors executing work
   kCloudUtilization, ///< fraction of cloud processors executing work
+  // Admission-control instants (appended so earlier numeric values stay
+  // stable in serialized traces; see EngineConfig::admission).
+  kReject, ///< arrival refused at release; value = live count, reason set
+  kShed,   ///< admitted never-started job evicted; value = stretch lower
+           ///< bound at eviction, reason set
 };
 
 [[nodiscard]] std::string to_string(TracePoint point);

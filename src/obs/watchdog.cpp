@@ -30,6 +30,7 @@ std::string to_string(InvariantKind kind) {
     case InvariantKind::kPrecedence: return "precedence";
     case InvariantKind::kMigration: return "migration";
     case InvariantKind::kBeforeRelease: return "before-release";
+    case InvariantKind::kRejectedActivity: return "rejected-activity";
   }
   return "?";
 }
@@ -52,6 +53,8 @@ void InvariantWatchdog::begin_trace(const TraceMeta& meta) {
   jobs_.assign(n, JobState{});
   rings_.assign(n, {});
   ring_next_.assign(n, 0);
+  job_base_ = 0;
+  job_start_ = 0;
   violations_.clear();
   total_violations_ = 0;
   records_seen_ = 0;
@@ -60,12 +63,39 @@ void InvariantWatchdog::begin_trace(const TraceMeta& meta) {
 
 void InvariantWatchdog::end_trace(Time makespan) { (void)makespan; }
 
-void InvariantWatchdog::ensure_job(JobId job) {
-  const std::size_t need = static_cast<std::size_t>(job) + 1;
-  if (jobs_.size() < need) {
-    jobs_.resize(need);
-    rings_.resize(need);
-    ring_next_.resize(need, 0);
+std::int64_t InvariantWatchdog::job_index(JobId job) {
+  if (job < job_base_) return -1;
+  const std::size_t idx =
+      job_start_ + static_cast<std::size_t>(job - job_base_);
+  if (idx >= jobs_.size()) {
+    jobs_.resize(idx + 1);
+    rings_.resize(idx + 1);
+    ring_next_.resize(idx + 1, 0);
+  }
+  return static_cast<std::int64_t>(idx);
+}
+
+std::int64_t InvariantWatchdog::job_lookup(JobId job) const {
+  if (job < job_base_) return -1;
+  const std::size_t idx =
+      job_start_ + static_cast<std::size_t>(job - job_base_);
+  return idx < jobs_.size() ? static_cast<std::int64_t>(idx) : -1;
+}
+
+void InvariantWatchdog::retire_job(std::int64_t idx) {
+  jobs_[idx].gone = true;
+  rings_[idx].clear();
+  rings_[idx].shrink_to_fit();
+  while (job_start_ < jobs_.size() && jobs_[job_start_].gone) {
+    ++job_start_;
+    ++job_base_;
+  }
+  if (job_start_ > 1024 && job_start_ * 2 > jobs_.size()) {
+    const auto cut = static_cast<std::ptrdiff_t>(job_start_);
+    jobs_.erase(jobs_.begin(), jobs_.begin() + cut);
+    rings_.erase(rings_.begin(), rings_.begin() + cut);
+    ring_next_.erase(ring_next_.begin(), ring_next_.begin() + cut);
+    job_start_ = 0;
   }
 }
 
@@ -78,28 +108,31 @@ InvariantWatchdog::Tail& InvariantWatchdog::tail(std::vector<Tail>& tails,
 
 void InvariantWatchdog::remember_provenance(const ProvenanceRecord& rec) {
   if (depth_ == 0 || rec.job < 0) return;
-  ensure_job(rec.job);
-  std::vector<ProvenanceRecord>& ring = rings_[rec.job];
+  const std::int64_t idx = job_index(rec.job);
+  if (idx < 0) return;  // job already retired past the window
+  std::vector<ProvenanceRecord>& ring = rings_[idx];
   if (ring.size() < static_cast<std::size_t>(depth_)) {
     ring.push_back(rec);
-    ring_next_[rec.job] = static_cast<std::uint32_t>(ring.size()) %
-                          static_cast<std::uint32_t>(depth_);
+    ring_next_[idx] = static_cast<std::uint32_t>(ring.size()) %
+                      static_cast<std::uint32_t>(depth_);
     return;
   }
-  ring[ring_next_[rec.job]] = rec;
-  ring_next_[rec.job] = (ring_next_[rec.job] + 1U) %
-                        static_cast<std::uint32_t>(depth_);
+  ring[ring_next_[idx]] = rec;
+  ring_next_[idx] =
+      (ring_next_[idx] + 1U) % static_cast<std::uint32_t>(depth_);
 }
 
 void InvariantWatchdog::append_ring(JobId job,
                                     std::vector<ProvenanceRecord>& out) const {
-  if (job < 0 || static_cast<std::size_t>(job) >= rings_.size()) return;
-  const std::vector<ProvenanceRecord>& ring = rings_[job];
+  if (job < 0) return;
+  const std::int64_t idx = job_lookup(job);
+  if (idx < 0) return;  // retired: its provenance ring was compacted away
+  const std::vector<ProvenanceRecord>& ring = rings_[idx];
   if (ring.empty()) return;
   // Oldest first: the ring wraps at ring_next_ once full.
   const std::size_t n = ring.size();
   const std::size_t start =
-      n < static_cast<std::size_t>(depth_) ? 0 : ring_next_[job];
+      n < static_cast<std::size_t>(depth_) ? 0 : ring_next_[idx];
   for (std::size_t i = 0; i < n; ++i) {
     out.push_back(ring[(start + i) % n]);
   }
@@ -145,8 +178,21 @@ void InvariantWatchdog::check_resource(std::vector<Tail>& tails, int index,
 
 void InvariantWatchdog::check_span(const TraceRecord& rec) {
   ++spans_checked_;
-  ensure_job(rec.job);
-  JobState& js = jobs_[rec.job];
+  const std::int64_t idx = job_index(rec.job);
+  // A span for a job past the window base, or one whose entry is marked
+  // gone, belongs to a job that was rejected, shed or already completed —
+  // none of which may record activity.
+  if (idx < 0 || jobs_[idx].gone) {
+    std::ostringstream detail;
+    detail << span_summary(rec) << " but the job was "
+           << (idx >= 0 && jobs_[idx].refused
+                   ? "rejected or shed by admission control"
+                   : "already retired (completed, rejected or shed)")
+           << " — it must record no further activity";
+    flag(InvariantKind::kRejectedActivity, rec, -1, detail.str());
+    return;
+  }
+  JobState& js = jobs_[idx];
 
   // Release: nothing of the job may happen before it entered the system.
   if (js.release > -kTimeInfinity && time_lt(rec.begin, js.release)) {
@@ -263,11 +309,23 @@ void InvariantWatchdog::record(const TraceRecord& rec) {
   }
   if (rec.kind != TraceKind::kInstant || rec.job < 0) return;
   if (rec.point == TracePoint::kRelease) {
-    ensure_job(rec.job);
-    jobs_[rec.job].release = rec.begin;
+    const std::int64_t idx = job_index(rec.job);
+    if (idx >= 0) jobs_[idx].release = rec.begin;
   }
   const std::optional<ProvenanceRecord> prov = provenance_from_trace(rec);
   if (prov.has_value()) remember_provenance(*prov);
+  // Lifecycle exits: completed, rejected and shed jobs retire from the
+  // window (after their provenance was remembered, so a violation arriving
+  // in the same batch can still link it). This keeps per-job state O(live)
+  // on unbounded streams and arms the kRejectedActivity check above.
+  if (rec.point == TracePoint::kCompletion ||
+      rec.point == TracePoint::kReject || rec.point == TracePoint::kShed) {
+    const std::int64_t idx = job_index(rec.job);
+    if (idx >= 0) {
+      if (rec.point != TracePoint::kCompletion) jobs_[idx].refused = true;
+      retire_job(idx);
+    }
+  }
 }
 
 void InvariantWatchdog::report(std::ostream& out) const {

@@ -28,7 +28,9 @@
 //  * no migration          - one run never spans two allocations; moving
 //    requires a new run from zero progress (kMigration);
 //  * release               - no activity before the job's release
-//    (kBeforeRelease).
+//    (kBeforeRelease);
+//  * admission             - a job the engine rejected or shed, or that
+//    already completed, records no further activity (kRejectedActivity).
 //
 // Each violation links the recent decision-provenance records of the jobs
 // involved (obs/provenance.hpp), so the report answers not just "what
@@ -52,6 +54,9 @@ enum class InvariantKind : std::uint8_t {
   kPrecedence,         ///< uplink/exec/downlink order violated in a run
   kMigration,          ///< one run observed on two allocations
   kBeforeRelease,      ///< activity before the job's release
+  /// Activity recorded for a job that admission control rejected or shed,
+  /// or that had already completed — such a job must have no further spans.
+  kRejectedActivity,
 };
 
 [[nodiscard]] std::string to_string(InvariantKind kind);
@@ -117,10 +122,20 @@ class InvariantWatchdog final : public TraceSink {
   struct JobState {
     Time release = -kTimeInfinity;  ///< -inf until the kRelease instant
     Time busy_until = -kTimeInfinity;  ///< farthest end of any span
+    bool refused = false;  ///< rejected or shed by admission control
+    bool gone = false;     ///< completed or refused: window-compactable
     RunState run;
   };
 
-  void ensure_job(JobId job);
+  /// Index of `job` in the windowed per-job arrays, growing them forward as
+  /// needed; -1 when the job already retired past the window base.
+  [[nodiscard]] std::int64_t job_index(JobId job);
+  /// Read-only variant: -1 when outside the window (never grows storage).
+  [[nodiscard]] std::int64_t job_lookup(JobId job) const;
+  /// Marks the job's entry compactable and slides the window base past the
+  /// gone prefix (streaming runs retire jobs in roughly id order, keeping
+  /// the watchdog's per-job memory O(live) like the engine's).
+  void retire_job(std::int64_t idx);
   [[nodiscard]] Tail& tail(std::vector<Tail>& tails, int index);
   void check_span(const TraceRecord& rec);
   void check_resource(std::vector<Tail>& tails, int index,
@@ -134,11 +149,16 @@ class InvariantWatchdog final : public TraceSink {
   int depth_;
   std::vector<Tail> edge_cpu_, edge_send_, edge_recv_;
   std::vector<Tail> cloud_cpu_, cloud_send_, cloud_recv_;
+  /// Windowed per-job arrays: entry `i` (i >= job_start_) describes job id
+  /// job_base_ + (i - job_start_). Entries of completed / refused jobs are
+  /// compacted away once they form the window prefix.
   std::vector<JobState> jobs_;
   /// Per-job ring of the last `depth_` provenance records, chronological
   /// order reconstructed via `ring_next_` (the slot to overwrite next).
   std::vector<std::vector<ProvenanceRecord>> rings_;
   std::vector<std::uint32_t> ring_next_;
+  JobId job_base_ = 0;        ///< id of the first window entry
+  std::size_t job_start_ = 0; ///< index of the first window entry in jobs_
   std::vector<InvariantViolation> violations_;
   std::uint64_t total_violations_ = 0;
   std::uint64_t records_seen_ = 0;

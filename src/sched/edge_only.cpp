@@ -43,7 +43,12 @@ bool EdgeOnlyPolicy::feasible_on_edge(const SimView& view, EdgeId j,
     if (time_gt(cursor, e.deadline)) return false;
   }
   if (deadlines_out != nullptr) {
-    for (const Entry& e : entries_) (*deadlines_out)[e.id] = e.deadline;
+    // Keyed by state slot (identity outside streaming): slots recycle when
+    // jobs retire, and a recycled slot's new occupant triggers a release on
+    // its edge, which rewrites every deadline of that edge anyway.
+    for (const Entry& e : entries_) {
+      (*deadlines_out)[view.slot(e.id)] = e.deadline;
+    }
   }
   return true;
 }
@@ -73,6 +78,10 @@ void EdgeOnlyPolicy::recompute_edge_deadlines(const SimView& view, EdgeId j) {
 void EdgeOnlyPolicy::decide(const SimView& view,
                             const std::vector<Event>& events,
                             std::vector<Directive>& out) {
+  // Track the engine's slot table (it only ever grows within a run).
+  if (deadlines_.size() < view.states().size()) {
+    deadlines_.resize(view.states().size(), kTimeInfinity);
+  }
   // Recompute deadlines only for edges that saw a release in this batch.
   touched_.assign(
       static_cast<std::size_t>(view.platform().edge_count()), 0);
@@ -90,7 +99,7 @@ void EdgeOnlyPolicy::decide(const SimView& view,
   const std::span<const JobId> live = view.live_jobs();
   out.reserve(out.size() + live.size());
   for (const JobId id : live) {
-    out.push_back(Directive{id, kAllocEdge, deadlines_[id],
+    out.push_back(Directive{id, kAllocEdge, deadlines_[view.slot(id)],
                             ReasonCode::kEdgeOnlyEdf});
   }
 }

@@ -163,11 +163,15 @@ void FailoverPolicy::decide(const SimView& view,
   }
   for (std::size_t i = base_begin; i < out.size(); ++i) {
     Directive& d = out[i];
-    if (d.job < 0 ||
-        static_cast<std::size_t>(d.job) >= directed_stamp_.size()) {
+    // Stamps are keyed by state slot (identity outside streaming) so the
+    // table stays O(live) on unbounded id streams; a stamp only lives for
+    // one round, so slot recycling between rounds cannot alias.
+    const std::int32_t slot = d.job < 0 ? -1 : view.slot(d.job);
+    if (slot < 0 ||
+        static_cast<std::size_t>(slot) >= directed_stamp_.size()) {
       continue;  // the engine reports malformed directives, not us
     }
-    directed_stamp_[d.job] = round_;
+    directed_stamp_[slot] = round_;
     const JobState& s = view.state(d.job);
     const int effective = d.target == kTargetKeep ? s.alloc : d.target;
     if (!is_cloud_alloc(effective) ||
@@ -194,7 +198,7 @@ void FailoverPolicy::decide(const SimView& view,
   //    left alone (it sees nothing wrong with them).
   for (const JobId id : view.live_jobs()) {
     const JobState& s = view.state(id);
-    if (directed_stamp_[id] == round_) continue;
+    if (directed_stamp_[view.slot(id)] == round_) continue;
     if (!is_cloud_alloc(s.alloc) ||
         static_cast<std::size_t>(s.alloc) >= failures_.size() ||
         !evacuate(s.alloc)) {

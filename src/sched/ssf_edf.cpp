@@ -41,7 +41,13 @@ bool SsfEdfPolicy::feasible(const SimView& view, double stretch,
     }
   }
   if (ok && deadlines_out != nullptr) {
-    for (const OrderedJob& e : entries_) (*deadlines_out)[e.id] = e.key;
+    // Keyed by state slot, not id: under streaming (simulate_stream) slots
+    // recycle across retired jobs, keeping this buffer O(live), and a slot's
+    // occupant can only change at a release event — which recomputes every
+    // live deadline anyway.
+    for (const OrderedJob& e : entries_) {
+      (*deadlines_out)[view.slot(e.id)] = e.key;
+    }
   }
   return ok;
 }
@@ -49,6 +55,10 @@ bool SsfEdfPolicy::feasible(const SimView& view, double stretch,
 void SsfEdfPolicy::recompute_deadlines(const SimView& view) {
   const Platform& platform = view.platform();
   const Time now = view.now();
+  // Track the engine's slot table (it only ever grows within a run).
+  if (deadlines_.size() < view.states().size()) {
+    deadlines_.resize(view.states().size(), kTimeInfinity);
+  }
 
   // Lower bound: no schedule can beat each job's individually best
   // achievable stretch from the current state (and 1.0 overall).
@@ -96,7 +106,7 @@ void SsfEdfPolicy::decide(const SimView& view,
   // list_assign_directives.
   order_.clear();
   for (const JobId id : view.live_jobs()) {
-    order_.push_back(OrderedJob{id, deadlines_[id]});
+    order_.push_back(OrderedJob{id, deadlines_[view.slot(id)]});
   }
   sort_ordered(order_);
   // A cloud placement means the edge projection could not hold the

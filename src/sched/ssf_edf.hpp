@@ -66,7 +66,7 @@ class SsfEdfPolicy final : public Policy {
   void recompute_deadlines(const SimView& view);
 
   SsfEdfConfig config_;
-  std::vector<double> deadlines_;  ///< per job; +inf until released
+  std::vector<double> deadlines_;  ///< per state SLOT (view.slot); +inf idle
   double last_target_stretch_ = 0.0;
   // Workspace, reused across decide() calls and feasibility probes (zero
   // steady-state allocation; see DESIGN.md §6).

@@ -12,6 +12,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "obs/watchdog.hpp"
+#include "sim/arrivals.hpp"
 
 namespace ecs {
 namespace {
@@ -22,7 +23,9 @@ struct Instruments {
   using Id = obs::MetricsRegistry::Id;
   Id events, decisions, reassignments, preemptions, fault_aborts;
   Id uplink_retransmits, downlink_retransmits, message_losses;
+  Id rejections, sheds;       ///< admission-control refusals
   Id queue_depth;             ///< gauge; its max mirrors max_queue_depth
+  Id peak_live;               ///< gauge; live-set high-water mark
   Id stretch, queue_wait;     ///< histograms
   Id phase_policy, phase_allocate, phase_activate, phase_faults;  ///< timers
 
@@ -35,7 +38,10 @@ struct Instruments {
         uplink_retransmits(registry.counter("engine.uplink_retransmits")),
         downlink_retransmits(registry.counter("engine.downlink_retransmits")),
         message_losses(registry.counter("engine.message_losses")),
+        rejections(registry.counter("engine.rejections")),
+        sheds(registry.counter("engine.sheds")),
         queue_depth(registry.gauge("engine.ready_queue_depth")),
+        peak_live(registry.gauge("engine.peak_live")),
         stretch(registry.histogram(
             "job.stretch", {1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0,
                             24.0, 32.0, 64.0, 128.0})),
@@ -129,13 +135,14 @@ struct FaultWake {
 };
 
 /// Versioned entry of the lazy-deletion min-heap over predicted activity
-/// end times. An entry is valid while its version matches the job's
-/// current one AND the job is still mid-activity; preemption, completion,
-/// re-execution and fault aborts never search the heap — they simply leave
-/// the entry behind to be skipped (or compacted away) later.
+/// end times, keyed by state *slot* (== job id in materialized mode). An
+/// entry is valid while its version matches the slot's current one AND the
+/// slot's job is still mid-activity; preemption, completion, re-execution,
+/// fault aborts and slot retirement never search the heap — they simply
+/// leave the entry behind to be skipped (or compacted away) later.
 struct HeapEntry {
   Time time = 0.0;
-  JobId job = -1;
+  std::int32_t slot = -1;
   std::uint32_t version = 0;
 };
 
@@ -146,12 +153,22 @@ struct HeapEntry {
 
 class Engine {
  public:
+  /// Materialized mode: all jobs come from `instance`, slot == job id.
   Engine(const Instance& instance, Policy& policy, const EngineConfig& config)
-      : instance_(instance),
-        platform_(instance.platform),
+      : Engine(instance, nullptr, policy, config) {}
+
+  /// Streaming mode (stream != nullptr): `base` carries the platform and
+  /// outage calendar only; jobs arrive from the stream and completed jobs
+  /// retire, so per-job state is O(peak_live).
+  Engine(const Instance& base, ArrivalStream* stream, Policy& policy,
+         const EngineConfig& config)
+      : instance_(base),
+        platform_(base.platform),
         policy_(policy),
         config_(config),
-        busy_(instance.platform),
+        busy_(base.platform),
+        stream_(stream),
+        streaming_(stream != nullptr),
         trace_(config.trace),
         metrics_(config.metrics) {
     // A watchdog taps the trace stream through an internal tee, so it
@@ -164,26 +181,39 @@ class Engine {
     provenance_on_ =
         (config.provenance || config.watchdog != nullptr) && trace_ != nullptr;
     if (metrics_ != nullptr) ids_.emplace(*metrics_);
+    if (streaming_ && !instance_.jobs.empty()) {
+      throw std::invalid_argument(
+          "simulate_stream: the base instance must have an empty job list "
+          "(jobs come from the arrival stream)");
+    }
     require_valid_instance(instance_);
     config_.faults.normalize();
     require_valid_fault_plan(config_.faults, platform_);
-    max_events_ = config_.max_events != 0
-                      ? config_.max_events
-                      : std::max<std::uint64_t>(
-                            10'000, 512ULL * instance_.jobs.size());
+    admission_on_ = config_.admission.enabled();
   }
 
   SimResult run() {
     init();
-    while (remaining_jobs_ > 0) {
-      step();
+    // Streaming: run while anything is resident or the stream can still
+    // deliver (pending_ is engaged until exhaustion). Materialized:
+    // remaining_jobs_ counts unreleased + live jobs not yet finished,
+    // rejected or shed. Both conditions hit zero at the same step for the
+    // same inputs, keeping the two modes in lockstep.
+    if (streaming_) {
+      while (remaining_jobs_ > 0 || pending_.has_value()) {
+        step();
+      }
+    } else {
+      while (remaining_jobs_ > 0) {
+        step();
+      }
     }
     return finish();
   }
 
  private:
   void init() {
-    const int n = instance_.job_count();
+    const int n = streaming_ ? 0 : instance_.job_count();
     states_.resize(n);
     recorders_.resize(n);
     started_.assign(n, 0);
@@ -203,7 +233,15 @@ class Engine {
       meta.policy = policy_.name();
       meta.edge_count = platform_.edge_count();
       meta.cloud_count = platform_.cloud_count();
-      meta.job_count = n;
+      if (streaming_) {
+        const std::int64_t total = stream_->remaining();
+        meta.job_count =
+            total >= 0 && total <= std::numeric_limits<int>::max()
+                ? static_cast<int>(total)
+                : -1;
+      } else {
+        meta.job_count = n;
+      }
       trace_->begin_trace(meta);
     }
     for (int i = 0; i < n; ++i) {
@@ -244,51 +282,140 @@ class Engine {
               });
     next_wake_ = 0;
 
-    release_order_.resize(n);
-    for (int i = 0; i < n; ++i) release_order_[i] = i;
-    std::sort(release_order_.begin(), release_order_.end(),
-              [&](JobId a, JobId b) {
-                const Time ra = states_[a].job.release;
-                const Time rb = states_[b].job.release;
-                return ra != rb ? ra < rb : a < b;
-              });
-    next_release_ = 0;
-    remaining_jobs_ = n;
-    // Jump to the first release; faults scheduled earlier fire now (no job
-    // existed to be hit, but the down/up state and the monitoring events
-    // must be correct from the very first decision).
-    now_ = n > 0 ? states_[release_order_[0]].job.release : 0.0;
+    if (streaming_) {
+      remaining_jobs_ = 0;
+      advance_stream();
+      // Jump to the first arrival; faults scheduled earlier fire now (no
+      // job existed to be hit, but the down/up state and the monitoring
+      // events must be correct from the very first decision).
+      now_ = pending_ ? pending_->release : 0.0;
+    } else {
+      release_order_.resize(n);
+      for (int i = 0; i < n; ++i) release_order_[i] = i;
+      std::sort(release_order_.begin(), release_order_.end(),
+                [&](JobId a, JobId b) {
+                  const Time ra = states_[a].job.release;
+                  const Time rb = states_[b].job.release;
+                  return ra != rb ? ra < rb : a < b;
+                });
+      next_release_ = 0;
+      remaining_jobs_ = n;
+      now_ = n > 0 ? states_[release_order_[0]].job.release : 0.0;
+    }
     fire_faults();
     fire_releases();
     stats_.events += events_.size();
+    events_since_completion_ += events_.size();
+  }
+
+  // --- id -> slot translation (identity outside streaming mode) ---
+
+  /// Slot of `id`'s state, or a negative value when the id is out of
+  /// bounds, not yet seen, or retired/rejected (streaming).
+  [[nodiscard]] std::int32_t find_slot(JobId id) const noexcept {
+    if (!streaming_) {
+      return id >= 0 && id < static_cast<JobId>(states_.size())
+                 ? static_cast<std::int32_t>(id)
+                 : kSlotRetired;
+    }
+    const std::int64_t off = static_cast<std::int64_t>(id) - window_base_;
+    if (off < 0) return kSlotRetired;
+    const std::size_t idx = window_start_ + static_cast<std::size_t>(off);
+    if (idx >= window_.size()) return kSlotUnseen;
+    return window_[idx];
+  }
+
+  // --- streaming id -> slot window over [window_base_, newest id] ---
+
+  [[nodiscard]] std::size_t window_index(JobId id) const noexcept {
+    return window_start_ +
+           static_cast<std::size_t>(static_cast<std::int64_t>(id) -
+                                    window_base_);
+  }
+
+  /// Grows the window so `id` (>= window_base_) has an entry.
+  void window_ensure(JobId id) {
+    const std::size_t idx = window_index(id);
+    if (idx >= window_.size()) window_.resize(idx + 1, kSlotUnseen);
+  }
+
+  void window_set(JobId id, std::int32_t slot) {
+    window_ensure(id);
+    window_[window_index(id)] = slot;
+  }
+
+  /// Marks an id dead (retired or rejected) and slides the window base past
+  /// the dead prefix; the storage itself is compacted once the dead prefix
+  /// dominates (amortized O(1) per retirement).
+  void window_clear(JobId id) {
+    window_ensure(id);
+    window_[window_index(id)] = kSlotRetired;
+    while (window_start_ < window_.size() &&
+           window_[window_start_] == kSlotRetired) {
+      ++window_start_;
+      ++window_base_;
+    }
+    if (window_start_ > 1024 && window_start_ * 2 > window_.size()) {
+      window_.erase(
+          window_.begin(),
+          window_.begin() + static_cast<std::ptrdiff_t>(window_start_));
+      window_start_ = 0;
+    }
+  }
+
+  /// Pulls the next arrival into pending_, enforcing the stream contract.
+  void advance_stream() {
+    pending_ = stream_->next();
+    if (!pending_) return;
+    const Job& job = *pending_;
+    if (job.id < 0 || job.id < window_base_ || find_slot(job.id) >= 0) {
+      throw std::runtime_error(
+          "arrival stream " + stream_->name() +
+          " emitted a duplicate, retired or negative job id " +
+          std::to_string(job.id));
+    }
+    if (!(job.release >= last_arrival_)) {
+      std::ostringstream os;
+      os << "arrival stream " << stream_->name()
+         << " emitted decreasing release dates (" << job.release
+         << " after " << last_arrival_ << ", job " << job.id << ")";
+      throw std::runtime_error(os.str());
+    }
+    const std::string problem = validate_job(job, platform_.edge_count());
+    if (!problem.empty()) {
+      throw std::runtime_error("arrival stream " + stream_->name() +
+                               " emitted an invalid job: " + problem);
+    }
+    last_arrival_ = job.release;
+    if (job.id >= next_id_) next_id_ = job.id + 1;
   }
 
   // --- live set: released-and-unfinished job ids, O(1) insert/erase ---
 
-  void live_insert(JobId id) {
-    live_pos_[id] = static_cast<std::int32_t>(live_ids_.size());
+  void live_insert(JobId id, std::int32_t slot) {
+    live_pos_[slot] = static_cast<std::int32_t>(live_ids_.size());
     live_ids_.push_back(id);
   }
 
-  void live_erase(JobId id) {
-    const std::int32_t pos = live_pos_[id];
+  void live_erase(std::int32_t slot) {
+    const std::int32_t pos = live_pos_[slot];
     const JobId moved = live_ids_.back();
     live_ids_[pos] = moved;
-    live_pos_[moved] = pos;
+    live_pos_[find_slot(moved)] = pos;
     live_ids_.pop_back();
-    live_pos_[id] = -1;
+    live_pos_[slot] = -1;
   }
 
   // --- lazy-deletion heap over predicted activity end times ---
 
-  void heap_push(JobId id, Time end) {
-    heap_.push_back(HeapEntry{end, id, ++entry_version_[id]});
+  void heap_push(std::int32_t slot, Time end) {
+    heap_.push_back(HeapEntry{end, slot, ++entry_version_[slot]});
     std::push_heap(heap_.begin(), heap_.end(), &heap_later);
   }
 
   [[nodiscard]] bool heap_entry_valid(const HeapEntry& e) const {
-    return e.version == entry_version_[e.job] &&
-           states_[e.job].active != Activity::kNone;
+    return e.version == entry_version_[e.slot] &&
+           states_[e.slot].active != Activity::kNone;
   }
 
   /// Skims invalidated tops and returns the earliest valid activity end
@@ -310,53 +437,294 @@ class Engine {
     std::make_heap(heap_.begin(), heap_.end(), &heap_later);
   }
 
-  /// Releases every job whose release date is <= now (within tolerance).
+  /// Releases every arrival due at `now_` (within tolerance), each one
+  /// routed through admission control.
   void fire_releases() {
-    while (next_release_ < release_order_.size()) {
-      JobState& s = states_[release_order_[next_release_]];
-      if (!time_le(s.job.release, now_)) break;
-      s.released = true;
-      live_insert(s.job.id);
-      events_.push_back(Event{EventKind::kRelease, s.job.id, now_});
-      if (trace_ != nullptr) {
-        trace_instant(obs::TracePoint::kRelease, s.job.id, -1, 0.0);
+    if (streaming_) {
+      while (pending_ && time_le(pending_->release, now_)) {
+        const Job job = *pending_;
+        advance_stream();
+        admit(job);
       }
-      ++next_release_;
+    } else {
+      while (next_release_ < release_order_.size()) {
+        const JobId id = release_order_[next_release_];
+        if (!time_le(states_[id].job.release, now_)) break;
+        ++next_release_;
+        admit(states_[id].job);
+      }
     }
+  }
+
+  // --- admission control (EngineConfig::admission) ---
+
+  /// Admits one arrival: with admission disabled this is exactly the plain
+  /// release path (live insert + kRelease event + trace instant). A
+  /// rejected arrival leaves no trace besides the kReject instant and the
+  /// admission log — policies never learn it existed.
+  void admit(const Job& job) {
+    if (admission_on_ && !admission_allows(job)) return;
+    const std::int32_t slot = acquire_slot(job);
+    JobState& s = states_[slot];
+    s.released = true;
+    live_insert(job.id, slot);
+    if (streaming_) ++remaining_jobs_;
+    ++stats_.admitted;
+    if (live_ids_.size() > stats_.peak_live) {
+      stats_.peak_live = live_ids_.size();
+    }
+    events_.push_back(Event{EventKind::kRelease, job.id, now_});
+    if (trace_ != nullptr) {
+      trace_instant(obs::TracePoint::kRelease, slot, -1, 0.0);
+    }
+  }
+
+  /// Finds (or creates) the state slot for an admitted arrival. In
+  /// materialized mode the slot is the job id (states_ pre-sized in init);
+  /// in streaming mode slots are recycled through a free list.
+  std::int32_t acquire_slot(const Job& job) {
+    if (!streaming_) return static_cast<std::int32_t>(job.id);
+    std::int32_t slot;
+    if (!free_slots_.empty()) {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+    } else {
+      slot = static_cast<std::int32_t>(states_.size());
+      states_.emplace_back();
+      recorders_.emplace_back();
+      started_.push_back(0);
+      live_pos_.push_back(-1);
+      entry_version_.push_back(0);
+      seen_round_.push_back(0);
+      if (trace_ != nullptr) {
+        spans_.emplace_back();
+        run_index_.push_back(0);
+      }
+      if (provenance_on_) {
+        last_dir_target_.push_back(kDirectiveNone);
+        last_dir_reason_.push_back(0);
+      }
+    }
+    JobState& s = states_[slot];
+    s = JobState{};
+    s.job = job;
+    s.best_time = platform_.best_time(job);
+    recorders_[slot] = Recorder{};
+    started_[slot] = 0;
+    seen_round_[slot] = 0;
+    // entry_version_ is deliberately NOT reset: retirement bumped it, so
+    // heap entries of the previous occupant stay dead.
+    if (trace_ != nullptr) {
+      spans_[slot] = SpanState{};
+      run_index_[slot] = 0;
+    }
+    if (provenance_on_) {
+      last_dir_target_[slot] = kDirectiveNone;
+      last_dir_reason_[slot] = 0;
+    }
+    window_set(job.id, slot);
+    return slot;
+  }
+
+  /// Applies the configured shed rule, then the caps. Returns true when the
+  /// arrival may be admitted; otherwise records and traces the rejection.
+  bool admission_allows(const Job& job) {
+    const AdmissionConfig& adm = config_.admission;
+    if (adm.rule == AdmissionRule::kShedInfeasible &&
+        adm.stretch_limit > 0.0) {
+      shed_infeasible(std::max(adm.stretch_limit, 1.0));
+    }
+    const bool over_live =
+        adm.max_live > 0 && live_ids_.size() >= adm.max_live;
+    const bool over_queue =
+        adm.max_queue > 0 && queued_count() >= adm.max_queue;
+    if (!over_live && !over_queue) return true;
+    if (adm.rule == AdmissionRule::kRejectHopeless && shed_most_hopeless()) {
+      return true;
+    }
+    reject(job);
+    return false;
+  }
+
+  /// Live jobs holding no resource at this instant (the admission queue).
+  [[nodiscard]] std::uint64_t queued_count() const {
+    std::uint64_t waiting = 0;
+    for (const JobId id : live_ids_) {
+      if (states_[find_slot(id)].active == Activity::kNone) ++waiting;
+    }
+    return waiting;
+  }
+
+  /// Stretch lower bound of a never-started resident: even started now on
+  /// its best resource it finishes no earlier than now_ + best_time.
+  [[nodiscard]] double stretch_lower_bound(const JobState& s) const {
+    const double denom = s.best_time > 0.0 ? s.best_time : 1.0;
+    return (now_ - s.job.release + s.best_time) / denom;
+  }
+
+  /// A resident may be shed only if it never started (so the "no recorded
+  /// activity" invariant holds) and was released strictly before this
+  /// event batch (so no event in flight can still reference it).
+  [[nodiscard]] bool sheddable(const JobState& s,
+                               std::int32_t slot) const {
+    return started_[slot] == 0 && !time_le(now_, s.job.release);
+  }
+
+  /// kShedInfeasible: evicts every sheddable resident whose stretch lower
+  /// bound already exceeds `limit` — its deadline release + limit *
+  /// best_time cannot be met no matter what the policy does.
+  void shed_infeasible(double limit) {
+    victims_.clear();
+    for (const JobId id : live_ids_) {
+      const std::int32_t slot = find_slot(id);
+      const JobState& s = states_[slot];
+      if (!sheddable(s, slot)) continue;
+      if (stretch_lower_bound(s) > limit) victims_.push_back(id);
+    }
+    std::sort(victims_.begin(), victims_.end());
+    for (const JobId id : victims_) {
+      shed(id, ReasonCode::kAdmissionDeadlineInfeasible);
+    }
+  }
+
+  /// kRejectHopeless: evicts the sheddable resident with the worst stretch
+  /// lower bound, provided it is worse than the arrival's own (1.0 at its
+  /// release). Ties prefer the newest (largest id). Returns true when a
+  /// victim was shed, making room for the arrival.
+  bool shed_most_hopeless() {
+    JobId worst = -1;
+    double worst_lb = 1.0;
+    for (const JobId id : live_ids_) {
+      const std::int32_t slot = find_slot(id);
+      const JobState& s = states_[slot];
+      if (!sheddable(s, slot)) continue;
+      const double lb = stretch_lower_bound(s);
+      if (lb > worst_lb) {
+        worst = id;
+        worst_lb = lb;
+      } else if (lb == worst_lb && worst >= 0 && id > worst) {
+        worst = id;
+      }
+    }
+    if (worst < 0) return false;
+    shed(worst, ReasonCode::kAdmissionStretchHopeless);
+    return true;
+  }
+
+  /// Refuses an arrival: no state, no kRelease event, only the kReject
+  /// instant (value = resident count at refusal) and the admission log.
+  void reject(const Job& job) {
+    ++stats_.rejections;
+    if (!streaming_) --remaining_jobs_;
+    if (config_.record_admission) {
+      admission_log_.push_back(AdmissionRecord{
+          job.id, now_, ReasonCode::kAdmissionQueueFull, false});
+    }
+    if (trace_ != nullptr) {
+      obs::TraceRecord rec;
+      rec.kind = obs::TraceKind::kInstant;
+      rec.point = obs::TracePoint::kReject;
+      rec.job = job.id;
+      rec.origin = job.origin;
+      rec.begin = rec.end = now_;
+      rec.value = static_cast<double>(live_ids_.size());
+      rec.reason = static_cast<int>(ReasonCode::kAdmissionQueueFull);
+      trace_->record(rec);
+    }
+    // The id is dead on arrival: mark it so the window base can slide past.
+    if (streaming_ && job.id >= window_base_) window_clear(job.id);
+  }
+
+  /// Evicts an admitted, never-started resident (value = its stretch lower
+  /// bound at eviction). Its slot is recycled immediately in streaming mode
+  /// — nothing in flight references a never-started job released before
+  /// this batch.
+  void shed(JobId id, ReasonCode reason) {
+    const std::int32_t slot = find_slot(id);
+    JobState& s = states_[slot];
+    if (trace_ != nullptr) {
+      obs::TraceRecord rec;
+      rec.kind = obs::TraceKind::kInstant;
+      rec.point = obs::TracePoint::kShed;
+      rec.job = id;
+      rec.run = run_index_.empty() ? 0 : run_index_[slot];
+      rec.origin = s.job.origin;
+      rec.alloc = s.alloc;
+      rec.begin = rec.end = now_;
+      rec.value = stretch_lower_bound(s);
+      rec.reason = static_cast<int>(reason);
+      trace_->record(rec);
+    }
+    live_erase(slot);
+    s.released = false;  // expelled: live() is false from here on
+    ++entry_version_[slot];
+    ++stats_.sheds;
+    --remaining_jobs_;
+    if (config_.record_admission) {
+      admission_log_.push_back(AdmissionRecord{id, now_, reason, true});
+    }
+    if (streaming_) retire_slot(slot);
+  }
+
+  /// Recycles a slot (streaming only): harvests its run record and
+  /// completion time into the result logs, kills stale heap entries and
+  /// returns the slot to the free list.
+  void retire_slot(std::int32_t slot) {
+    JobState& s = states_[slot];
+    Recorder& rec = recorders_[slot];
+    if (config_.record_schedule) {
+      rec.close(now_);
+      final_runs_.emplace_back(s.job.id, std::move(rec.current));
+    }
+    if (config_.record_completions && s.done) {
+      completion_log_.emplace_back(s.job.id, s.completion);
+    }
+    rec.current = RunRecord{};
+    ++entry_version_[slot];
+    window_clear(s.job.id);
+    free_slots_.push_back(slot);
+  }
+
+  /// Retires every job whose completion events the policy has now seen.
+  void flush_retired() {
+    for (const std::int32_t slot : retire_queue_) retire_slot(slot);
+    retire_queue_.clear();
   }
 
   // --- trace emission helpers; callers guard on trace_ != nullptr ---
 
-  /// Closes the job's open activity span, emitting it ending at `now_`.
-  void trace_close_span(JobId id) {
-    SpanState& span = spans_[id];
+  /// Closes the slot's open activity span, emitting it ending at `now_`.
+  void trace_close_span(std::int32_t slot) {
+    SpanState& span = spans_[slot];
     if (span.activity == Activity::kNone) return;
     obs::TraceRecord rec;
     rec.kind = obs::TraceKind::kSpan;
     rec.point = span_point(span.activity);
-    rec.job = id;
-    rec.run = run_index_[id];
+    rec.job = states_[slot].job.id;
+    rec.run = run_index_[slot];
     rec.alloc = span.alloc;
-    rec.origin = states_[id].job.origin;
+    rec.origin = states_[slot].job.origin;
     rec.begin = span.begin;
     rec.end = now_;
     trace_->record(rec);
     span.activity = Activity::kNone;
   }
 
-  void trace_instant(obs::TracePoint point, JobId job, int cloud,
+  /// `slot` < 0 emits a job-less instant (rec.job = -1).
+  void trace_instant(obs::TracePoint point, std::int32_t slot, int cloud,
                      double value) {
     obs::TraceRecord rec;
     rec.kind = obs::TraceKind::kInstant;
     rec.point = point;
-    rec.job = job;
     rec.cloud = cloud;
     rec.begin = rec.end = now_;
     rec.value = value;
-    if (job >= 0) {
-      rec.run = run_index_[job];
-      rec.origin = states_[job].job.origin;
-      rec.alloc = states_[job].alloc;
+    if (slot >= 0) {
+      const JobState& s = states_[slot];
+      rec.job = s.job.id;
+      rec.run = run_index_[slot];
+      rec.origin = s.job.origin;
+      rec.alloc = s.alloc;
     }
     trace_->record(rec);
   }
@@ -365,22 +733,22 @@ class Engine {
   /// alloc = resolved target, cloud = allocation before the directive,
   /// value = priority, reason = the policy's ReasonCode. Caller guards on
   /// provenance_on_.
-  void trace_directive(JobId job, int source, int target,
+  void trace_directive(std::int32_t slot, int source, int target,
                        const Directive& d) {
     obs::TraceRecord rec;
     rec.kind = obs::TraceKind::kInstant;
     rec.point = obs::TracePoint::kDirective;
-    rec.job = job;
-    rec.run = run_index_[job];
-    rec.origin = states_[job].job.origin;
+    rec.job = states_[slot].job.id;
+    rec.run = run_index_[slot];
+    rec.origin = states_[slot].job.origin;
     rec.alloc = target;
     rec.cloud = source;
     rec.begin = rec.end = now_;
     rec.value = d.priority;
     rec.reason = static_cast<int>(d.reason);
     trace_->record(rec);
-    last_dir_target_[job] = target;
-    last_dir_reason_[job] = static_cast<int>(d.reason);
+    last_dir_target_[slot] = target;
+    last_dir_reason_[slot] = static_cast<int>(d.reason);
   }
 
   /// Provenance for a directive that does not move the job (kTargetKeep or
@@ -389,14 +757,15 @@ class Engine {
   /// recorded when its resolved target or reason differs from the job's
   /// last emitted directive.
   void trace_keep_directive(const Directive& d) {
-    if (d.job < 0 || d.job >= static_cast<JobId>(states_.size())) return;
-    const JobState& s = states_[d.job];
+    const std::int32_t slot = find_slot(d.job);
+    if (slot < 0) return;
+    const JobState& s = states_[slot];
     if (!s.live()) return;
-    if (last_dir_target_[d.job] == s.alloc &&
-        last_dir_reason_[d.job] == static_cast<int>(d.reason)) {
+    if (last_dir_target_[slot] == s.alloc &&
+        last_dir_reason_[slot] == static_cast<int>(d.reason)) {
       return;
     }
-    trace_directive(d.job, s.alloc, s.alloc, d);
+    trace_directive(slot, s.alloc, s.alloc, d);
   }
 
   void trace_counter(obs::TracePoint point, double value) {
@@ -419,7 +788,14 @@ class Engine {
     //    the id-ordered implicit-keep walk the old full-state scan provided.
     live_sorted_.assign(live_ids_.begin(), live_ids_.end());
     std::sort(live_sorted_.begin(), live_sorted_.end());
-    const SimView view(instance_, states_, now_, &live_sorted_);
+    const SimView view =
+        streaming_
+            ? SimView(instance_, states_, now_, &live_sorted_,
+                      window_.data() + window_start_,
+                      static_cast<std::int64_t>(window_.size() -
+                                                window_start_),
+                      window_base_)
+            : SimView(instance_, states_, now_, &live_sorted_);
     const auto t0 = std::chrono::steady_clock::now();
     // One buffer, reused round after round: with the per-policy workspaces
     // (DESIGN.md §6) the steady-state policy hot path allocates nothing.
@@ -451,15 +827,18 @@ class Engine {
     //    try_activate), never carried over. Only members of the active set
     //    can be mid-activity; entries already stopped by a completion,
     //    fault abort or message loss are skipped.
-    for (const JobId id : active_ids_) {
-      JobState& s = states_[id];
+    for (const std::int32_t slot : active_ids_) {
+      JobState& s = states_[slot];
       if (s.active != Activity::kNone) {
         s.was_active = true;
-        recorders_[id].close(now_);
+        recorders_[slot].close(now_);
         s.active = Activity::kNone;
       }
     }
     active_ids_.clear();
+    // Completed jobs retire only now: the policy has consumed their
+    // completion events above, so nothing references the slots any more.
+    if (streaming_ && !retire_queue_.empty()) flush_retired();
 
     // 3. Apply allocation changes (the re-execution rule).
     {
@@ -481,8 +860,8 @@ class Engine {
                                                       : 0);
       order_.clear();
       for (const Directive& d : directives) {
-        if (d.job >= 0 && d.job < static_cast<JobId>(states_.size()) &&
-            states_[d.job].live()) {
+        const std::int32_t slot = find_slot(d.job);
+        if (slot >= 0 && states_[slot].live()) {
           order_.push_back({d.priority, d.job});
         }
       }
@@ -492,9 +871,11 @@ class Engine {
         seen_round_.assign(seen_round_.size(), 0);
         round_ = 1;
       }
-      for (const auto& [prio, id] : order_) seen_round_[id] = round_;
+      for (const auto& [prio, id] : order_) {
+        seen_round_[find_slot(id)] = round_;
+      }
       for (const JobId id : live_sorted_) {
-        if (seen_round_[id] != round_) {
+        if (seen_round_[find_slot(id)] != round_) {
           order_.push_back({kTimeInfinity, id});
         }
       }
@@ -506,11 +887,16 @@ class Engine {
 
       busy_.clear();
       for (const auto& [prio, id] : order_) {
-        try_activate(states_[id]);
+        try_activate(find_slot(id));
       }
       // Completions must fire in job-id order (policies and traces observe
-      // the event order), so keep the active set sorted between rounds.
-      std::sort(active_ids_.begin(), active_ids_.end());
+      // the event order), so keep the active set id-sorted between rounds.
+      // Slots are not id-ordered in streaming mode, hence the comparator;
+      // in materialized mode slot == id and this is a plain sort.
+      std::sort(active_ids_.begin(), active_ids_.end(),
+                [this](std::int32_t a, std::int32_t b) {
+                  return states_[a].job.id < states_[b].job.id;
+                });
       maybe_compact_heap();
     }
 
@@ -530,9 +916,9 @@ class Engine {
   void sample_counters(std::uint64_t waiting) {
     trace_counter(obs::TracePoint::kReadyQueueDepth,
                   static_cast<double>(waiting));
-    double live_max = done_max_stretch_;
+    double live_max = stats_.max_stretch;
     for (const JobId id : live_sorted_) {
-      const JobState& s = states_[id];
+      const JobState& s = states_[find_slot(id)];
       const double denom = s.best_time > 0.0 ? s.best_time : 1.0;
       live_max = std::max(live_max, (now_ - s.job.release) / denom);
     }
@@ -558,12 +944,16 @@ class Engine {
       if (provenance_on_) trace_keep_directive(d);
       return;
     }
-    if (d.job < 0 || d.job >= static_cast<JobId>(states_.size())) {
+    if (d.job < 0 ||
+        (!streaming_ && d.job >= static_cast<JobId>(states_.size())) ||
+        (streaming_ && d.job >= next_id_)) {
       throw std::runtime_error("policy " + policy_.name() +
                                " issued a directive for unknown job " +
                                std::to_string(d.job));
     }
-    JobState& s = states_[d.job];
+    const std::int32_t slot = find_slot(d.job);
+    if (slot < 0) return;  // streaming: retired or rejected, stale directive
+    JobState& s = states_[slot];
     if (!s.live()) return;
     if (d.target != kAllocEdge &&
         (!is_cloud_alloc(d.target) || d.target >= platform_.cloud_count())) {
@@ -576,9 +966,9 @@ class Engine {
       if (provenance_on_) trace_keep_directive(d);
       return;
     }
-    if (provenance_on_) trace_directive(d.job, s.alloc, d.target, d);
+    if (provenance_on_) trace_directive(slot, s.alloc, d.target, d);
 
-    Recorder& rec = recorders_[d.job];
+    Recorder& rec = recorders_[slot];
     rec.close(now_);
     const int old_alloc = s.alloc;
     if (s.alloc != kAllocUnassigned) {
@@ -595,8 +985,8 @@ class Engine {
     // its allocation changed, so drop the round's mid-activity flag.
     s.was_active = false;
     if (trace_ != nullptr) {
-      trace_close_span(d.job);
-      if (old_alloc != kAllocUnassigned) ++run_index_[d.job];
+      trace_close_span(slot);
+      if (old_alloc != kAllocUnassigned) ++run_index_[slot];
     }
     s.alloc = d.target;
     rec.current.alloc = d.target;
@@ -610,7 +1000,7 @@ class Engine {
       s.rem_down = s.job.down;
     }
     if (trace_ != nullptr && old_alloc != kAllocUnassigned) {
-      trace_instant(obs::TracePoint::kReassignment, d.job, -1,
+      trace_instant(obs::TracePoint::kReassignment, slot, -1,
                     static_cast<double>(old_alloc));
     }
   }
@@ -619,21 +1009,22 @@ class Engine {
   /// that was mid-activity, kept its allocation, and got nothing was
   /// preempted (outprioritized, or its cloud entered an outage / crash
   /// window). A no-op for jobs that were idle or already re-granted.
-  void note_preemption(JobState& s) {
+  void note_preemption(JobState& s, std::int32_t slot) {
     if (!s.was_active) return;
     s.was_active = false;
     ++stats_.preemptions;
     if (trace_ != nullptr) {
-      trace_close_span(s.job.id);
-      trace_instant(obs::TracePoint::kPreemption, s.job.id, -1, 0.0);
+      trace_close_span(slot);
+      trace_instant(obs::TracePoint::kPreemption, slot, -1, 0.0);
     }
   }
 
-  void try_activate(JobState& s) {
+  void try_activate(const std::int32_t slot) {
+    JobState& s = states_[slot];
     if (!s.live()) return;
     const Activity needed = s.next_activity();
     if (needed == Activity::kNone) {
-      note_preemption(s);
+      note_preemption(s, slot);
       return;
     }
     const EdgeId o = s.job.origin;
@@ -644,20 +1035,20 @@ class Engine {
     if (is_cloud_alloc(s.alloc) &&
         (!instance_.cloud_available(s.alloc, now_) ||
          cloud_down_[s.alloc] != 0)) {
-      note_preemption(s);
+      note_preemption(s, slot);
       return;
     }
     switch (needed) {
       case Activity::kCompute:
         if (s.alloc == kAllocEdge) {
           if (busy_.edge_cpu[o] != -1) {
-            note_preemption(s);
+            note_preemption(s, slot);
             return;
           }
           busy_.edge_cpu[o] = id;
         } else {
           if (busy_.cloud_cpu[s.alloc] != -1) {
-            note_preemption(s);
+            note_preemption(s, slot);
             return;
           }
           busy_.cloud_cpu[s.alloc] = id;
@@ -665,7 +1056,7 @@ class Engine {
         break;
       case Activity::kUplink:
         if (busy_.edge_send[o] != -1 || busy_.cloud_recv[s.alloc] != -1) {
-          note_preemption(s);
+          note_preemption(s, slot);
           return;
         }
         busy_.edge_send[o] = id;
@@ -673,7 +1064,7 @@ class Engine {
         break;
       case Activity::kDownlink:
         if (busy_.cloud_send[s.alloc] != -1 || busy_.edge_recv[o] != -1) {
-          note_preemption(s);
+          note_preemption(s, slot);
           return;
         }
         busy_.cloud_send[s.alloc] = id;
@@ -693,12 +1084,12 @@ class Engine {
                                           : platform_.cloud_speed(s.alloc))
                  : 1.0;
     s.last_update = now_;
-    active_ids_.push_back(id);
-    heap_push(id, activity_end(s));
+    active_ids_.push_back(slot);
+    heap_push(slot, activity_end(s));
     ++granted_;
-    recorders_[id].open(needed, now_);
-    if (started_[id] == 0) {
-      started_[id] = 1;
+    recorders_[slot].open(needed, now_);
+    if (started_[slot] == 0) {
+      started_[slot] = 1;
       if (metrics_ != nullptr) {
         metrics_->observe(ids_->queue_wait, now_ - s.job.release);
       }
@@ -706,9 +1097,9 @@ class Engine {
     if (trace_ != nullptr) {
       // Reopening the same activity on the same allocation continues the
       // current span; anything else starts a fresh one.
-      SpanState& span = spans_[id];
+      SpanState& span = spans_[slot];
       if (span.activity != needed || span.alloc != s.alloc) {
-        trace_close_span(id);
+        trace_close_span(slot);
         span.activity = needed;
         span.alloc = s.alloc;
         span.begin = now_;
@@ -737,7 +1128,9 @@ class Engine {
   void advance_to_next_event() {
     // Earliest predicted activity end, straight off the heap top — no scan.
     Time next = next_activity_end();
-    if (next_release_ < release_order_.size()) {
+    if (streaming_) {
+      if (pending_) next = std::min(next, pending_->release);
+    } else if (next_release_ < release_order_.size()) {
       next = std::min(next,
                       states_[release_order_[next_release_]].job.release);
     }
@@ -763,15 +1156,16 @@ class Engine {
 
     // Materialize progress for the active set only (every member was
     // re-anchored at now_ this round, so the elapsed span is next - now_).
-    for (const JobId id : active_ids_) {
-      states_[id].advance_progress(next);
+    for (const std::int32_t slot : active_ids_) {
+      states_[slot].advance_progress(next);
     }
     now_ = next;
 
     // Fire completions. active_ids_ is id-sorted, so completion events are
     // emitted in job-id order — the order policies and traces observe.
-    for (const JobId id : active_ids_) {
-      JobState& s = states_[id];
+    bool job_completed = false;
+    for (const std::int32_t slot : active_ids_) {
+      JobState& s = states_[slot];
       if (s.active == Activity::kNone) continue;
       bool fired = false;
       switch (s.active) {
@@ -801,26 +1195,28 @@ class Engine {
           break;
       }
       if (fired) {
-        recorders_[s.job.id].close(now_);
+        recorders_[slot].close(now_);
         s.active = Activity::kNone;
-        if (trace_ != nullptr) trace_close_span(s.job.id);
+        if (trace_ != nullptr) trace_close_span(slot);
         if (s.all_amounts_done()) {
           s.done = true;
-          live_erase(s.job.id);
+          job_completed = true;
+          live_erase(slot);
           s.completion = now_;
           --remaining_jobs_;
-          if (trace_ != nullptr || metrics_ != nullptr) {
-            const double denom = s.best_time > 0.0 ? s.best_time : 1.0;
-            const double stretch = (now_ - s.job.release) / denom;
-            done_max_stretch_ = std::max(done_max_stretch_, stretch);
-            if (metrics_ != nullptr) {
-              metrics_->observe(ids_->stretch, stretch);
-            }
-            if (trace_ != nullptr) {
-              trace_instant(obs::TracePoint::kCompletion, s.job.id, -1,
-                            stretch);
-            }
+          ++stats_.completed;
+          const double denom = s.best_time > 0.0 ? s.best_time : 1.0;
+          const double stretch = (now_ - s.job.release) / denom;
+          stats_.max_stretch = std::max(stats_.max_stretch, stretch);
+          if (metrics_ != nullptr) {
+            metrics_->observe(ids_->stretch, stretch);
           }
+          if (trace_ != nullptr) {
+            trace_instant(obs::TracePoint::kCompletion, slot, -1, stretch);
+          }
+          // Retirement is deferred to the next decision round: the policy
+          // must still see this completion event with the state attached.
+          if (streaming_) retire_queue_.push_back(slot);
         }
       }
     }
@@ -828,9 +1224,9 @@ class Engine {
     fire_releases();
 
     stats_.events += events_.size();
-    if (stats_.events > max_events_) {
+    if (config_.max_events != 0 && stats_.events > config_.max_events) {
       std::ostringstream os;
-      os << "event cap (" << max_events_ << ") exceeded at t=" << now_
+      os << "event cap (" << config_.max_events << ") exceeded at t=" << now_
          << " by policy " << policy_.name() << " with " << remaining_jobs_
          << " live job(s) after " << stats_.reassignments
          << " reassignment(s) and " << stats_.fault_aborts
@@ -838,6 +1234,33 @@ class Engine {
             "re-executions; live jobs: "
          << describe_live_jobs();
       throw std::runtime_error(os.str());
+    }
+    // Progress watchdog: a thrashing policy fires activity events forever
+    // without completing a job, so count events since the last completion —
+    // meaningful even when the total event count is unbounded (streaming).
+    if (job_completed) {
+      events_since_completion_ = 0;
+    } else {
+      events_since_completion_ += events_.size();
+      const std::uint64_t cap =
+          config_.stall_events != 0
+              ? config_.stall_events
+              : std::max<std::uint64_t>(
+                    kStallFloor, 512 * static_cast<std::uint64_t>(
+                                           live_ids_.size()));
+      if (events_since_completion_ > cap) {
+        std::ostringstream os;
+        os << "progress watchdog: " << events_since_completion_
+           << " event(s) since the last job completion (cap " << cap
+           << ") at t=" << now_ << " under policy " << policy_.name()
+           << " with " << live_ids_.size() << " live job(s) after "
+           << stats_.reassignments << " reassignment(s) and "
+           << stats_.fault_aborts
+           << " fault abort(s); the policy is likely thrashing "
+              "re-executions; live jobs: "
+           << describe_live_jobs();
+        throw std::runtime_error(os.str());
+      }
     }
   }
 
@@ -849,7 +1272,7 @@ class Engine {
     std::ostringstream os;
     int shown = 0;
     for (const JobId id : live) {
-      const JobState& s = states_[id];
+      const JobState& s = states_[find_slot(id)];
       if (shown == 8) {
         os << ", ...";
         break;
@@ -916,17 +1339,18 @@ class Engine {
     // abort events keep firing in job-id order like the old full scan.
     victims_.clear();
     for (const JobId id : live_ids_) {
-      if (states_[id].alloc == crashed) victims_.push_back(id);
+      if (states_[find_slot(id)].alloc == crashed) victims_.push_back(id);
     }
     std::sort(victims_.begin(), victims_.end());
     for (const JobId id : victims_) {
-      JobState& s = states_[id];
+      const std::int32_t slot = find_slot(id);
+      JobState& s = states_[slot];
       if (trace_ != nullptr) {
-        trace_close_span(s.job.id);
-        trace_instant(obs::TracePoint::kFault, s.job.id, crashed, 0.0);
-        ++run_index_[s.job.id];
+        trace_close_span(slot);
+        trace_instant(obs::TracePoint::kFault, slot, crashed, 0.0);
+        ++run_index_[slot];
       }
-      Recorder& rec = recorders_[s.job.id];
+      Recorder& rec = recorders_[slot];
       rec.close(now_);
       if (config_.record_schedule && rec.has_history()) {
         abandoned_runs_.emplace_back(s.job.id, std::move(rec.current));
@@ -939,7 +1363,7 @@ class Engine {
       s.active = Activity::kNone;
       // The abort changed the allocation without a directive: the next
       // keep/assign decision is new information and must be re-emitted.
-      if (provenance_on_) last_dir_target_[s.job.id] = kDirectiveNone;
+      if (provenance_on_) last_dir_target_[slot] = kDirectiveNone;
       ++stats_.fault_aborts;
       push_fault_event(Event{EventKind::kFault, s.job.id, now_, crashed});
     }
@@ -956,12 +1380,12 @@ class Engine {
                              : Activity::kDownlink;
     // Only an active job can be mid-transmission; active_ids_ is id-sorted,
     // so the first match is the lowest id, as with the old full scan.
-    for (const JobId id : active_ids_) {
-      JobState& s = states_[id];
+    for (const std::int32_t slot : active_ids_) {
+      JobState& s = states_[slot];
       if (s.alloc != spec.cloud || s.active != hit) continue;
       // The corrupted transmission physically used the link: its interval
       // stays recorded in the current run (quantity checks are >=).
-      recorders_[s.job.id].close(now_);
+      recorders_[slot].close(now_);
       s.active = Activity::kNone;
       if (hit == Activity::kUplink) {
         s.rem_up = s.job.up;
@@ -972,11 +1396,11 @@ class Engine {
       }
       ++stats_.message_losses;
       if (trace_ != nullptr) {
-        trace_close_span(s.job.id);
+        trace_close_span(slot);
         trace_instant(hit == Activity::kUplink
                           ? obs::TracePoint::kUplinkLoss
                           : obs::TracePoint::kDownlinkLoss,
-                      s.job.id, spec.cloud, 0.0);
+                      slot, spec.cloud, 0.0);
       }
       push_fault_event(Event{EventKind::kFault, s.job.id, now_, spec.cloud});
       break;  // one-port: at most one message per direction per cloud
@@ -989,6 +1413,9 @@ class Engine {
   }
 
   SimResult finish() {
+    // Streaming: the last completions of the run never saw another decision
+    // round, so their slots still sit in the retire queue — harvest them.
+    if (streaming_) flush_retired();
     // Counters mirroring SimStats are added in bulk here so the registry and
     // the returned stats are consistent by construction.
     if (metrics_ != nullptr) {
@@ -1000,24 +1427,48 @@ class Engine {
       metrics_->add(ids_->uplink_retransmits, stats_.uplink_retransmits);
       metrics_->add(ids_->downlink_retransmits, stats_.downlink_retransmits);
       metrics_->add(ids_->message_losses, stats_.message_losses);
+      metrics_->add(ids_->rejections, stats_.rejections);
+      metrics_->add(ids_->sheds, stats_.sheds);
+      metrics_->gauge_set(ids_->peak_live,
+                          static_cast<double>(stats_.peak_live));
     }
     if (trace_ != nullptr) trace_->end_trace(now_);
     SimResult result;
     result.stats = stats_;
     result.fault_log = std::move(fault_log_);
-    result.completions.resize(states_.size());
-    for (const JobState& s : states_) {
-      result.completions[s.job.id] = s.completion;
+    result.admission_log = std::move(admission_log_);
+    const std::size_t total_jobs =
+        streaming_ ? static_cast<std::size_t>(next_id_) : states_.size();
+    if (config_.record_completions) {
+      // -1 marks rejected / shed jobs (they never completed).
+      result.completions.assign(total_jobs, -1.0);
+      if (streaming_) {
+        for (const auto& [id, completion] : completion_log_) {
+          result.completions[id] = completion;
+        }
+      } else {
+        for (const JobState& s : states_) {
+          if (s.done) result.completions[s.job.id] = s.completion;
+        }
+      }
     }
     if (config_.record_schedule) {
-      result.schedule = Schedule(instance_.job_count());
+      result.schedule = Schedule(static_cast<int>(total_jobs));
       for (auto& [id, run] : abandoned_runs_) {
         result.schedule.job(id).abandoned.push_back(std::move(run));
       }
-      for (JobState& s : states_) {
-        Recorder& rec = recorders_[s.job.id];
-        rec.close(now_);
-        result.schedule.job(s.job.id).final_run = std::move(rec.current);
+      if (streaming_) {
+        // Retired jobs harvested their final run on the way out; rejected
+        // ids keep an empty record, like never-started jobs do.
+        for (auto& [id, run] : final_runs_) {
+          result.schedule.job(id).final_run = std::move(run);
+        }
+      } else {
+        for (JobState& s : states_) {
+          Recorder& rec = recorders_[s.job.id];
+          rec.close(now_);
+          result.schedule.job(s.job.id).final_run = std::move(rec.current);
+        }
       }
     }
     return result;
@@ -1028,7 +1479,8 @@ class Engine {
   Policy& policy_;
   EngineConfig config_;
   BusyMap busy_;
-  std::uint64_t max_events_ = 0;
+  ArrivalStream* stream_;   ///< null in materialized mode
+  bool streaming_;
 
   std::vector<JobState> states_;
   std::vector<Recorder> recorders_;
@@ -1047,15 +1499,42 @@ class Engine {
   SimStats stats_;
 
   // --- active-set core: everything the per-event hot path touches ---
-  std::vector<JobId> active_ids_;  ///< jobs mid-activity, id-sorted per round
-  std::vector<JobId> live_ids_;    ///< released-and-unfinished, unordered
-  std::vector<std::int32_t> live_pos_;  ///< job -> index in live_ids_, or -1
+  /// Slots of jobs mid-activity, job-id-sorted per round (slot == id
+  /// outside streaming, so this is id-sorted there too).
+  std::vector<std::int32_t> active_ids_;
+  std::vector<JobId> live_ids_;    ///< released-and-unfinished ids, unordered
+  std::vector<std::int32_t> live_pos_;  ///< slot -> index in live_ids_, or -1
   std::vector<JobId> live_sorted_;      ///< per-round sorted copy of live_ids_
   std::vector<HeapEntry> heap_;         ///< lazy-deletion end-time min-heap
-  std::vector<std::uint32_t> entry_version_;  ///< current heap version per job
-  std::vector<std::uint32_t> seen_round_;     ///< round stamp per job
+  std::vector<std::uint32_t> entry_version_;  ///< current heap version per slot
+  std::vector<std::uint32_t> seen_round_;     ///< round stamp per slot
   std::uint32_t round_ = 0;
-  std::vector<JobId> victims_;  ///< scratch for crash-abort collection
+  std::vector<JobId> victims_;  ///< scratch for crash-abort / shed collection
+
+  // --- streaming mode (engaged iff streaming_) ---
+  static constexpr std::int32_t kSlotRetired = -1;  ///< id done, compactable
+  static constexpr std::int32_t kSlotUnseen = -2;   ///< id hole, blocks base
+  std::optional<Job> pending_;       ///< next arrival, not yet released
+  Time last_arrival_ = -kTimeInfinity;
+  JobId next_id_ = 0;                ///< one past the largest id ever seen
+  /// id -> slot for ids in [window_base_, next emission): entry i (offset by
+  /// window_start_) maps id window_base_ + i. Retired prefixes advance the
+  /// base; storage compacts once the dead prefix dominates.
+  std::vector<std::int32_t> window_;
+  std::size_t window_start_ = 0;
+  JobId window_base_ = 0;
+  std::vector<std::int32_t> free_slots_;    ///< recycled state slots
+  std::vector<std::int32_t> retire_queue_;  ///< completed, one round grace
+  std::vector<std::pair<JobId, Time>> completion_log_;
+  std::vector<std::pair<JobId, RunRecord>> final_runs_;
+
+  // --- admission control ---
+  bool admission_on_ = false;
+  std::vector<AdmissionRecord> admission_log_;
+
+  // --- progress watchdog ---
+  static constexpr std::uint64_t kStallFloor = 100'000;
+  std::uint64_t events_since_completion_ = 0;
 
   // Scratch buffers reused across decision rounds.
   std::vector<std::pair<double, JobId>> order_;
@@ -1086,7 +1565,6 @@ class Engine {
   std::vector<int> run_index_;    ///< bumped per reassignment / fault abort
   std::vector<char> started_;     ///< first activation already observed
   std::uint64_t granted_ = 0;     ///< resources granted this decision round
-  double done_max_stretch_ = 0.0; ///< max stretch over finished jobs
 };
 
 }  // namespace
@@ -1095,6 +1573,13 @@ SimResult simulate(const Instance& instance, Policy& policy,
                    const EngineConfig& config) {
   policy.reset(instance);
   Engine engine(instance, policy, config);
+  return engine.run();
+}
+
+SimResult simulate_stream(const Instance& base, ArrivalStream& arrivals,
+                          Policy& policy, const EngineConfig& config) {
+  policy.reset(base);
+  Engine engine(base, &arrivals, policy, config);
   return engine.run();
 }
 

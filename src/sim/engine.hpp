@@ -46,14 +46,81 @@ class MetricsRegistry;
 class TraceSink;
 }  // namespace obs
 
+class ArrivalStream;
+
+/// How admission control resolves an arrival that would exceed a cap.
+enum class AdmissionRule : std::uint8_t {
+  /// Refuse the arriving job (FIFO protection: residents keep their seat).
+  kRejectNewest,
+  /// Evict the resident never-started job with the worst stretch lower
+  /// bound — but only when that bound is worse than the arrival's (1.0 at
+  /// its own release) — then admit the arrival; otherwise reject it.
+  kRejectHopeless,
+  /// Before the cap check, shed every resident never-started job whose
+  /// best achievable stretch already exceeds stretch_limit (its deadline
+  /// release + stretch_limit * best_time can no longer be met); arrivals
+  /// that still exceed a cap are rejected.
+  kShedInfeasible,
+};
+
+/// Overload protection (see docs/MODEL.md, "Admission control"). All caps
+/// are evaluated at release instants, before the job becomes visible to the
+/// policy: a rejected job fires no kRelease event and acquires no state, so
+/// a run with admission disabled is bit-identical to one without the
+/// feature. Only never-started jobs are ever shed, preserving the invariant
+/// that a rejected or shed job has no recorded activity.
+struct AdmissionConfig {
+  /// Cap on resident (admitted, unfinished) jobs; 0 = unbounded.
+  std::uint64_t max_live = 0;
+  /// Cap on resident jobs holding no resource at the arrival instant;
+  /// 0 = unbounded. Checked in O(live) per arrival, so prefer max_live for
+  /// very high arrival rates.
+  std::uint64_t max_queue = 0;
+  AdmissionRule rule = AdmissionRule::kRejectNewest;
+  /// Stretch bound used by kShedInfeasible; <= 0 disables shedding.
+  double stretch_limit = 0.0;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return max_live > 0 || max_queue > 0 ||
+           (rule == AdmissionRule::kShedInfeasible && stretch_limit > 0.0);
+  }
+};
+
+/// One admission decision that refused service: a rejection at arrival or
+/// the eviction (shed) of an admitted, never-started job.
+struct AdmissionRecord {
+  JobId job = -1;
+  Time time = 0.0;
+  ReasonCode reason = ReasonCode::kUnspecified;
+  bool shed = false;  ///< false = rejected at arrival, true = evicted later
+};
+
 struct EngineConfig {
-  /// Hard cap on processed events; 0 selects max(10'000, 512 * n). The cap
-  /// exists to turn a thrashing policy (endless re-executions) into a
-  /// diagnosable error instead of a hang.
+  /// Hard cap on processed events; 0 (the default) disables the absolute
+  /// cap in favour of the events-since-completion watchdog below — an
+  /// absolute cap is meaningless for an unbounded stream. Setting it keeps
+  /// the historical behaviour: the run dies once total events exceed it.
   std::uint64_t max_events = 0;
+  /// Progress watchdog: abort when this many events fire without a single
+  /// job completing; 0 selects max(100'000, 512 * live). This turns a
+  /// thrashing policy (endless re-executions) into a diagnosable error
+  /// instead of a hang, even when the total event count is unbounded.
+  std::uint64_t stall_events = 0;
+  /// Overload protection; disabled by default (admission.enabled() false).
+  AdmissionConfig admission;
   /// Record the full interval history. Disable to save memory on very large
   /// instances when only completion times are needed.
   bool record_schedule = true;
+  /// Fill SimResult::completions. Disable (together with record_schedule)
+  /// for soak-scale streaming runs where only the stats matter — with both
+  /// off a streaming run's memory is O(live), independent of total jobs.
+  bool record_completions = true;
+  /// Fill SimResult::admission_log (one record per rejection or shed).
+  /// Under sustained overload the log grows with the REFUSED count, not the
+  /// live set, so soak-scale runs must turn it off along with the two
+  /// switches above; the rejections/sheds counters in SimStats (and the
+  /// kReject/kShed trace instants) are unaffected.
+  bool record_admission = true;
   /// Unannounced faults (see sim/faults.hpp). The ENGINE owns the plan —
   /// policies never see it and learn of a fault only through the
   /// EventKind::kFault / kRecovery events it triggers. Empty = fault-free.
@@ -104,22 +171,47 @@ struct SimStats {
   /// Largest number of live jobs simultaneously holding no resource
   /// observed after any decision round.
   std::uint64_t max_queue_depth = 0;
+  /// High-water mark of the live set — the run's true working-set size.
+  /// Under streaming this is the memory bound: it tracks load, not total n.
+  std::uint64_t peak_live = 0;
+  std::uint64_t admitted = 0;    ///< jobs released past admission control
+  std::uint64_t completed = 0;   ///< admitted jobs that finished
+  std::uint64_t rejections = 0;  ///< arrivals refused at release
+  std::uint64_t sheds = 0;       ///< admitted never-started jobs evicted
+  double max_stretch = 0.0;      ///< max realized stretch over completed jobs
   double policy_seconds = 0.0;     ///< wall time spent inside the policy
 };
 
 struct SimResult {
   Schedule schedule;          ///< interval history (if recorded)
-  std::vector<Time> completions;  ///< C_i per job (always filled)
+  /// C_i per job when record_completions (the default); -1 marks a job that
+  /// never completed (rejected or shed by admission control).
+  std::vector<Time> completions;
   /// Every kFault / kRecovery event fired during the run, in order — the
   /// realized fault trace, for replay and debugging.
   std::vector<Event> fault_log;
+  /// Every admission rejection and shed, in order. Empty when admission is
+  /// disabled.
+  std::vector<AdmissionRecord> admission_log;
   SimStats stats;
 };
 
-/// Runs `policy` over `instance` until every job completes.
+/// Runs `policy` over `instance` until every admitted job completes.
 /// Throws std::runtime_error on policy stalls (every live job left
-/// unallocated with no pending event) or when the event cap is hit.
+/// unallocated with no pending event), when the explicit event cap is hit,
+/// or when the progress watchdog trips.
 [[nodiscard]] SimResult simulate(const Instance& instance, Policy& policy,
                                  const EngineConfig& config = {});
+
+/// Streaming run: jobs arrive from `arrivals` over the platform and outage
+/// calendar of `base`, whose own job list must be empty. Completed jobs
+/// retire (their per-job state is recycled) so memory is O(peak_live), not
+/// O(total jobs), once record_schedule / record_completions are off. With
+/// admission disabled the run is bit-identical to simulate() over the
+/// materialized instance (tests/test_streaming.cpp pins this).
+[[nodiscard]] SimResult simulate_stream(const Instance& base,
+                                        ArrivalStream& arrivals,
+                                        Policy& policy,
+                                        const EngineConfig& config = {});
 
 }  // namespace ecs

@@ -20,6 +20,7 @@
 // allocation with the lowest priority (the engine stays work-conserving).
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
@@ -45,16 +46,32 @@ struct Directive {
 };
 
 /// Read-only view of the simulation passed to policies.
+///
+/// In the engine's streaming mode (simulate_stream) completed jobs retire
+/// and their state slots are recycled, so a job id is no longer an index
+/// into states(). slot(id) performs the translation; it is the identity
+/// when the view was built without a slot window (materialized runs and
+/// hand-made test views), so policies written against slot() behave
+/// identically in both modes. Per-job policy workspaces must be keyed by
+/// slot(id), never by id, to stay O(live) under streaming.
 class SimView {
  public:
   /// `live_sorted`, when provided (the engine always does), is the list of
   /// released, unfinished job ids sorted ascending — it lets live_jobs()
   /// answer in O(live) instead of scanning every job state.
+  /// `slot_window` (streaming engine only) maps id - window_base to a state
+  /// slot for the window_len ids currently tracked; ids outside the window
+  /// or mapped negative are retired/rejected and have no state.
   SimView(const Instance& instance, const std::vector<JobState>& states,
-          Time now, const std::vector<JobId>* live_sorted = nullptr)
+          Time now, const std::vector<JobId>* live_sorted = nullptr,
+          const std::int32_t* slot_window = nullptr,
+          std::int64_t window_len = 0, JobId window_base = 0)
       : instance_(&instance),
         states_(&states),
         live_sorted_(live_sorted),
+        slot_window_(slot_window),
+        window_len_(window_len),
+        window_base_(window_base),
         now_(now) {}
 
   [[nodiscard]] const Instance& instance() const noexcept {
@@ -67,8 +84,17 @@ class SimView {
   [[nodiscard]] const std::vector<JobState>& states() const noexcept {
     return *states_;
   }
+  /// Index of `id`'s state in states(). Identity without a slot window;
+  /// negative when the job is retired, rejected or unknown (streaming).
+  /// Always >= 0 for live ids and for the jobs of the current event batch.
+  [[nodiscard]] std::int32_t slot(JobId id) const noexcept {
+    if (slot_window_ == nullptr) return static_cast<std::int32_t>(id);
+    const std::int64_t off = static_cast<std::int64_t>(id) - window_base_;
+    if (off < 0 || off >= window_len_) return -1;
+    return slot_window_[off];
+  }
   [[nodiscard]] const JobState& state(JobId id) const {
-    return states_->at(id);
+    return states_->at(static_cast<std::size_t>(slot(id)));
   }
 
   /// Ids of released, unfinished jobs, ascending. Non-owning: the span
@@ -92,6 +118,9 @@ class SimView {
   const Instance* instance_;
   const std::vector<JobState>* states_;
   const std::vector<JobId>* live_sorted_ = nullptr;
+  const std::int32_t* slot_window_ = nullptr;  ///< streaming id -> slot map
+  std::int64_t window_len_ = 0;
+  JobId window_base_ = 0;
   mutable std::vector<JobId> fallback_live_;  ///< lazy; null live_sorted_ only
   mutable bool fallback_built_ = false;
   Time now_;

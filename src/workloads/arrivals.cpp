@@ -1,0 +1,261 @@
+#include "workloads/arrivals.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace ecs {
+
+std::string to_string(ArrivalFamily family) {
+  switch (family) {
+    case ArrivalFamily::kPoisson: return "poisson";
+    case ArrivalFamily::kDiurnal: return "diurnal";
+    case ArrivalFamily::kBursty: return "bursty";
+    case ArrivalFamily::kPareto: return "pareto";
+    case ArrivalFamily::kTrace: return "trace";
+  }
+  return "?";
+}
+
+ArrivalFamily parse_arrival_family(const std::string& name) {
+  if (name == "poisson") return ArrivalFamily::kPoisson;
+  if (name == "diurnal") return ArrivalFamily::kDiurnal;
+  if (name == "bursty") return ArrivalFamily::kBursty;
+  if (name == "pareto") return ArrivalFamily::kPareto;
+  if (name == "trace") return ArrivalFamily::kTrace;
+  throw std::invalid_argument("unknown arrival family: '" + name + "'");
+}
+
+namespace {
+
+void require_common(const ArrivalConfig& c) {
+  if (c.n < 0) {
+    throw std::invalid_argument("arrivals: n must be >= 0");
+  }
+  if (!(c.rate > 0.0)) {
+    throw std::invalid_argument("arrivals: rate must be positive");
+  }
+  if (c.shape.edge_count < 1) {
+    throw std::invalid_argument("arrivals: need at least one edge origin");
+  }
+  if (!(c.shape.work_min > 0.0) || c.shape.work_max < c.shape.work_min) {
+    throw std::invalid_argument(
+        "arrivals: need 0 < work_min <= work_max");
+  }
+  if (!(c.shape.ccr > 0.0)) {
+    throw std::invalid_argument("arrivals: ccr must be positive");
+  }
+}
+
+}  // namespace
+
+SyntheticArrivalStream::SyntheticArrivalStream(const ArrivalConfig& config,
+                                               std::uint64_t tag)
+    : rng_(derive_seed(config.seed, tag)),
+      n_(config.n),
+      shape_(config.shape) {
+  require_common(config);
+}
+
+std::optional<Job> SyntheticArrivalStream::next() {
+  if (emitted_ >= n_) return std::nullopt;
+  // Draw order is part of the determinism contract: gap first (however
+  // many raw draws the family needs), then origin, work, up, down —
+  // mirroring make_random_instance's per-job shape order.
+  clock_ += next_gap();
+  Job job;
+  job.id = static_cast<JobId>(emitted_++);
+  job.origin =
+      static_cast<EdgeId>(rng_.uniform_int(0, shape_.edge_count - 1));
+  job.work = rng_.uniform(shape_.work_min, shape_.work_max);
+  job.up = rng_.uniform(shape_.ccr * shape_.work_min,
+                        shape_.ccr * shape_.work_max);
+  job.down = rng_.uniform(shape_.ccr * shape_.work_min,
+                          shape_.ccr * shape_.work_max);
+  job.release = clock_;
+  return job;
+}
+
+PoissonArrivalStream::PoissonArrivalStream(const ArrivalConfig& config)
+    : SyntheticArrivalStream(config, hash_tag("arrivals.poisson")),
+      mean_gap_(1.0 / config.rate) {}
+
+double PoissonArrivalStream::next_gap() {
+  return rng_.exponential(mean_gap_);
+}
+
+DiurnalArrivalStream::DiurnalArrivalStream(const ArrivalConfig& config)
+    : SyntheticArrivalStream(config, hash_tag("arrivals.diurnal")),
+      rate_(config.rate),
+      amplitude_(config.diurnal_amplitude),
+      period_(config.diurnal_period),
+      peak_rate_(config.rate * (1.0 + config.diurnal_amplitude)) {
+  if (!(amplitude_ >= 0.0) || amplitude_ >= 1.0) {
+    throw std::invalid_argument(
+        "arrivals: diurnal amplitude must be in [0, 1)");
+  }
+  if (!(period_ > 0.0)) {
+    throw std::invalid_argument("arrivals: diurnal period must be positive");
+  }
+}
+
+double DiurnalArrivalStream::next_gap() {
+  // Ogata thinning: candidate arrivals at the peak rate, accepted with
+  // probability lambda(t)/peak. Exact for any bounded intensity.
+  const Time start = thin_clock_;
+  while (true) {
+    thin_clock_ += rng_.exponential(1.0 / peak_rate_);
+    const double lambda =
+        rate_ * (1.0 + amplitude_ * std::sin(2.0 * std::numbers::pi *
+                                             thin_clock_ / period_));
+    if (rng_.uniform(0.0, peak_rate_) <= lambda) {
+      return thin_clock_ - start;
+    }
+  }
+}
+
+BurstyArrivalStream::BurstyArrivalStream(const ArrivalConfig& config)
+    : SyntheticArrivalStream(config, hash_tag("arrivals.bursty")),
+      calm_sojourn_mean_(config.calm_sojourn_mean),
+      burst_sojourn_mean_(config.burst_sojourn_mean) {
+  if (!(config.burst_factor > 1.0)) {
+    throw std::invalid_argument("arrivals: burst_factor must be > 1");
+  }
+  if (!(calm_sojourn_mean_ > 0.0) || !(burst_sojourn_mean_ > 0.0)) {
+    throw std::invalid_argument(
+        "arrivals: MMPP sojourn means must be positive");
+  }
+  // Solve the calm rate so the stationary time-averaged rate equals the
+  // requested one:  rate = (lc*Tc + f*lc*Tb) / (Tc + Tb).
+  calm_rate_ = config.rate * (calm_sojourn_mean_ + burst_sojourn_mean_) /
+               (calm_sojourn_mean_ + config.burst_factor * burst_sojourn_mean_);
+  burst_rate_ = config.burst_factor * calm_rate_;
+  sojourn_left_ = rng_.exponential(calm_sojourn_mean_);
+}
+
+double BurstyArrivalStream::next_gap() {
+  // Competition between the next arrival (at the current phase's rate) and
+  // the phase switch; memorylessness lets us redraw the arrival after each
+  // switch without biasing the process.
+  double gap = 0.0;
+  while (true) {
+    const double rate = bursting_ ? burst_rate_ : calm_rate_;
+    const double to_arrival = rng_.exponential(1.0 / rate);
+    if (to_arrival <= sojourn_left_) {
+      sojourn_left_ -= to_arrival;
+      return gap + to_arrival;
+    }
+    gap += sojourn_left_;
+    bursting_ = !bursting_;
+    sojourn_left_ = rng_.exponential(bursting_ ? burst_sojourn_mean_
+                                               : calm_sojourn_mean_);
+  }
+}
+
+ParetoArrivalStream::ParetoArrivalStream(const ArrivalConfig& config)
+    : SyntheticArrivalStream(config, hash_tag("arrivals.pareto")),
+      alpha_(config.pareto_alpha) {
+  if (!(alpha_ > 1.0)) {
+    throw std::invalid_argument(
+        "arrivals: pareto_alpha must be > 1 (finite mean gap)");
+  }
+  // Pareto(alpha, scale) has mean alpha*scale/(alpha-1); pick scale so the
+  // mean gap is 1/rate.
+  scale_ = (alpha_ - 1.0) / (alpha_ * config.rate);
+}
+
+double ParetoArrivalStream::next_gap() {
+  // Inverse transform; 1 - U keeps the argument in (0, 1].
+  const double u = 1.0 - rng_.uniform(0.0, 1.0);
+  return scale_ * std::pow(u, -1.0 / alpha_);
+}
+
+TraceArrivalStream::TraceArrivalStream(std::string path)
+    : path_(std::move(path)), in_(path_) {
+  if (!in_) {
+    throw std::runtime_error("arrivals: cannot open trace: " + path_);
+  }
+}
+
+void TraceArrivalStream::fail(const std::string& what) const {
+  throw std::runtime_error(path_ + ":" + std::to_string(line_no_) + ": " +
+                           what);
+}
+
+std::optional<Job> TraceArrivalStream::next() {
+  if (done_) return std::nullopt;
+  std::string line;
+  while (std::getline(in_, line)) {
+    ++line_no_;
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> fields;
+    {
+      std::stringstream ss(line);
+      std::string field;
+      while (std::getline(ss, field, ',')) fields.push_back(field);
+    }
+    if (fields.empty()) continue;
+    if (fields[0] != "job") {
+      fail("expected a job record, got '" + fields[0] + "'");
+    }
+    if (fields.size() != 7) {
+      fail("malformed job record (want 7 fields, got " +
+           std::to_string(fields.size()) + "): " + line);
+    }
+    const auto num = [&](const std::string& s, const char* what) {
+      try {
+        std::size_t pos = 0;
+        const double v = std::stod(s, &pos);
+        if (pos != s.size()) throw std::invalid_argument(s);
+        return v;
+      } catch (const std::exception&) {
+        fail(std::string("bad ") + what + ": '" + s + "'");
+      }
+    };
+    Job job;
+    job.id = static_cast<JobId>(num(fields[1], "job id"));
+    job.origin = static_cast<EdgeId>(num(fields[2], "origin"));
+    job.work = num(fields[3], "work");
+    job.release = num(fields[4], "release");
+    job.up = num(fields[5], "up");
+    job.down = num(fields[6], "down");
+    if (job.id < 0) fail("negative job id");
+    if (job.release < last_release_) {
+      fail("release dates must be non-decreasing (got " +
+           std::to_string(job.release) + " after " +
+           std::to_string(last_release_) + ")");
+    }
+    last_release_ = job.release;
+    return job;
+  }
+  if (in_.bad()) {
+    ++line_no_;
+    fail("read error mid-trace (truncated or unreadable file)");
+  }
+  done_ = true;
+  return std::nullopt;
+}
+
+std::unique_ptr<ArrivalStream> make_arrival_stream(
+    const ArrivalConfig& config) {
+  switch (config.family) {
+    case ArrivalFamily::kPoisson:
+      return std::make_unique<PoissonArrivalStream>(config);
+    case ArrivalFamily::kDiurnal:
+      return std::make_unique<DiurnalArrivalStream>(config);
+    case ArrivalFamily::kBursty:
+      return std::make_unique<BurstyArrivalStream>(config);
+    case ArrivalFamily::kPareto:
+      return std::make_unique<ParetoArrivalStream>(config);
+    case ArrivalFamily::kTrace:
+      if (config.trace_path.empty()) {
+        throw std::invalid_argument("arrivals: trace family needs a path");
+      }
+      return std::make_unique<TraceArrivalStream>(config.trace_path);
+  }
+  throw std::invalid_argument("arrivals: unknown family");
+}
+
+}  // namespace ecs

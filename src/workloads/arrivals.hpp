@@ -1,0 +1,195 @@
+// arrivals.hpp - Deterministic seeded arrival families for streaming runs.
+//
+// Implements the ArrivalStream interface (sim/arrivals.hpp) with the
+// synthetic traffic families of the overload study plus a trace-file
+// reader:
+//
+//  * Poisson      — exponential inter-arrival gaps at a fixed rate; the
+//                   streaming twin of ReleaseProcess::kPoisson.
+//  * Diurnal      — non-homogeneous Poisson process whose intensity
+//                   follows a sinusoidal day/night cycle,
+//                   lambda(t) = rate * (1 + A sin(2 pi t / period)),
+//                   sampled exactly by thinning against rate * (1 + A).
+//  * Bursty       — two-state Markov-modulated Poisson process (MMPP):
+//                   calm and burst phases with exponential sojourns; the
+//                   burst phase arrives `burst_factor` times faster, and
+//                   the calm rate is solved so the *time-averaged* rate
+//                   still equals `rate`.
+//  * Pareto       — heavy-tailed renewal process: inter-arrival gaps are
+//                   Pareto(alpha, scale) with scale chosen so the mean
+//                   gap is 1/rate (requires alpha > 1; alpha close to 1
+//                   produces enormous gap outliers between packed runs).
+//  * Trace        — jobs read incrementally from a `job,` CSV file
+//                   (trace_io's record shape) in release order; memory
+//                   stays O(1) in the trace length.
+//
+// All synthetic families emit sequential ids 0, 1, 2, ... with
+// non-decreasing releases and draw per-job shapes (origin, work, up, down)
+// exactly like make_random_instance: origin uniform over the edges, work ~
+// U(work_min, work_max), up/down ~ U(ccr*work_min, ccr*work_max). Streams
+// are deterministic functions of their config (seed included).
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "sim/arrivals.hpp"
+#include "util/rng.hpp"
+
+namespace ecs {
+
+enum class ArrivalFamily { kPoisson, kDiurnal, kBursty, kPareto, kTrace };
+
+[[nodiscard]] std::string to_string(ArrivalFamily family);
+/// Parses "poisson" | "diurnal" | "bursty" | "pareto" | "trace"; throws
+/// std::invalid_argument otherwise.
+[[nodiscard]] ArrivalFamily parse_arrival_family(const std::string& name);
+
+/// Per-job shape distribution shared by the synthetic families (matches
+/// RandomInstanceConfig's defaults and draw semantics).
+struct ArrivalShape {
+  int edge_count = 20;    ///< origins drawn uniformly over [0, edge_count)
+  double work_min = 1.0;
+  double work_max = 19.0;
+  double ccr = 1.0;
+};
+
+/// One config drives every family; family-specific knobs are ignored by the
+/// others. `rate` is the long-run mean arrival rate (jobs per unit time)
+/// for every synthetic family — overload sweeps vary only this knob.
+struct ArrivalConfig {
+  ArrivalFamily family = ArrivalFamily::kPoisson;
+  std::int64_t n = 4000;     ///< jobs to emit (synthetic families)
+  double rate = 1.0;         ///< mean arrival rate; must be > 0
+  std::uint64_t seed = 1;
+  ArrivalShape shape;
+
+  // Diurnal (NHPP): relative amplitude in [0, 1) and cycle period.
+  double diurnal_amplitude = 0.8;
+  double diurnal_period = 1000.0;
+
+  // Bursty (MMPP): the burst phase arrives burst_factor (> 1) times faster
+  // than calm; sojourn times are exponential with the given means.
+  double burst_factor = 8.0;
+  double burst_sojourn_mean = 50.0;
+  double calm_sojourn_mean = 200.0;
+
+  // Pareto: tail index; must be > 1 so the mean gap exists.
+  double pareto_alpha = 1.5;
+
+  // Trace: path of a `job,` CSV file in release order.
+  std::string trace_path;
+};
+
+/// Base for the synthetic families: owns the Rng, the arrival clock, and
+/// the shape draws; subclasses only supply the next inter-arrival gap.
+class SyntheticArrivalStream : public ArrivalStream {
+ public:
+  [[nodiscard]] std::optional<Job> next() final;
+  [[nodiscard]] std::int64_t remaining() const final { return n_ - emitted_; }
+
+ protected:
+  SyntheticArrivalStream(const ArrivalConfig& config, std::uint64_t tag);
+
+  /// Next inter-arrival gap (>= 0); called exactly once per emitted job,
+  /// before the shape draws, so the draw order is part of the contract.
+  [[nodiscard]] virtual double next_gap() = 0;
+
+  Rng rng_;
+
+ private:
+  std::int64_t n_;
+  ArrivalShape shape_;
+  std::int64_t emitted_ = 0;
+  Time clock_ = 0.0;
+};
+
+class PoissonArrivalStream final : public SyntheticArrivalStream {
+ public:
+  explicit PoissonArrivalStream(const ArrivalConfig& config);
+  [[nodiscard]] std::string name() const override { return "poisson"; }
+
+ protected:
+  [[nodiscard]] double next_gap() override;
+
+ private:
+  double mean_gap_;
+};
+
+class DiurnalArrivalStream final : public SyntheticArrivalStream {
+ public:
+  explicit DiurnalArrivalStream(const ArrivalConfig& config);
+  [[nodiscard]] std::string name() const override { return "diurnal"; }
+
+ protected:
+  [[nodiscard]] double next_gap() override;
+
+ private:
+  double rate_;
+  double amplitude_;
+  double period_;
+  double peak_rate_;   ///< thinning envelope: rate * (1 + amplitude)
+  Time thin_clock_ = 0.0;  ///< candidate-arrival clock (pre-thinning)
+};
+
+class BurstyArrivalStream final : public SyntheticArrivalStream {
+ public:
+  explicit BurstyArrivalStream(const ArrivalConfig& config);
+  [[nodiscard]] std::string name() const override { return "bursty"; }
+
+ protected:
+  [[nodiscard]] double next_gap() override;
+
+ private:
+  double calm_rate_;
+  double burst_rate_;
+  double calm_sojourn_mean_;
+  double burst_sojourn_mean_;
+  bool bursting_ = false;
+  double sojourn_left_;  ///< time until the next phase switch
+};
+
+class ParetoArrivalStream final : public SyntheticArrivalStream {
+ public:
+  explicit ParetoArrivalStream(const ArrivalConfig& config);
+  [[nodiscard]] std::string name() const override { return "pareto"; }
+
+ protected:
+  [[nodiscard]] double next_gap() override;
+
+ private:
+  double alpha_;
+  double scale_;
+};
+
+/// Streams `job,<id>,<origin>,<work>,<release>,<up>,<down>` lines from a
+/// CSV file without materializing it. Blank lines and '#' comments are
+/// skipped; any other content, a malformed job record, a release-order
+/// violation, or a read error mid-file throws std::runtime_error with
+/// "<path>:<line>:" context. A trailing line without '\n' is accepted.
+class TraceArrivalStream final : public ArrivalStream {
+ public:
+  explicit TraceArrivalStream(std::string path);
+
+  [[nodiscard]] std::string name() const override { return "trace"; }
+  [[nodiscard]] std::optional<Job> next() override;
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const;
+
+  std::string path_;
+  std::ifstream in_;
+  std::int64_t line_no_ = 0;
+  Time last_release_ = -kTimeInfinity;
+  bool done_ = false;
+};
+
+/// Builds the configured family; validates the config eagerly (throws
+/// std::invalid_argument on bad parameters, std::runtime_error if the
+/// trace file cannot be opened).
+[[nodiscard]] std::unique_ptr<ArrivalStream> make_arrival_stream(
+    const ArrivalConfig& config);
+
+}  // namespace ecs

@@ -1,5 +1,6 @@
 #include "workloads/trace_io.hpp"
 
+#include <cstdint>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
@@ -24,8 +25,7 @@ double parse_double(const std::string& s, const char* what) {
     if (pos != s.size()) throw std::invalid_argument(s);
     return v;
   } catch (const std::exception&) {
-    throw std::runtime_error(std::string("trace_io: bad ") + what + ": '" +
-                             s + "'");
+    throw std::runtime_error(std::string("bad ") + what + ": '" + s + "'");
   }
 }
 
@@ -36,8 +36,25 @@ int parse_int(const std::string& s, const char* what) {
     if (pos != s.size()) throw std::invalid_argument(s);
     return v;
   } catch (const std::exception&) {
-    throw std::runtime_error(std::string("trace_io: bad ") + what + ": '" +
-                             s + "'");
+    throw std::runtime_error(std::string("bad ") + what + ": '" + s + "'");
+  }
+}
+
+/// Rethrows a record-level parse error with "line N:" context so a corrupt
+/// file points at the offending line, not just the field value.
+[[noreturn]] void fail_at(std::int64_t line_no, const std::string& what) {
+  throw std::runtime_error("trace_io: line " + std::to_string(line_no) +
+                           ": " + what);
+}
+
+/// A stream that stopped for any reason other than clean EOF lost data —
+/// e.g. an I/O error on a truncated or corrupt file. Reading must be loud
+/// about it: silently treating it as end-of-input would drop records.
+void require_clean_eof(const std::istream& in, std::int64_t line_no) {
+  if (in.bad()) {
+    throw std::runtime_error(
+        "trace_io: read error after line " + std::to_string(line_no) +
+        " (truncated or corrupt input)");
   }
 }
 
@@ -89,10 +106,13 @@ Instance load_instance_impl(std::istream& in, FaultPlan* plan) {
   bool saw_clouds = false;
 
   std::string line;
+  std::int64_t line_no = 0;
   while (std::getline(in, line)) {
+    ++line_no;
     if (line.empty() || line[0] == '#') continue;
     const std::vector<std::string> fields = split_csv(line);
     if (fields.empty()) continue;
+    try {
     if (fields[0] == "edges") {
       edge_speeds.clear();
       for (std::size_t i = 1; i < fields.size(); ++i) {
@@ -101,7 +121,7 @@ Instance load_instance_impl(std::istream& in, FaultPlan* plan) {
       saw_edges = true;
     } else if (fields[0] == "clouds") {
       if (fields.size() != 2) {
-        throw std::runtime_error("trace_io: malformed clouds line");
+        throw std::runtime_error("malformed clouds line");
       }
       clouds = parse_int(fields[1], "cloud count");
       heterogeneous = false;
@@ -115,11 +135,11 @@ Instance load_instance_impl(std::istream& in, FaultPlan* plan) {
       saw_clouds = true;
     } else if (fields[0] == "outage") {
       if (fields.size() != 4) {
-        throw std::runtime_error("trace_io: malformed outage line: " + line);
+        throw std::runtime_error("malformed outage line: " + line);
       }
       const int k = parse_int(fields[1], "outage cloud index");
       if (k < 0) {
-        throw std::runtime_error("trace_io: negative outage cloud index");
+        throw std::runtime_error("negative outage cloud index");
       }
       if (static_cast<std::size_t>(k) >= instance.cloud_outages.size()) {
         instance.cloud_outages.resize(k + 1);
@@ -128,14 +148,13 @@ Instance load_instance_impl(std::istream& in, FaultPlan* plan) {
                                     parse_double(fields[3], "outage end"));
     } else if (fields[0] == "fault" && plan != nullptr) {
       if (fields.size() != 5) {
-        throw std::runtime_error("trace_io: malformed fault line: " + line);
+        throw std::runtime_error("malformed fault line: " + line);
       }
       FaultSpec spec;
       try {
         spec.kind = parse_fault_kind(fields[1]);
       } catch (const std::invalid_argument&) {
-        throw std::runtime_error("trace_io: bad fault kind: '" + fields[1] +
-                                 "'");
+        throw std::runtime_error("bad fault kind: '" + fields[1] + "'");
       }
       spec.cloud = parse_int(fields[2], "fault cloud index");
       spec.begin = parse_double(fields[3], "fault begin");
@@ -143,7 +162,7 @@ Instance load_instance_impl(std::istream& in, FaultPlan* plan) {
       plan->faults.push_back(spec);
     } else if (fields[0] == "job") {
       if (fields.size() != 7) {
-        throw std::runtime_error("trace_io: malformed job line: " + line);
+        throw std::runtime_error("malformed job line: " + line);
       }
       Job job;
       job.id = parse_int(fields[1], "job id");
@@ -154,10 +173,13 @@ Instance load_instance_impl(std::istream& in, FaultPlan* plan) {
       job.down = parse_double(fields[6], "down");
       instance.jobs.push_back(job);
     } else {
-      throw std::runtime_error("trace_io: unknown record '" + fields[0] +
-                               "'");
+      throw std::runtime_error("unknown record '" + fields[0] + "'");
+    }
+    } catch (const std::runtime_error& e) {
+      fail_at(line_no, e.what());
     }
   }
+  require_clean_eof(in, line_no);
   if (!saw_edges || !saw_clouds) {
     throw std::runtime_error(
         "trace_io: missing 'edges' or 'clouds' header line");
@@ -211,26 +233,31 @@ void save_fault_plan(std::ostream& out, const FaultPlan& plan) {
 FaultPlan load_fault_plan(std::istream& in) {
   FaultPlan plan;
   std::string line;
+  std::int64_t line_no = 0;
   while (std::getline(in, line)) {
+    ++line_no;
     if (line.empty() || line[0] == '#') continue;
     const std::vector<std::string> fields = split_csv(line);
     if (fields.empty()) continue;
-    if (fields[0] != "fault" || fields.size() != 5) {
-      throw std::runtime_error("trace_io: expected a fault record, got: " +
-                               line);
-    }
-    FaultSpec spec;
     try {
-      spec.kind = parse_fault_kind(fields[1]);
-    } catch (const std::invalid_argument&) {
-      throw std::runtime_error("trace_io: bad fault kind: '" + fields[1] +
-                               "'");
+      if (fields[0] != "fault" || fields.size() != 5) {
+        throw std::runtime_error("expected a fault record, got: " + line);
+      }
+      FaultSpec spec;
+      try {
+        spec.kind = parse_fault_kind(fields[1]);
+      } catch (const std::invalid_argument&) {
+        throw std::runtime_error("bad fault kind: '" + fields[1] + "'");
+      }
+      spec.cloud = parse_int(fields[2], "fault cloud index");
+      spec.begin = parse_double(fields[3], "fault begin");
+      spec.end = parse_double(fields[4], "fault end");
+      plan.faults.push_back(spec);
+    } catch (const std::runtime_error& e) {
+      fail_at(line_no, e.what());
     }
-    spec.cloud = parse_int(fields[2], "fault cloud index");
-    spec.begin = parse_double(fields[3], "fault begin");
-    spec.end = parse_double(fields[4], "fault end");
-    plan.faults.push_back(spec);
   }
+  require_clean_eof(in, line_no);
   plan.normalize();
   return plan;
 }

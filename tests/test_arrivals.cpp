@@ -1,0 +1,216 @@
+// Tests for the seeded arrival families (workloads/arrivals.hpp): stream
+// contract (sequential ids, non-decreasing releases, exhaustion), bitwise
+// determinism, long-run rate calibration of every synthetic family, and
+// the trace-file reader's loud failures.
+#include "workloads/arrivals.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace ecs {
+namespace {
+
+ArrivalConfig base_config(ArrivalFamily family, std::int64_t n) {
+  ArrivalConfig cfg;
+  cfg.family = family;
+  cfg.n = n;
+  cfg.rate = 2.0;
+  cfg.seed = 42;
+  cfg.shape.edge_count = 4;
+  return cfg;
+}
+
+std::vector<Job> drain(ArrivalStream& stream) {
+  std::vector<Job> jobs;
+  while (auto job = stream.next()) jobs.push_back(*job);
+  return jobs;
+}
+
+const ArrivalFamily kSynthetic[] = {
+    ArrivalFamily::kPoisson, ArrivalFamily::kDiurnal, ArrivalFamily::kBursty,
+    ArrivalFamily::kPareto};
+
+TEST(Arrivals, StreamContractHoldsForEverySyntheticFamily) {
+  for (const ArrivalFamily family : kSynthetic) {
+    const ArrivalConfig cfg = base_config(family, 500);
+    const auto stream = make_arrival_stream(cfg);
+    EXPECT_EQ(stream->remaining(), 500);
+    const std::vector<Job> jobs = drain(*stream);
+    ASSERT_EQ(jobs.size(), 500u) << to_string(family);
+    EXPECT_EQ(stream->remaining(), 0);
+    EXPECT_FALSE(stream->next().has_value());  // exhaustion is sticky
+    Time prev = 0.0;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      const Job& j = jobs[i];
+      EXPECT_EQ(j.id, static_cast<JobId>(i));
+      EXPECT_GE(j.release, prev) << to_string(family) << " job " << i;
+      prev = j.release;
+      EXPECT_GE(j.origin, 0);
+      EXPECT_LT(j.origin, cfg.shape.edge_count);
+      EXPECT_GE(j.work, cfg.shape.work_min);
+      EXPECT_LE(j.work, cfg.shape.work_max);
+      EXPECT_GE(j.up, cfg.shape.ccr * cfg.shape.work_min);
+      EXPECT_LE(j.up, cfg.shape.ccr * cfg.shape.work_max);
+      EXPECT_GE(j.down, cfg.shape.ccr * cfg.shape.work_min);
+      EXPECT_LE(j.down, cfg.shape.ccr * cfg.shape.work_max);
+    }
+  }
+}
+
+TEST(Arrivals, SameConfigSameStream) {
+  for (const ArrivalFamily family : kSynthetic) {
+    const ArrivalConfig cfg = base_config(family, 200);
+    const std::vector<Job> a = drain(*make_arrival_stream(cfg));
+    const std::vector<Job> b = drain(*make_arrival_stream(cfg));
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i], b[i]) << to_string(family) << " job " << i;
+    }
+    ArrivalConfig other = cfg;
+    other.seed = cfg.seed + 1;
+    const std::vector<Job> c = drain(*make_arrival_stream(other));
+    ASSERT_EQ(c.size(), a.size());
+    bool any_diff = false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (!(a[i] == c[i])) any_diff = true;
+    }
+    EXPECT_TRUE(any_diff) << to_string(family) << ": seed has no effect";
+  }
+}
+
+TEST(Arrivals, LongRunRateMatchesTheConfiguredRate) {
+  // Every family advertises `rate` as its long-run mean arrival rate; over
+  // 50k jobs the empirical rate must land near it. Pareto gets the widest
+  // band (alpha 1.5 converges slowly), the bursty MMPP a wide one too
+  // (phase sojourns correlate arrivals).
+  struct Case { ArrivalFamily family; double tol; };
+  const Case cases[] = {{ArrivalFamily::kPoisson, 0.05},
+                        {ArrivalFamily::kDiurnal, 0.05},
+                        {ArrivalFamily::kBursty, 0.15},
+                        {ArrivalFamily::kPareto, 0.25}};
+  for (const Case& c : cases) {
+    const ArrivalConfig cfg = base_config(c.family, 50'000);
+    const std::vector<Job> jobs = drain(*make_arrival_stream(cfg));
+    const double horizon = jobs.back().release;
+    ASSERT_GT(horizon, 0.0);
+    const double rate = static_cast<double>(jobs.size()) / horizon;
+    EXPECT_NEAR(rate, cfg.rate, cfg.rate * c.tol) << to_string(c.family);
+  }
+}
+
+TEST(Arrivals, FamilyNamesRoundTrip) {
+  for (const ArrivalFamily family : kSynthetic) {
+    EXPECT_EQ(parse_arrival_family(to_string(family)), family);
+  }
+  EXPECT_EQ(parse_arrival_family("trace"), ArrivalFamily::kTrace);
+  EXPECT_THROW((void)parse_arrival_family("uniform"), std::invalid_argument);
+}
+
+TEST(Arrivals, InvalidConfigsThrowEagerly) {
+  {
+    ArrivalConfig cfg = base_config(ArrivalFamily::kPoisson, 10);
+    cfg.rate = 0.0;
+    EXPECT_THROW((void)make_arrival_stream(cfg), std::invalid_argument);
+  }
+  {
+    ArrivalConfig cfg = base_config(ArrivalFamily::kDiurnal, 10);
+    cfg.diurnal_amplitude = 1.0;  // peak-rate envelope would be tight
+    EXPECT_THROW((void)make_arrival_stream(cfg), std::invalid_argument);
+  }
+  {
+    ArrivalConfig cfg = base_config(ArrivalFamily::kBursty, 10);
+    cfg.burst_factor = 1.0;
+    EXPECT_THROW((void)make_arrival_stream(cfg), std::invalid_argument);
+  }
+  {
+    ArrivalConfig cfg = base_config(ArrivalFamily::kPareto, 10);
+    cfg.pareto_alpha = 1.0;  // infinite mean gap
+    EXPECT_THROW((void)make_arrival_stream(cfg), std::invalid_argument);
+  }
+  {
+    ArrivalConfig cfg = base_config(ArrivalFamily::kTrace, 10);
+    cfg.trace_path.clear();
+    EXPECT_THROW((void)make_arrival_stream(cfg), std::invalid_argument);
+  }
+}
+
+// ---------------------------------------------------------------- trace file
+
+class TraceFile {
+ public:
+  explicit TraceFile(const std::string& content)
+      : path_("/tmp/ecs_arrivals_trace_test.csv") {
+    std::ofstream out(path_);
+    out << content;
+  }
+  ~TraceFile() { std::remove(path_.c_str()); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(TraceArrivals, ReadsJobsInOrder) {
+  const TraceFile file(
+      "# a comment\n"
+      "\n"
+      "job,0,1,2.5,0,1,1\n"
+      "job,1,0,3.5,1.25,2,2\n"
+      "job,2,1,1.5,1.25,1,1\n");  // tied releases are fine
+  TraceArrivalStream stream(file.path());
+  const std::vector<Job> jobs = drain(stream);
+  ASSERT_EQ(jobs.size(), 3u);
+  EXPECT_EQ(jobs[0].id, 0);
+  EXPECT_DOUBLE_EQ(jobs[0].work, 2.5);
+  EXPECT_EQ(jobs[1].origin, 0);
+  EXPECT_DOUBLE_EQ(jobs[2].release, 1.25);
+  EXPECT_FALSE(stream.next().has_value());
+}
+
+TEST(TraceArrivals, AcceptsTrailingLineWithoutNewline) {
+  const TraceFile file("job,0,0,1,0,1,1\njob,1,0,1,1,1,1");
+  TraceArrivalStream stream(file.path());
+  EXPECT_EQ(drain(stream).size(), 2u);
+}
+
+TEST(TraceArrivals, MissingFileThrows) {
+  EXPECT_THROW(TraceArrivalStream("/nonexistent/nope.csv"),
+               std::runtime_error);
+}
+
+void expect_fail_with_context(const std::string& content,
+                              const std::string& needle) {
+  const TraceFile file(content);
+  TraceArrivalStream stream(file.path());
+  try {
+    while (stream.next().has_value()) {
+    }
+    FAIL() << "expected a parse failure containing '" << needle << "'";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(needle), std::string::npos) << what;
+    EXPECT_NE(what.find(file.path() + ":"), std::string::npos)
+        << "no file:line context in: " << what;
+  }
+}
+
+TEST(TraceArrivals, CorruptFilesFailLoudlyWithLineContext) {
+  // Truncated record (field count) — and the error names line 2.
+  expect_fail_with_context("job,0,0,1,0,1,1\njob,1,0,1\n", ":2:");
+  // Garbage value.
+  expect_fail_with_context("job,0,0,not_a_number,0,1,1\n", "bad work");
+  // Wrong record kind.
+  expect_fail_with_context("edges,0.5\n", "expected a job record");
+  // Negative id.
+  expect_fail_with_context("job,-1,0,1,0,1,1\n", "negative job id");
+  // Out-of-order releases.
+  expect_fail_with_context("job,0,0,1,5,1,1\njob,1,0,1,2,1,1\n",
+                           "non-decreasing");
+}
+
+}  // namespace
+}  // namespace ecs

@@ -75,6 +75,60 @@ TEST(TraceIo, RejectsMalformedInput) {
   }
 }
 
+TEST(TraceIo, ParseErrorsCarryLineContext) {
+  {
+    std::stringstream buffer;  // the corrupt record is on line 3
+    buffer << "edges,0.5\nclouds,1\njob,0,0,not_a_number,0,0,0\n";
+    try {
+      (void)load_instance(buffer);
+      FAIL() << "expected a parse failure";
+    } catch (const std::runtime_error& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+      EXPECT_NE(what.find("bad work"), std::string::npos) << what;
+    }
+  }
+  {
+    std::stringstream buffer;  // comments still count toward line numbers
+    buffer << "# header\nedges,0.5\nclouds,1\nmystery,1\n";
+    try {
+      (void)load_instance(buffer);
+      FAIL() << "expected a parse failure";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos)
+          << e.what();
+    }
+  }
+  {
+    std::stringstream buffer;  // fault-plan loader gets the same context
+    buffer << "fault,crash,0,1,2\nnot_a_fault,1\n";
+    try {
+      (void)load_fault_plan(buffer);
+      FAIL() << "expected a parse failure";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(TraceIo, TruncatedStreamFailsLoudly) {
+  // A stream that dies mid-read (badbit) must not parse as a clean EOF:
+  // silently dropping the tail of an instance would corrupt experiments.
+  bool threw = false;
+  try {
+    std::stringstream bad;
+    bad << "edges,0.5\nclouds,1\n";
+    bad.setstate(std::ios::badbit);  // simulated I/O error
+    (void)load_instance(bad);
+  } catch (const std::runtime_error& e) {
+    threw = true;
+    EXPECT_NE(std::string(e.what()).find("read error"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_TRUE(threw);
+}
+
 TEST(TraceIo, FileRoundTrip) {
   const Instance original = sample_instance();
   const std::string path = "/tmp/ecs_trace_io_test.csv";
