@@ -58,8 +58,10 @@ int run(int argc, char** argv) {
       trace_factory = factory;
       trace_label = label;
     }
+    SweepOptions sweep = options.sweep;
+    sweep.point_index = static_cast<int>(points.size());
     points.push_back(run_sweep_point(label, factory, policies,
-                                     options.sweep));
+                                     sweep));
     std::cout << "  [done] " << label << "\n";
   }
   std::cout << "\n";

@@ -48,8 +48,10 @@ int run(int argc, char** argv) {
       trace_factory = factory;
       trace_label = std::to_string(clouds);
     }
+    SweepOptions sweep = options.sweep;
+    sweep.point_index = static_cast<int>(points.size());
     points.push_back(run_sweep_point(std::to_string(clouds), factory,
-                                     policies, options.sweep));
+                                     policies, sweep));
     std::cout << "  [done] clouds = " << clouds << "\n";
   }
   std::cout << "\n";

@@ -84,8 +84,10 @@ int run(int argc, char** argv) {
       trace_label = format_double(rate, 4);
       trace_options = options;
     }
+    SweepOptions sweep = options.sweep;
+    sweep.point_index = static_cast<int>(points.size());
     points.push_back(run_sweep_point(format_double(rate, 4), factory,
-                                     policies, options.sweep));
+                                     policies, sweep));
     std::cout << "  [done] rate = " << format_double(rate, 4) << "\n";
   }
   std::cout << "\n";

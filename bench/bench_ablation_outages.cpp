@@ -67,8 +67,10 @@ int run(int argc, char** argv) {
       trace_factory = factory;
       trace_label = format_double(fraction, 3);
     }
+    SweepOptions sweep = options.sweep;
+    sweep.point_index = static_cast<int>(points.size());
     points.push_back(run_sweep_point(format_double(fraction, 3), factory,
-                                     policies, options.sweep));
+                                     policies, sweep));
     std::cout << "  [done] fraction = " << format_double(fraction, 3)
               << "\n";
   }

@@ -52,8 +52,10 @@ int run(int argc, char** argv) {
       trace_factory = factory;
       trace_label = format_double(load, 3);
     }
+    SweepOptions sweep = options.sweep;
+    sweep.point_index = static_cast<int>(points.size());
     points.push_back(run_sweep_point(format_double(load, 3), factory,
-                                     policies, options.sweep));
+                                     policies, sweep));
     std::cout << "  [done] load = " << format_double(load, 3) << "\n";
   }
   std::cout << "\n";

@@ -142,12 +142,15 @@ inline bool wants_trace_artifacts(const CommonOptions& options) {
 /// requested sinks attached and writes the artifact files. A no-op unless
 /// one of --trace-out / --trace-jsonl / --metrics-out / --metrics-prom /
 /// --watchdog was given. Runs the exact instance (and fault plan) of
-/// replication 0, so the trace shows one of the runs the sweep aggregated.
-/// Returns the process exit status: 0, or 3 when --watchdog detected an
-/// invariant violation (callers `return` it from main).
+/// replication 0 — `point_index` must be the index the sweep ran the point
+/// under (sweep_seed mixes it) — so the trace shows one of the runs the
+/// sweep aggregated. Returns the process exit status: 0, or 3 when
+/// --watchdog detected an invariant violation (callers `return` it from
+/// main).
 [[nodiscard]] inline int write_trace_artifacts(
     const CommonOptions& options, const std::vector<std::string>& policies,
-    const std::string& label, const InstanceFactory& factory) {
+    const std::string& label, const InstanceFactory& factory,
+    int point_index = 0) {
   if (!wants_trace_artifacts(options) || policies.empty() || !factory) {
     return 0;
   }
@@ -157,7 +160,7 @@ inline bool wants_trace_artifacts(const CommonOptions& options) {
   const std::string policy =
       options.trace_policy.empty() ? policies.back() : options.trace_policy;
   const std::uint64_t seed =
-      replication_seed(options.sweep.base_seed, label, 0);
+      sweep_seed(options.sweep.base_seed, point_index, label, 0);
   const Instance instance = factory(seed);
 
   std::ofstream perfetto_file;

@@ -28,6 +28,7 @@
 #include "core/validate.hpp"
 #include "sched/fixed.hpp"
 #include "sim/engine.hpp"
+#include "sim/engine_core.hpp"
 #include "util/rng.hpp"
 #include "workloads/random_instances.hpp"
 
@@ -145,6 +146,40 @@ void engine_events_sparse(benchmark::State& state) {
 }
 BENCHMARK(engine_events_sparse)
     ->Arg(1000)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+void engine_core_reuse(benchmark::State& state) {
+  // The batch driver's cost structure in isolation: one resident
+  // EngineCore re-prepared per run (buffer capacity survives, zero
+  // steady-state allocation), versus engine_events' fresh-everything
+  // simulate(). Same instance, same fixed policy, same recording config —
+  // the delta against engine_events at equal n is the per-run construction
+  // cost the resident core avoids.
+  const int n = static_cast<int>(state.range(0));
+  const ecs::Instance instance = make_instance(n, 7);
+  ecs::FixedPolicy policy = make_fixed_policy(instance);
+  ecs::detail::EngineCore core;
+  ecs::SimResult result;
+  ecs::EngineConfig config;
+  config.record_schedule = false;
+  config.time_policy = false;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    policy.reset(instance);
+    core.prepare(instance, nullptr, policy, config);
+    while (!core.step_rounds(0)) {
+    }
+    core.finish_into(result);
+    events = result.stats.events;
+    benchmark::DoNotOptimize(result.completions.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events) *
+                          state.iterations());
+  state.counters["events_per_s"] = benchmark::Counter(
+      static_cast<double>(events),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(engine_core_reuse)->Arg(200)->Arg(1000)->Arg(4000)
     ->Unit(benchmark::kMillisecond);
 
 void engine_with_recording(benchmark::State& state) {

@@ -57,8 +57,10 @@ int run(int argc, char** argv) {
       trace_factory = factory;
       trace_label = format_double(ccr, 3);
     }
+    SweepOptions sweep = options.sweep;
+    sweep.point_index = static_cast<int>(points.size());
     points.push_back(run_sweep_point(format_double(ccr, 3), factory,
-                                     policies, options.sweep));
+                                     policies, sweep));
     std::cout << "  [done] CCR = " << format_double(ccr, 3) << "\n";
   }
   std::cout << "\n";

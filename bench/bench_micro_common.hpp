@@ -34,6 +34,14 @@ namespace ecs::bench {
 /// path (which insists on --benchmark_out).
 class CompactJsonReporter final : public benchmark::ConsoleReporter {
  public:
+  struct Row {
+    std::string name;
+    double real_time_ms = 0.0;
+    double rate = 0.0;
+    double per_item_ns = 0.0;
+    bool has_rate = false;
+  };
+
   /// `rate_counter` is the per-second throughput counter benchmarks
   /// publish (e.g. "events_per_s"); `per_item_field` is the derived
   /// nanoseconds-per-item JSON field name (e.g. "per_event_ns").
@@ -82,14 +90,13 @@ class CompactJsonReporter final : public benchmark::ConsoleReporter {
     os << "]\n";
   }
 
+  /// Every finished run, for binaries that post-process their own results
+  /// (bench_batch derives the batch-vs-tasks speedup from matched rows).
+  [[nodiscard]] const std::vector<Row>& rows() const noexcept {
+    return rows_;
+  }
+
  private:
-  struct Row {
-    std::string name;
-    double real_time_ms = 0.0;
-    double rate = 0.0;
-    double per_item_ns = 0.0;
-    bool has_rate = false;
-  };
   std::string rate_counter_;
   std::string per_item_field_;
   std::vector<Row> rows_;

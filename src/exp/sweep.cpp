@@ -1,10 +1,11 @@
 #include "exp/sweep.hpp"
 
-#include <mutex>
 #include <stdexcept>
 
-#include "exp/parallel.hpp"
+#include "core/validate.hpp"
 #include "sched/factory.hpp"
+#include "sim/batch.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace ecs {
@@ -17,11 +18,152 @@ const PolicyAggregate& SweepPointResult::policy(
   throw std::out_of_range("no aggregate for policy " + name);
 }
 
+std::uint64_t sweep_seed(std::uint64_t base, int point_index,
+                         const std::string& label, int replication) {
+  std::uint64_t seed = base;
+  if (point_index >= 0) {
+    // +1 keeps the index link distinct from any meaningful tag at 0 and
+    // makes the chain structurally different from the index-less one.
+    seed = derive_seed(seed, static_cast<std::uint64_t>(point_index) + 1);
+  }
+  seed = derive_seed(seed, hash_tag(label));
+  return derive_seed(seed, static_cast<std::uint64_t>(replication));
+}
+
 std::uint64_t replication_seed(std::uint64_t base, const std::string& label,
                                int replication) {
-  return derive_seed(derive_seed(base, hash_tag(label)),
-                     static_cast<std::uint64_t>(replication));
+  return sweep_seed(base, -1, label, replication);
 }
+
+namespace {
+
+/// One outcome slot per (replication, policy); filled concurrently by
+/// whichever driver runs the grid, merged serially so aggregation order is
+/// deterministic regardless of thread interleaving.
+struct RepSlot {
+  double max_stretch = 0.0;
+  double mean_stretch = 0.0;
+  double wall_seconds = 0.0;
+  double reassignments = 0.0;
+  double events = 0.0;
+  double max_queue_depth = 0.0;
+  obs::QuantileSketch stretch;  ///< per-job stretches of this replication
+  obs::QuantileSketch flow;     ///< per-job flow times of this replication
+};
+
+void fill_slot(RepSlot& slot, const ScheduleMetrics& metrics,
+               const SimStats& stats, double wall_seconds) {
+  slot.max_stretch = metrics.max_stretch;
+  slot.mean_stretch = metrics.mean_stretch;
+  slot.wall_seconds = wall_seconds;
+  slot.reassignments = static_cast<double>(stats.reassignments);
+  slot.events = static_cast<double>(stats.events);
+  slot.max_queue_depth = static_cast<double>(stats.max_queue_depth);
+  for (const JobMetrics& jm : metrics.per_job) {
+    slot.stretch.observe(jm.stretch);
+    slot.flow.observe(jm.response);
+  }
+}
+
+/// Legacy task-per-replication driver: each task builds its instance and
+/// runs every policy through run_policy (fresh policy + engine per run).
+void run_point_tasks(const std::string& label, const InstanceFactory& factory,
+                     const std::vector<std::string>& policies,
+                     const SweepOptions& options,
+                     std::vector<RepSlot>& slots) {
+  parallel_for(
+      static_cast<std::size_t>(options.replications),
+      [&](std::size_t rep) {
+        const std::uint64_t seed =
+            sweep_seed(options.base_seed, options.point_index, label,
+                       static_cast<int>(rep));
+        const Instance instance = factory(seed);
+        // Draw the replication's fault plan once, outside the policy loop,
+        // so every policy faces the identical unannounced faults.
+        FaultPlan faults = options.engine.faults;
+        if (options.fault_factory) {
+          faults = options.fault_factory(instance, seed);
+        }
+        for (std::size_t p = 0; p < policies.size(); ++p) {
+          RunOptions run_options;
+          run_options.engine = options.engine;
+          run_options.engine.faults = faults;
+          // Trace sinks are single-run, single-threaded objects, so only
+          // the first replication of the first policy keeps the sink. The
+          // metrics registry is thread-safe and stays shared by every run,
+          // accumulating sweep-wide totals.
+          if (rep != 0 || p != 0) run_options.engine.trace = nullptr;
+          run_options.validate = options.validate_first && rep == 0;
+          const RunOutcome outcome =
+              run_policy(instance, policies[p], run_options);
+          fill_slot(slots[rep * policies.size() + p], outcome.metrics,
+                    outcome.stats, outcome.wall_seconds);
+        }
+      },
+      options.threads);
+}
+
+/// Batch driver: each (replication, policy) pair is a world on a resident
+/// engine core (sim/batch.hpp); the instance, the fault plan and the
+/// validation contract per world match run_point_tasks exactly, so the two
+/// drivers produce bit-identical aggregates (wall_seconds aside — it is
+/// wall time; tests/test_exp.cpp pins the equality).
+void run_point_batch(const std::string& label, const InstanceFactory& factory,
+                     const std::vector<std::string>& policies,
+                     const SweepOptions& options,
+                     std::vector<RepSlot>& slots) {
+  const std::size_t n_policies = policies.size();
+  BatchOptions batch_options;
+  batch_options.threads = options.threads;
+  BatchEngine batch(
+      n_policies,
+      [&policies](std::size_t p) { return make_policy(policies[p]); },
+      batch_options);
+  batch.run(
+      static_cast<std::size_t>(options.replications) * n_policies,
+      [&](std::size_t index, Instance& instance, WorldSetup& setup) {
+        const std::size_t rep = index / n_policies;
+        const std::size_t p = index % n_policies;
+        const std::uint64_t seed =
+            sweep_seed(options.base_seed, options.point_index, label,
+                       static_cast<int>(rep));
+        instance = factory(seed);
+        setup.policy = p;
+        setup.config = options.engine;
+        if (options.fault_factory) {
+          setup.config.faults = options.fault_factory(instance, seed);
+        }
+        if (index != 0) setup.config.trace = nullptr;
+        setup.config.record_schedule = options.validate_first && rep == 0;
+        // The batch driver times whole worlds itself; the per-decision
+        // policy timer's clock reads are pure overhead at this scale.
+        setup.config.time_policy = false;
+      },
+      [&](std::size_t index, const Instance& instance, SimResult& result,
+          double wall_seconds) {
+        const std::size_t rep = index / n_policies;
+        ScheduleMetrics metrics;
+        if (options.validate_first && rep == 0) {
+          // Re-derive the world's fault plan for the fault-aware validator
+          // (the factories are deterministic in (instance, seed)), exactly
+          // what the task driver hands run_policy.
+          FaultPlan faults = options.engine.faults;
+          if (options.fault_factory) {
+            const std::uint64_t seed =
+                sweep_seed(options.base_seed, options.point_index, label,
+                           static_cast<int>(rep));
+            faults = options.fault_factory(instance, seed);
+          }
+          require_valid_schedule(instance, result.schedule, faults);
+          metrics = compute_metrics(instance, result.schedule);
+        } else {
+          metrics = metrics_from_completions(instance, result.completions);
+        }
+        fill_slot(slots[index], metrics, result.stats, wall_seconds);
+      });
+}
+
+}  // namespace
 
 SweepPointResult run_sweep_point(const std::string& label,
                                  const InstanceFactory& factory,
@@ -35,62 +177,17 @@ SweepPointResult run_sweep_point(const std::string& label,
   }
 
   const int reps = options.replications;
-  // One outcome slot per (replication, policy); filled concurrently, merged
-  // serially so aggregation order is deterministic.
-  struct Slot {
-    double max_stretch = 0.0;
-    double mean_stretch = 0.0;
-    double wall_seconds = 0.0;
-    double reassignments = 0.0;
-    double events = 0.0;
-    double max_queue_depth = 0.0;
-    obs::QuantileSketch stretch;  ///< per-job stretches of this replication
-    obs::QuantileSketch flow;     ///< per-job flow times of this replication
-  };
-  std::vector<Slot> slots(static_cast<std::size_t>(reps) * policies.size());
-
-  parallel_for(
-      static_cast<std::size_t>(reps),
-      [&](std::size_t rep) {
-        const std::uint64_t seed =
-            replication_seed(options.base_seed, label, static_cast<int>(rep));
-        const Instance instance = factory(seed);
-        // Draw the replication's fault plan once, outside the policy loop,
-        // so every policy faces the identical unannounced faults.
-        FaultPlan faults = options.engine.faults;
-        if (options.fault_factory) faults = options.fault_factory(instance, seed);
-        for (std::size_t p = 0; p < policies.size(); ++p) {
-          RunOptions run_options;
-          run_options.engine = options.engine;
-          run_options.engine.faults = faults;
-          // Trace sinks are single-run, single-threaded objects, so only
-          // the first replication of the first policy keeps the sink. The
-          // metrics registry is thread-safe and stays shared by every run,
-          // accumulating sweep-wide totals.
-          if (rep != 0 || p != 0) run_options.engine.trace = nullptr;
-          run_options.validate = options.validate_first && rep == 0;
-          const RunOutcome outcome =
-              run_policy(instance, policies[p], run_options);
-          Slot& slot = slots[rep * policies.size() + p];
-          slot.max_stretch = outcome.metrics.max_stretch;
-          slot.mean_stretch = outcome.metrics.mean_stretch;
-          slot.wall_seconds = outcome.wall_seconds;
-          slot.reassignments =
-              static_cast<double>(outcome.stats.reassignments);
-          slot.events = static_cast<double>(outcome.stats.events);
-          slot.max_queue_depth =
-              static_cast<double>(outcome.stats.max_queue_depth);
-          for (const JobMetrics& jm : outcome.metrics.per_job) {
-            slot.stretch.observe(jm.stretch);
-            slot.flow.observe(jm.response);
-          }
-        }
-      },
-      options.threads);
+  std::vector<RepSlot> slots(static_cast<std::size_t>(reps) *
+                             policies.size());
+  if (options.driver == SweepDriver::kTasks) {
+    run_point_tasks(label, factory, policies, options, slots);
+  } else {
+    run_point_batch(label, factory, policies, options, slots);
+  }
 
   for (int rep = 0; rep < reps; ++rep) {
     for (std::size_t p = 0; p < policies.size(); ++p) {
-      const Slot& slot = slots[rep * policies.size() + p];
+      const RepSlot& slot = slots[rep * policies.size() + p];
       PolicyAggregate& agg = result.per_policy[p];
       agg.max_stretch.add(slot.max_stretch);
       agg.mean_stretch.add(slot.mean_stretch);

@@ -53,10 +53,33 @@ struct SweepPointResult {
   [[nodiscard]] const PolicyAggregate& policy(const std::string& name) const;
 };
 
+/// How run_sweep_point executes its replications x policies grid.
+enum class SweepDriver : std::uint8_t {
+  /// Many-worlds batch driver (sim/batch.hpp): each (replication, policy)
+  /// run is a world on a resident engine core; worker threads recycle
+  /// completed worlds, so the steady state allocates nothing and skips the
+  /// per-run policy construction and policy-timer clock reads of the task
+  /// path. Results are bit-identical to kTasks except wall_seconds (it is
+  /// wall time) and the engine's internal policy_seconds (not aggregated).
+  kBatch,
+  /// Legacy path: one parallel_for task per replication, each constructing
+  /// its policies and engine from scratch via run_policy(). Kept as the
+  /// baseline the batch driver is benchmarked and equivalence-tested
+  /// against (bench/bench_batch.cpp, tests/test_exp.cpp).
+  kTasks,
+};
+
 struct SweepOptions {
   int replications = 30;
   std::uint64_t base_seed = 42;
   unsigned threads = 0;  ///< 0 = hardware concurrency
+  SweepDriver driver = SweepDriver::kBatch;
+  /// Index of this point within its sweep, mixed into the replication
+  /// seeds so two points whose labels collide (e.g. different values
+  /// formatted to the same string) still draw distinct instances. -1 (the
+  /// default) omits the index and reproduces the historical
+  /// replication_seed(base, label, rep) derivation exactly.
+  int point_index = -1;
   /// Validate the recorded schedule on the first replication of each
   /// (point, policy) pair; throws if any constraint of section III-B fails
   /// (fault-aware when a fault plan is in play).
@@ -78,8 +101,18 @@ struct SweepOptions {
     const std::vector<std::string>& policies, const SweepOptions& options);
 
 /// Derives the replication seed for (base, point label, replication).
+/// Equivalent to sweep_seed(base, -1, label, replication).
 [[nodiscard]] std::uint64_t replication_seed(std::uint64_t base,
                                              const std::string& label,
                                              int replication);
+
+/// SplitMix64 chain over (base, point index, label, replication): the seed
+/// every sweep replication draws its instance and fault plan from.
+/// point_index < 0 omits the index link, reproducing replication_seed();
+/// otherwise equal labels at different indices yield distinct seed streams
+/// (tests/test_exp.cpp pins both properties).
+[[nodiscard]] std::uint64_t sweep_seed(std::uint64_t base, int point_index,
+                                       const std::string& label,
+                                       int replication);
 
 }  // namespace ecs

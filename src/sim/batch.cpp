@@ -1,0 +1,135 @@
+#include "sim/batch.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "util/parallel.hpp"
+#include "sim/engine_core.hpp"
+#include "sim/policy.hpp"
+
+namespace ecs {
+
+namespace {
+constexpr std::size_t kIdle = static_cast<std::size_t>(-1);
+}  // namespace
+
+struct BatchEngine::Worker {
+  /// One resident world slot: every buffer below survives recycling, so a
+  /// steady-state world launch allocates nothing.
+  struct World {
+    detail::EngineCore core;
+    Instance instance;
+    SimResult result;
+    WorldSetup setup;
+    /// Lazily built policy table. Owned by the SLOT, not the worker: a
+    /// policy object is stateful across decide() calls, and a worker
+    /// interleaves its resident worlds mid-run — two worlds sharing one
+    /// policy instance would corrupt each other the moment both pick the
+    /// same table entry.
+    std::vector<std::unique_ptr<Policy>> policies;
+    std::size_t index = kIdle;  ///< queued-world index, kIdle when free
+    std::chrono::steady_clock::time_point t0;
+  };
+
+  std::vector<std::unique_ptr<World>> worlds;
+};
+
+BatchEngine::BatchEngine(std::size_t policy_count, PolicyFactory factory,
+                         BatchOptions options)
+    : policy_count_(policy_count),
+      factory_(std::move(factory)),
+      options_(options) {
+  if (!factory_) {
+    throw std::invalid_argument("BatchEngine: a policy factory is required");
+  }
+}
+
+BatchEngine::~BatchEngine() = default;
+
+void BatchEngine::run(std::size_t world_count, const WorldFn& make_world,
+                      const WorldResultFn& on_result) {
+  if (world_count == 0) return;
+  const unsigned threads =
+      options_.threads != 0 ? options_.threads : default_thread_count();
+  const std::size_t workers =
+      std::min<std::size_t>(std::max(threads, 1u), world_count);
+  while (workers_.size() < workers) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  std::atomic<std::size_t> next_world{0};
+  parallel_for(
+      workers,
+      [&](std::size_t w) {
+        run_worker(*workers_[w], world_count, next_world, make_world,
+                   on_result);
+      },
+      static_cast<unsigned>(workers));
+}
+
+void BatchEngine::run_worker(Worker& worker, std::size_t world_count,
+                             std::atomic<std::size_t>& next_world,
+                             const WorldFn& make_world,
+                             const WorldResultFn& on_result) {
+  const std::size_t slots =
+      std::max<std::size_t>(options_.worlds_per_thread, 1);
+  while (worker.worlds.size() < slots) {
+    worker.worlds.push_back(std::make_unique<Worker::World>());
+  }
+  // A previous run() that aborted on an exception may have left worlds
+  // mid-flight; their cores re-prepare from scratch, so just mark idle.
+  for (auto& world : worker.worlds) {
+    world->policies.resize(policy_count_);
+    world->index = kIdle;
+  }
+
+  const std::uint64_t rounds = std::max<std::uint64_t>(
+      options_.rounds_per_visit, 1);
+  bool drained = false;  // the shared queue has run dry
+  // Launches the next queued world into `world`; false when none remain.
+  const auto launch = [&](Worker::World& world) {
+    if (drained) return false;
+    const std::size_t index =
+        next_world.fetch_add(1, std::memory_order_relaxed);
+    if (index >= world_count) {
+      drained = true;
+      return false;
+    }
+    world.index = index;
+    world.setup = WorldSetup{};
+    make_world(index, world.instance, world.setup);
+    if (world.setup.policy >= policy_count_) {
+      throw std::out_of_range("BatchEngine: world setup selected policy " +
+                              std::to_string(world.setup.policy) +
+                              " of a table of " +
+                              std::to_string(policy_count_));
+    }
+    std::unique_ptr<Policy>& policy = world.policies[world.setup.policy];
+    if (policy == nullptr) policy = factory_(world.setup.policy);
+    world.t0 = std::chrono::steady_clock::now();
+    // Same order as simulate(): reset, then prepare, then step.
+    policy->reset(world.instance);
+    world.core.prepare(world.instance, nullptr, *policy, world.setup.config);
+    return true;
+  };
+
+  while (true) {
+    bool any_live = false;
+    for (std::size_t s = 0; s < slots; ++s) {
+      Worker::World& world = *worker.worlds[s];
+      if (world.index == kIdle && !launch(world)) continue;
+      any_live = true;
+      if (!world.core.step_rounds(rounds)) continue;
+      world.core.finish_into(world.result);
+      const auto t1 = std::chrono::steady_clock::now();
+      const double wall =
+          std::chrono::duration<double>(t1 - world.t0).count();
+      const std::size_t index = world.index;
+      world.index = kIdle;  // recycled even if the callback throws
+      on_result(index, world.instance, world.result, wall);
+    }
+    if (!any_live) return;
+  }
+}
+
+}  // namespace ecs

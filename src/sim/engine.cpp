@@ -1,3 +1,6 @@
+// engine.cpp - EngineCore: the event loop behind simulate(),
+// simulate_stream() and the batch driver. See engine_core.hpp for the
+// reuse contract and sim/soa.hpp for the SoA state layout.
 #include "sim/engine.hpp"
 
 #include <algorithm>
@@ -13,46 +16,11 @@
 #include "obs/trace.hpp"
 #include "obs/watchdog.hpp"
 #include "sim/arrivals.hpp"
+#include "sim/engine_core.hpp"
 
 namespace ecs {
+namespace detail {
 namespace {
-
-/// Metric-instrument handles, resolved once per run so the hot path never
-/// touches the registry's name maps. Only valid when a registry is set.
-struct Instruments {
-  using Id = obs::MetricsRegistry::Id;
-  Id events, decisions, reassignments, preemptions, fault_aborts;
-  Id uplink_retransmits, downlink_retransmits, message_losses;
-  Id rejections, sheds;       ///< admission-control refusals
-  Id queue_depth;             ///< gauge; its max mirrors max_queue_depth
-  Id peak_live;               ///< gauge; live-set high-water mark
-  Id stretch, queue_wait;     ///< histograms
-  Id phase_policy, phase_allocate, phase_activate, phase_faults;  ///< timers
-
-  explicit Instruments(obs::MetricsRegistry& registry)
-      : events(registry.counter("engine.events")),
-        decisions(registry.counter("engine.decisions")),
-        reassignments(registry.counter("engine.reassignments")),
-        preemptions(registry.counter("engine.preemptions")),
-        fault_aborts(registry.counter("engine.fault_aborts")),
-        uplink_retransmits(registry.counter("engine.uplink_retransmits")),
-        downlink_retransmits(registry.counter("engine.downlink_retransmits")),
-        message_losses(registry.counter("engine.message_losses")),
-        rejections(registry.counter("engine.rejections")),
-        sheds(registry.counter("engine.sheds")),
-        queue_depth(registry.gauge("engine.ready_queue_depth")),
-        peak_live(registry.gauge("engine.peak_live")),
-        stretch(registry.histogram(
-            "job.stretch", {1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0,
-                            24.0, 32.0, 64.0, 128.0})),
-        queue_wait(registry.histogram(
-            "job.queue_wait",
-            {0.0, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0})),
-        phase_policy(registry.timer("engine.phase.policy")),
-        phase_allocate(registry.timer("engine.phase.allocate")),
-        phase_activate(registry.timer("engine.phase.activate")),
-        phase_faults(registry.timer("engine.phase.faults")) {}
-};
 
 [[nodiscard]] obs::TracePoint span_point(Activity activity) {
   switch (activity) {
@@ -67,745 +35,658 @@ struct Instruments {
   return obs::TracePoint::kExec;
 }
 
-/// Per-job recording of the currently open activity interval plus the
-/// in-progress run record.
-struct Recorder {
-  RunRecord current;
-  Activity open_activity = Activity::kNone;
-  Time open_start = 0.0;
-
-  void open(Activity activity, Time now) {
-    open_activity = activity;
-    open_start = now;
-  }
-
-  void close(Time now) {
-    if (open_activity == Activity::kNone) return;
-    switch (open_activity) {
-      case Activity::kUplink:
-        current.uplink.add(open_start, now);
-        break;
-      case Activity::kCompute:
-        current.exec.add(open_start, now);
-        break;
-      case Activity::kDownlink:
-        current.downlink.add(open_start, now);
-        break;
-      case Activity::kNone:
-        break;
-    }
-    open_activity = Activity::kNone;
-  }
-
-  [[nodiscard]] bool has_history() const noexcept {
-    return !current.uplink.empty() || !current.exec.empty() ||
-           !current.downlink.empty();
-  }
-};
-
-/// Busy markers for one decision round: which job holds each resource.
-struct BusyMap {
-  std::vector<JobId> edge_cpu, edge_send, edge_recv;
-  std::vector<JobId> cloud_cpu, cloud_send, cloud_recv;
-
-  explicit BusyMap(const Platform& platform)
-      : edge_cpu(platform.edge_count(), -1),
-        edge_send(platform.edge_count(), -1),
-        edge_recv(platform.edge_count(), -1),
-        cloud_cpu(platform.cloud_count(), -1),
-        cloud_send(platform.cloud_count(), -1),
-        cloud_recv(platform.cloud_count(), -1) {}
-
-  void clear() {
-    std::fill(edge_cpu.begin(), edge_cpu.end(), -1);
-    std::fill(edge_send.begin(), edge_send.end(), -1);
-    std::fill(edge_recv.begin(), edge_recv.end(), -1);
-    std::fill(cloud_cpu.begin(), cloud_cpu.end(), -1);
-    std::fill(cloud_send.begin(), cloud_send.end(), -1);
-    std::fill(cloud_recv.begin(), cloud_recv.end(), -1);
-  }
-};
-
-/// One wake-up of the fault timeline: a crash start, a crash repair
-/// (recovery), or a message-loss instant.
-struct FaultWake {
-  Time time = 0.0;
-  std::size_t spec = 0;  ///< index into the plan
-  bool recovery = false;
-};
-
-/// Versioned entry of the lazy-deletion min-heap over predicted activity
-/// end times, keyed by state *slot* (== job id in materialized mode). An
-/// entry is valid while its version matches the slot's current one AND the
-/// slot's job is still mid-activity; preemption, completion, re-execution,
-/// fault aborts and slot retirement never search the heap — they simply
-/// leave the entry behind to be skipped (or compacted away) later.
-struct HeapEntry {
-  Time time = 0.0;
-  std::int32_t slot = -1;
-  std::uint32_t version = 0;
-};
-
 /// std::push_heap-style comparator making heap_.front() the earliest end.
 [[nodiscard]] bool heap_later(const HeapEntry& a, const HeapEntry& b) {
   return a.time > b.time;
 }
 
-class Engine {
- public:
-  /// Materialized mode: all jobs come from `instance`, slot == job id.
-  Engine(const Instance& instance, Policy& policy, const EngineConfig& config)
-      : Engine(instance, nullptr, policy, config) {}
+}  // namespace
 
-  /// Streaming mode (stream != nullptr): `base` carries the platform and
-  /// outage calendar only; jobs arrive from the stream and completed jobs
-  /// retire, so per-job state is O(peak_live).
-  Engine(const Instance& base, ArrivalStream* stream, Policy& policy,
-         const EngineConfig& config)
-      : instance_(base),
-        platform_(base.platform),
-        policy_(policy),
-        config_(config),
-        busy_(base.platform),
-        stream_(stream),
-        streaming_(stream != nullptr),
-        trace_(config.trace),
-        metrics_(config.metrics) {
-    // A watchdog taps the trace stream through an internal tee, so it
-    // works with or without a user trace sink attached.
-    if (config.watchdog != nullptr) {
-      tee_.add(config.trace);
-      tee_.add(config.watchdog);
-      trace_ = &tee_;
-    }
-    provenance_on_ =
-        (config.provenance || config.watchdog != nullptr) && trace_ != nullptr;
-    if (metrics_ != nullptr) ids_.emplace(*metrics_);
-    if (streaming_ && !instance_.jobs.empty()) {
-      throw std::invalid_argument(
-          "simulate_stream: the base instance must have an empty job list "
-          "(jobs come from the arrival stream)");
-    }
-    require_valid_instance(instance_);
-    config_.faults.normalize();
-    require_valid_fault_plan(config_.faults, platform_);
-    admission_on_ = config_.admission.enabled();
+EngineInstruments::EngineInstruments(obs::MetricsRegistry& registry)
+    : events(registry.counter("engine.events")),
+      decisions(registry.counter("engine.decisions")),
+      reassignments(registry.counter("engine.reassignments")),
+      preemptions(registry.counter("engine.preemptions")),
+      fault_aborts(registry.counter("engine.fault_aborts")),
+      uplink_retransmits(registry.counter("engine.uplink_retransmits")),
+      downlink_retransmits(registry.counter("engine.downlink_retransmits")),
+      message_losses(registry.counter("engine.message_losses")),
+      rejections(registry.counter("engine.rejections")),
+      sheds(registry.counter("engine.sheds")),
+      queue_depth(registry.gauge("engine.ready_queue_depth")),
+      peak_live(registry.gauge("engine.peak_live")),
+      stretch(registry.histogram(
+          "job.stretch", {1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0,
+                          24.0, 32.0, 64.0, 128.0})),
+      queue_wait(registry.histogram(
+          "job.queue_wait",
+          {0.0, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0})),
+      phase_policy(registry.timer("engine.phase.policy")),
+      phase_allocate(registry.timer("engine.phase.allocate")),
+      phase_activate(registry.timer("engine.phase.activate")),
+      phase_faults(registry.timer("engine.phase.faults")) {}
+
+void EngineCore::prepare(const Instance& instance, ArrivalStream* stream,
+                         Policy& policy, const EngineConfig& config) {
+  instance_ = &instance;
+  platform_ = &instance.platform;
+  policy_ = &policy;
+  stream_ = stream;
+  streaming_ = stream != nullptr;
+  prepared_ = false;
+  config_ = config;
+  trace_ = config.trace;
+  metrics_ = config.metrics;
+  // A watchdog taps the trace stream through an internal tee, so it works
+  // with or without a user trace sink attached.
+  tee_ = obs::TeeTraceSink{};
+  if (config.watchdog != nullptr) {
+    tee_.add(config.trace);
+    tee_.add(config.watchdog);
+    trace_ = &tee_;
   }
+  provenance_on_ =
+      (config.provenance || config.watchdog != nullptr) && trace_ != nullptr;
+  ids_.reset();
+  if (metrics_ != nullptr) ids_.emplace(*metrics_);
+  if (streaming_ && !instance_->jobs.empty()) {
+    throw std::invalid_argument(
+        "simulate_stream: the base instance must have an empty job list "
+        "(jobs come from the arrival stream)");
+  }
+  require_valid_instance(*instance_);
+  config_.faults.normalize();
+  require_valid_fault_plan(config_.faults, *platform_);
+  admission_on_ = config_.admission.enabled();
+  record_schedule_ = config_.record_schedule;
+  busy_.resize(*platform_);
+  init();
+  prepared_ = true;
+}
 
-  SimResult run() {
-    init();
-    // Streaming: run while anything is resident or the stream can still
-    // deliver (pending_ is engaged until exhaustion). Materialized:
-    // remaining_jobs_ counts unreleased + live jobs not yet finished,
-    // rejected or shed. Both conditions hit zero at the same step for the
-    // same inputs, keeping the two modes in lockstep.
+void EngineCore::init() {
+  const int n = streaming_ ? 0 : instance_->job_count();
+  // Reset every piece of run state; a reused core starts exactly like a
+  // fresh one, but with its buffer capacity intact.
+  pool_.reset(static_cast<std::size_t>(n));
+  recorders_.assign(static_cast<std::size_t>(n), ActivityRecorder{});
+  started_.assign(static_cast<std::size_t>(n), 0);
+  live_.reset(static_cast<std::size_t>(n));
+  entry_version_.assign(static_cast<std::size_t>(n), 0);
+  seen_round_.assign(static_cast<std::size_t>(n), 0);
+  round_ = 0;
+  heap_.clear();
+  events_.clear();
+  fault_log_.clear();
+  admission_log_.clear();
+  abandoned_runs_.clear();
+  active_ids_.clear();
+  live_sorted_.clear();
+  victims_.clear();
+  dirty_slots_.clear();
+  order_.clear();
+  directives_.clear();
+  boundaries_.clear();
+  wakes_.clear();
+  release_order_.clear();
+  free_slots_.clear();
+  retire_queue_.clear();
+  completion_log_.clear();
+  final_runs_.clear();
+  id_map_.clear();
+  pending_.reset();
+  last_arrival_ = -kTimeInfinity;
+  next_id_ = 0;
+  next_release_ = 0;
+  stats_ = SimStats{};
+  events_since_completion_ = 0;
+  granted_ = 0;
+  now_ = 0.0;
+
+  if (trace_ != nullptr) {
+    spans_.assign(static_cast<std::size_t>(n), SpanState{});
+    run_index_.assign(static_cast<std::size_t>(n), 0);
+    if (provenance_on_) {
+      last_dir_target_.assign(static_cast<std::size_t>(n), kDirectiveNone);
+      last_dir_reason_.assign(static_cast<std::size_t>(n), 0);
+    }
+    obs::TraceMeta meta;
+    meta.policy = policy_->name();
+    meta.edge_count = platform_->edge_count();
+    meta.cloud_count = platform_->cloud_count();
     if (streaming_) {
-      while (remaining_jobs_ > 0 || pending_.has_value()) {
-        step();
-      }
+      const std::int64_t total = stream_->remaining();
+      meta.job_count =
+          total >= 0 && total <= std::numeric_limits<int>::max()
+              ? static_cast<int>(total)
+              : -1;
     } else {
-      while (remaining_jobs_ > 0) {
-        step();
-      }
+      meta.job_count = n;
     }
-    return finish();
+    trace_->begin_trace(meta);
   }
+  for (int i = 0; i < n; ++i) {
+    pool_.job(i) = instance_->jobs[i];
+    pool_.best_time(i) = platform_->best_time(pool_.job(i));
+  }
+  pool_.publish_all();
+  // Outage boundaries (cloud availability windows): every begin and end
+  // is a wake-up point where the engine re-arbitrates, so an in-flight
+  // activity on a cloud that becomes unavailable is preempted exactly at
+  // the boundary and can resume at the next one.
+  for (const IntervalSet& outages : instance_->cloud_outages) {
+    for (const Interval& iv : outages.intervals()) {
+      boundaries_.push_back(iv.begin);
+      boundaries_.push_back(iv.end);
+    }
+  }
+  std::sort(boundaries_.begin(), boundaries_.end());
+  next_boundary_ = 0;
 
- private:
-  void init() {
-    const int n = streaming_ ? 0 : instance_.job_count();
-    states_.resize(n);
-    recorders_.resize(n);
-    started_.assign(n, 0);
-    live_pos_.assign(n, -1);
-    entry_version_.assign(n, 0);
-    seen_round_.assign(n, 0);
-    live_ids_.reserve(16);
-    active_ids_.reserve(16);
-    if (trace_ != nullptr) {
-      spans_.assign(n, SpanState{});
-      run_index_.assign(n, 0);
-      if (provenance_on_) {
-        last_dir_target_.assign(n, kDirectiveNone);
-        last_dir_reason_.assign(n, 0);
-      }
-      obs::TraceMeta meta;
-      meta.policy = policy_.name();
-      meta.edge_count = platform_.edge_count();
-      meta.cloud_count = platform_.cloud_count();
-      if (streaming_) {
-        const std::int64_t total = stream_->remaining();
-        meta.job_count =
-            total >= 0 && total <= std::numeric_limits<int>::max()
-                ? static_cast<int>(total)
-                : -1;
-      } else {
-        meta.job_count = n;
-      }
-      trace_->begin_trace(meta);
+  // Fault timeline: a wake-up per crash start, crash repair, and loss
+  // instant, so every fault lands exactly on an engine event. Recoveries
+  // sort before same-instant faults (a cloud repaired at t can crash
+  // again at t, never the other way around).
+  cloud_down_.assign(platform_->cloud_count(), 0);
+  for (std::size_t f = 0; f < config_.faults.faults.size(); ++f) {
+    const FaultSpec& spec = config_.faults.faults[f];
+    wakes_.push_back(FaultWake{spec.begin, f, false});
+    if (spec.kind == FaultKind::kCrash) {
+      wakes_.push_back(FaultWake{spec.end, f, true});
     }
-    for (int i = 0; i < n; ++i) {
-      JobState& s = states_[i];
-      s.job = instance_.jobs[i];
-      s.best_time = platform_.best_time(s.job);
-    }
-    // Outage boundaries (cloud availability windows): every begin and end
-    // is a wake-up point where the engine re-arbitrates, so an in-flight
-    // activity on a cloud that becomes unavailable is preempted exactly at
-    // the boundary and can resume at the next one.
-    for (const IntervalSet& outages : instance_.cloud_outages) {
-      for (const Interval& iv : outages.intervals()) {
-        boundaries_.push_back(iv.begin);
-        boundaries_.push_back(iv.end);
-      }
-    }
-    std::sort(boundaries_.begin(), boundaries_.end());
-    next_boundary_ = 0;
+  }
+  std::sort(wakes_.begin(), wakes_.end(),
+            [](const FaultWake& a, const FaultWake& b) {
+              if (a.time != b.time) return a.time < b.time;
+              if (a.recovery != b.recovery) return a.recovery;
+              return a.spec < b.spec;
+            });
+  next_wake_ = 0;
 
-    // Fault timeline: a wake-up per crash start, crash repair, and loss
-    // instant, so every fault lands exactly on an engine event. Recoveries
-    // sort before same-instant faults (a cloud repaired at t can crash
-    // again at t, never the other way around).
-    cloud_down_.assign(platform_.cloud_count(), 0);
-    for (std::size_t f = 0; f < config_.faults.faults.size(); ++f) {
-      const FaultSpec& spec = config_.faults.faults[f];
-      wakes_.push_back(FaultWake{spec.begin, f, false});
-      if (spec.kind == FaultKind::kCrash) {
-        wakes_.push_back(FaultWake{spec.end, f, true});
-      }
-    }
-    std::sort(wakes_.begin(), wakes_.end(),
-              [](const FaultWake& a, const FaultWake& b) {
-                if (a.time != b.time) return a.time < b.time;
-                if (a.recovery != b.recovery) return a.recovery;
-                return a.spec < b.spec;
+  if (streaming_) {
+    remaining_jobs_ = 0;
+    advance_stream();
+    // Jump to the first arrival; faults scheduled earlier fire now (no
+    // job existed to be hit, but the down/up state and the monitoring
+    // events must be correct from the very first decision).
+    now_ = pending_ ? pending_->release : 0.0;
+  } else {
+    release_order_.resize(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) release_order_[i] = i;
+    std::sort(release_order_.begin(), release_order_.end(),
+              [&](JobId a, JobId b) {
+                const Time ra = pool_.job(a).release;
+                const Time rb = pool_.job(b).release;
+                return ra != rb ? ra < rb : a < b;
               });
-    next_wake_ = 0;
+    next_release_ = 0;
+    remaining_jobs_ = n;
+    now_ = n > 0 ? pool_.job(release_order_[0]).release : 0.0;
+  }
+  fire_faults();
+  fire_releases();
+  stats_.events += events_.size();
+  events_since_completion_ += events_.size();
+}
 
-    if (streaming_) {
-      remaining_jobs_ = 0;
+// --- id -> slot translation (identity outside streaming mode) ---
+
+/// Slot of `id`'s state, or a negative value when the id is out of bounds
+/// or untracked (streaming: retired, rejected, or never seen).
+std::int32_t EngineCore::find_slot(JobId id) const noexcept {
+  if (!streaming_) {
+    return id >= 0 && id < static_cast<JobId>(pool_.size())
+               ? static_cast<std::int32_t>(id)
+               : kSlotRetired;
+  }
+  return id_map_.find(id);
+}
+
+/// Pulls the next arrival into pending_, enforcing the stream contract.
+void EngineCore::advance_stream() {
+  pending_ = stream_->next();
+  if (!pending_) return;
+  const Job& job = *pending_;
+  if (job.id < 0 || id_map_.find(job.id) >= 0) {
+    throw std::runtime_error(
+        "arrival stream " + stream_->name() +
+        " emitted a duplicate or negative job id " + std::to_string(job.id));
+  }
+  if (!(job.release >= last_arrival_)) {
+    std::ostringstream os;
+    os << "arrival stream " << stream_->name()
+       << " emitted decreasing release dates (" << job.release << " after "
+       << last_arrival_ << ", job " << job.id << ")";
+    throw std::runtime_error(os.str());
+  }
+  const std::string problem = validate_job(job, platform_->edge_count());
+  if (!problem.empty()) {
+    throw std::runtime_error("arrival stream " + stream_->name() +
+                             " emitted an invalid job: " + problem);
+  }
+  last_arrival_ = job.release;
+  if (job.id >= next_id_) next_id_ = job.id + 1;
+}
+
+// --- lazy-deletion heap over predicted activity end times ---
+
+void EngineCore::heap_push(std::int32_t slot, Time end) {
+  heap_.push_back(HeapEntry{end, slot, ++entry_version_[slot]});
+  std::push_heap(heap_.begin(), heap_.end(), &heap_later);
+}
+
+bool EngineCore::heap_entry_valid(const HeapEntry& e) const {
+  return e.version == entry_version_[e.slot] &&
+         pool_.active(e.slot) != Activity::kNone;
+}
+
+/// Skims invalidated tops and returns the earliest valid activity end
+/// (infinity when nothing is running).
+Time EngineCore::next_activity_end() {
+  while (!heap_.empty() && !heap_entry_valid(heap_.front())) {
+    std::pop_heap(heap_.begin(), heap_.end(), &heap_later);
+    heap_.pop_back();
+  }
+  return heap_.empty() ? kTimeInfinity : heap_.front().time;
+}
+
+/// Keeps the heap proportional to the active set: once stale entries
+/// dominate, drop them all in one O(size) sweep (amortized O(1)/push).
+void EngineCore::maybe_compact_heap() {
+  if (heap_.size() < 64 || heap_.size() < 4 * active_ids_.size()) return;
+  std::erase_if(heap_,
+                [this](const HeapEntry& e) { return !heap_entry_valid(e); });
+  std::make_heap(heap_.begin(), heap_.end(), &heap_later);
+}
+
+/// Releases every arrival due at `now_` (within tolerance), each one
+/// routed through admission control.
+void EngineCore::fire_releases() {
+  if (streaming_) {
+    while (pending_ && time_le(pending_->release, now_)) {
+      const Job job = *pending_;
       advance_stream();
-      // Jump to the first arrival; faults scheduled earlier fire now (no
-      // job existed to be hit, but the down/up state and the monitoring
-      // events must be correct from the very first decision).
-      now_ = pending_ ? pending_->release : 0.0;
-    } else {
-      release_order_.resize(n);
-      for (int i = 0; i < n; ++i) release_order_[i] = i;
-      std::sort(release_order_.begin(), release_order_.end(),
-                [&](JobId a, JobId b) {
-                  const Time ra = states_[a].job.release;
-                  const Time rb = states_[b].job.release;
-                  return ra != rb ? ra < rb : a < b;
-                });
-      next_release_ = 0;
-      remaining_jobs_ = n;
-      now_ = n > 0 ? states_[release_order_[0]].job.release : 0.0;
+      admit(job);
     }
-    fire_faults();
-    fire_releases();
-    stats_.events += events_.size();
-    events_since_completion_ += events_.size();
-  }
-
-  // --- id -> slot translation (identity outside streaming mode) ---
-
-  /// Slot of `id`'s state, or a negative value when the id is out of
-  /// bounds, not yet seen, or retired/rejected (streaming).
-  [[nodiscard]] std::int32_t find_slot(JobId id) const noexcept {
-    if (!streaming_) {
-      return id >= 0 && id < static_cast<JobId>(states_.size())
-                 ? static_cast<std::int32_t>(id)
-                 : kSlotRetired;
-    }
-    const std::int64_t off = static_cast<std::int64_t>(id) - window_base_;
-    if (off < 0) return kSlotRetired;
-    const std::size_t idx = window_start_ + static_cast<std::size_t>(off);
-    if (idx >= window_.size()) return kSlotUnseen;
-    return window_[idx];
-  }
-
-  // --- streaming id -> slot window over [window_base_, newest id] ---
-
-  [[nodiscard]] std::size_t window_index(JobId id) const noexcept {
-    return window_start_ +
-           static_cast<std::size_t>(static_cast<std::int64_t>(id) -
-                                    window_base_);
-  }
-
-  /// Grows the window so `id` (>= window_base_) has an entry.
-  void window_ensure(JobId id) {
-    const std::size_t idx = window_index(id);
-    if (idx >= window_.size()) window_.resize(idx + 1, kSlotUnseen);
-  }
-
-  void window_set(JobId id, std::int32_t slot) {
-    window_ensure(id);
-    window_[window_index(id)] = slot;
-  }
-
-  /// Marks an id dead (retired or rejected) and slides the window base past
-  /// the dead prefix; the storage itself is compacted once the dead prefix
-  /// dominates (amortized O(1) per retirement).
-  void window_clear(JobId id) {
-    window_ensure(id);
-    window_[window_index(id)] = kSlotRetired;
-    while (window_start_ < window_.size() &&
-           window_[window_start_] == kSlotRetired) {
-      ++window_start_;
-      ++window_base_;
-    }
-    if (window_start_ > 1024 && window_start_ * 2 > window_.size()) {
-      window_.erase(
-          window_.begin(),
-          window_.begin() + static_cast<std::ptrdiff_t>(window_start_));
-      window_start_ = 0;
+  } else {
+    while (next_release_ < release_order_.size()) {
+      const JobId id = release_order_[next_release_];
+      if (!time_le(pool_.job(id).release, now_)) break;
+      ++next_release_;
+      admit(pool_.job(id));
     }
   }
+}
 
-  /// Pulls the next arrival into pending_, enforcing the stream contract.
-  void advance_stream() {
-    pending_ = stream_->next();
-    if (!pending_) return;
-    const Job& job = *pending_;
-    if (job.id < 0 || job.id < window_base_ || find_slot(job.id) >= 0) {
-      throw std::runtime_error(
-          "arrival stream " + stream_->name() +
-          " emitted a duplicate, retired or negative job id " +
-          std::to_string(job.id));
-    }
-    if (!(job.release >= last_arrival_)) {
-      std::ostringstream os;
-      os << "arrival stream " << stream_->name()
-         << " emitted decreasing release dates (" << job.release
-         << " after " << last_arrival_ << ", job " << job.id << ")";
-      throw std::runtime_error(os.str());
-    }
-    const std::string problem = validate_job(job, platform_.edge_count());
-    if (!problem.empty()) {
-      throw std::runtime_error("arrival stream " + stream_->name() +
-                               " emitted an invalid job: " + problem);
-    }
-    last_arrival_ = job.release;
-    if (job.id >= next_id_) next_id_ = job.id + 1;
+// --- admission control (EngineConfig::admission) ---
+
+/// Admits one arrival: with admission disabled this is exactly the plain
+/// release path (live insert + kRelease event + trace instant). A
+/// rejected arrival leaves no trace besides the kReject instant and the
+/// admission log — policies never learn it existed.
+void EngineCore::admit(const Job& job) {
+  if (admission_on_ && !admission_allows(job)) return;
+  const std::int32_t slot = acquire_slot(job);
+  pool_.released(slot) = 1;
+  live_.insert(job.id, slot);
+  if (streaming_) ++remaining_jobs_;
+  ++stats_.admitted;
+  if (live_.size() > stats_.peak_live) {
+    stats_.peak_live = live_.size();
   }
-
-  // --- live set: released-and-unfinished job ids, O(1) insert/erase ---
-
-  void live_insert(JobId id, std::int32_t slot) {
-    live_pos_[slot] = static_cast<std::int32_t>(live_ids_.size());
-    live_ids_.push_back(id);
+  events_.push_back(Event{EventKind::kRelease, job.id, now_});
+  if (trace_ != nullptr) {
+    trace_instant(obs::TracePoint::kRelease, slot, -1, 0.0);
   }
+}
 
-  void live_erase(std::int32_t slot) {
-    const std::int32_t pos = live_pos_[slot];
-    const JobId moved = live_ids_.back();
-    live_ids_[pos] = moved;
-    live_pos_[find_slot(moved)] = pos;
-    live_ids_.pop_back();
-    live_pos_[slot] = -1;
-  }
-
-  // --- lazy-deletion heap over predicted activity end times ---
-
-  void heap_push(std::int32_t slot, Time end) {
-    heap_.push_back(HeapEntry{end, slot, ++entry_version_[slot]});
-    std::push_heap(heap_.begin(), heap_.end(), &heap_later);
-  }
-
-  [[nodiscard]] bool heap_entry_valid(const HeapEntry& e) const {
-    return e.version == entry_version_[e.slot] &&
-           states_[e.slot].active != Activity::kNone;
-  }
-
-  /// Skims invalidated tops and returns the earliest valid activity end
-  /// (infinity when nothing is running).
-  [[nodiscard]] Time next_activity_end() {
-    while (!heap_.empty() && !heap_entry_valid(heap_.front())) {
-      std::pop_heap(heap_.begin(), heap_.end(), &heap_later);
-      heap_.pop_back();
-    }
-    return heap_.empty() ? kTimeInfinity : heap_.front().time;
-  }
-
-  /// Keeps the heap proportional to the active set: once stale entries
-  /// dominate, drop them all in one O(size) sweep (amortized O(1)/push).
-  void maybe_compact_heap() {
-    if (heap_.size() < 64 || heap_.size() < 4 * active_ids_.size()) return;
-    std::erase_if(heap_,
-                  [this](const HeapEntry& e) { return !heap_entry_valid(e); });
-    std::make_heap(heap_.begin(), heap_.end(), &heap_later);
-  }
-
-  /// Releases every arrival due at `now_` (within tolerance), each one
-  /// routed through admission control.
-  void fire_releases() {
-    if (streaming_) {
-      while (pending_ && time_le(pending_->release, now_)) {
-        const Job job = *pending_;
-        advance_stream();
-        admit(job);
-      }
-    } else {
-      while (next_release_ < release_order_.size()) {
-        const JobId id = release_order_[next_release_];
-        if (!time_le(states_[id].job.release, now_)) break;
-        ++next_release_;
-        admit(states_[id].job);
-      }
-    }
-  }
-
-  // --- admission control (EngineConfig::admission) ---
-
-  /// Admits one arrival: with admission disabled this is exactly the plain
-  /// release path (live insert + kRelease event + trace instant). A
-  /// rejected arrival leaves no trace besides the kReject instant and the
-  /// admission log — policies never learn it existed.
-  void admit(const Job& job) {
-    if (admission_on_ && !admission_allows(job)) return;
-    const std::int32_t slot = acquire_slot(job);
-    JobState& s = states_[slot];
-    s.released = true;
-    live_insert(job.id, slot);
-    if (streaming_) ++remaining_jobs_;
-    ++stats_.admitted;
-    if (live_ids_.size() > stats_.peak_live) {
-      stats_.peak_live = live_ids_.size();
-    }
-    events_.push_back(Event{EventKind::kRelease, job.id, now_});
+/// Finds (or creates) the state slot for an admitted arrival. In
+/// materialized mode the slot is the job id (pool sized in init); in
+/// streaming mode slots are recycled through a free list.
+std::int32_t EngineCore::acquire_slot(const Job& job) {
+  if (!streaming_) return static_cast<std::int32_t>(job.id);
+  std::int32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    pool_.clear_slot(slot);
+  } else {
+    slot = pool_.grow();
+    recorders_.emplace_back();
+    started_.push_back(0);
+    live_.grow();
+    entry_version_.push_back(0);
+    seen_round_.push_back(0);
     if (trace_ != nullptr) {
-      trace_instant(obs::TracePoint::kRelease, slot, -1, 0.0);
-    }
-  }
-
-  /// Finds (or creates) the state slot for an admitted arrival. In
-  /// materialized mode the slot is the job id (states_ pre-sized in init);
-  /// in streaming mode slots are recycled through a free list.
-  std::int32_t acquire_slot(const Job& job) {
-    if (!streaming_) return static_cast<std::int32_t>(job.id);
-    std::int32_t slot;
-    if (!free_slots_.empty()) {
-      slot = free_slots_.back();
-      free_slots_.pop_back();
-    } else {
-      slot = static_cast<std::int32_t>(states_.size());
-      states_.emplace_back();
-      recorders_.emplace_back();
-      started_.push_back(0);
-      live_pos_.push_back(-1);
-      entry_version_.push_back(0);
-      seen_round_.push_back(0);
-      if (trace_ != nullptr) {
-        spans_.emplace_back();
-        run_index_.push_back(0);
-      }
-      if (provenance_on_) {
-        last_dir_target_.push_back(kDirectiveNone);
-        last_dir_reason_.push_back(0);
-      }
-    }
-    JobState& s = states_[slot];
-    s = JobState{};
-    s.job = job;
-    s.best_time = platform_.best_time(job);
-    recorders_[slot] = Recorder{};
-    started_[slot] = 0;
-    seen_round_[slot] = 0;
-    // entry_version_ is deliberately NOT reset: retirement bumped it, so
-    // heap entries of the previous occupant stay dead.
-    if (trace_ != nullptr) {
-      spans_[slot] = SpanState{};
-      run_index_[slot] = 0;
+      spans_.emplace_back();
+      run_index_.push_back(0);
     }
     if (provenance_on_) {
-      last_dir_target_[slot] = kDirectiveNone;
-      last_dir_reason_[slot] = 0;
-    }
-    window_set(job.id, slot);
-    return slot;
-  }
-
-  /// Applies the configured shed rule, then the caps. Returns true when the
-  /// arrival may be admitted; otherwise records and traces the rejection.
-  bool admission_allows(const Job& job) {
-    const AdmissionConfig& adm = config_.admission;
-    if (adm.rule == AdmissionRule::kShedInfeasible &&
-        adm.stretch_limit > 0.0) {
-      shed_infeasible(std::max(adm.stretch_limit, 1.0));
-    }
-    const bool over_live =
-        adm.max_live > 0 && live_ids_.size() >= adm.max_live;
-    const bool over_queue =
-        adm.max_queue > 0 && queued_count() >= adm.max_queue;
-    if (!over_live && !over_queue) return true;
-    if (adm.rule == AdmissionRule::kRejectHopeless && shed_most_hopeless()) {
-      return true;
-    }
-    reject(job);
-    return false;
-  }
-
-  /// Live jobs holding no resource at this instant (the admission queue).
-  [[nodiscard]] std::uint64_t queued_count() const {
-    std::uint64_t waiting = 0;
-    for (const JobId id : live_ids_) {
-      if (states_[find_slot(id)].active == Activity::kNone) ++waiting;
-    }
-    return waiting;
-  }
-
-  /// Stretch lower bound of a never-started resident: even started now on
-  /// its best resource it finishes no earlier than now_ + best_time.
-  [[nodiscard]] double stretch_lower_bound(const JobState& s) const {
-    const double denom = s.best_time > 0.0 ? s.best_time : 1.0;
-    return (now_ - s.job.release + s.best_time) / denom;
-  }
-
-  /// A resident may be shed only if it never started (so the "no recorded
-  /// activity" invariant holds) and was released strictly before this
-  /// event batch (so no event in flight can still reference it).
-  [[nodiscard]] bool sheddable(const JobState& s,
-                               std::int32_t slot) const {
-    return started_[slot] == 0 && !time_le(now_, s.job.release);
-  }
-
-  /// kShedInfeasible: evicts every sheddable resident whose stretch lower
-  /// bound already exceeds `limit` — its deadline release + limit *
-  /// best_time cannot be met no matter what the policy does.
-  void shed_infeasible(double limit) {
-    victims_.clear();
-    for (const JobId id : live_ids_) {
-      const std::int32_t slot = find_slot(id);
-      const JobState& s = states_[slot];
-      if (!sheddable(s, slot)) continue;
-      if (stretch_lower_bound(s) > limit) victims_.push_back(id);
-    }
-    std::sort(victims_.begin(), victims_.end());
-    for (const JobId id : victims_) {
-      shed(id, ReasonCode::kAdmissionDeadlineInfeasible);
+      last_dir_target_.push_back(kDirectiveNone);
+      last_dir_reason_.push_back(0);
     }
   }
+  pool_.job(slot) = job;
+  pool_.best_time(slot) = platform_->best_time(job);
+  recorders_[slot] = ActivityRecorder{};
+  started_[slot] = 0;
+  seen_round_[slot] = 0;
+  // entry_version_ is deliberately NOT reset: retirement bumped it, so
+  // heap entries of the previous occupant stay dead.
+  if (trace_ != nullptr) {
+    spans_[slot] = SpanState{};
+    run_index_[slot] = 0;
+  }
+  if (provenance_on_) {
+    last_dir_target_[slot] = kDirectiveNone;
+    last_dir_reason_[slot] = 0;
+  }
+  id_map_.insert(job.id, slot);
+  if (id_map_.size() > stats_.peak_tracked) {
+    stats_.peak_tracked = id_map_.size();
+  }
+  return slot;
+}
 
-  /// kRejectHopeless: evicts the sheddable resident with the worst stretch
-  /// lower bound, provided it is worse than the arrival's own (1.0 at its
-  /// release). Ties prefer the newest (largest id). Returns true when a
-  /// victim was shed, making room for the arrival.
-  bool shed_most_hopeless() {
-    JobId worst = -1;
-    double worst_lb = 1.0;
-    for (const JobId id : live_ids_) {
-      const std::int32_t slot = find_slot(id);
-      const JobState& s = states_[slot];
-      if (!sheddable(s, slot)) continue;
-      const double lb = stretch_lower_bound(s);
-      if (lb > worst_lb) {
-        worst = id;
-        worst_lb = lb;
-      } else if (lb == worst_lb && worst >= 0 && id > worst) {
-        worst = id;
-      }
-    }
-    if (worst < 0) return false;
-    shed(worst, ReasonCode::kAdmissionStretchHopeless);
+/// Applies the configured shed rule, then the caps. Returns true when the
+/// arrival may be admitted; otherwise records and traces the rejection.
+bool EngineCore::admission_allows(const Job& job) {
+  const AdmissionConfig& adm = config_.admission;
+  if (adm.rule == AdmissionRule::kShedInfeasible && adm.stretch_limit > 0.0) {
+    shed_infeasible(std::max(adm.stretch_limit, 1.0));
+  }
+  const bool over_live = adm.max_live > 0 && live_.size() >= adm.max_live;
+  const bool over_queue =
+      adm.max_queue > 0 && queued_count() >= adm.max_queue;
+  if (!over_live && !over_queue) return true;
+  if (adm.rule == AdmissionRule::kRejectHopeless && shed_most_hopeless()) {
     return true;
   }
+  reject(job);
+  return false;
+}
 
-  /// Refuses an arrival: no state, no kRelease event, only the kReject
-  /// instant (value = resident count at refusal) and the admission log.
-  void reject(const Job& job) {
-    ++stats_.rejections;
-    if (!streaming_) --remaining_jobs_;
-    if (config_.record_admission) {
-      admission_log_.push_back(AdmissionRecord{
-          job.id, now_, ReasonCode::kAdmissionQueueFull, false});
-    }
-    if (trace_ != nullptr) {
-      obs::TraceRecord rec;
-      rec.kind = obs::TraceKind::kInstant;
-      rec.point = obs::TracePoint::kReject;
-      rec.job = job.id;
-      rec.origin = job.origin;
-      rec.begin = rec.end = now_;
-      rec.value = static_cast<double>(live_ids_.size());
-      rec.reason = static_cast<int>(ReasonCode::kAdmissionQueueFull);
-      trace_->record(rec);
-    }
-    // The id is dead on arrival: mark it so the window base can slide past.
-    if (streaming_ && job.id >= window_base_) window_clear(job.id);
+/// Live jobs holding no resource at this instant (the admission queue).
+std::uint64_t EngineCore::queued_count() const {
+  std::uint64_t waiting = 0;
+  for (const soa::LiveIndex::Entry& e : live_) {
+    if (pool_.active(e.slot) == Activity::kNone) ++waiting;
   }
+  return waiting;
+}
 
-  /// Evicts an admitted, never-started resident (value = its stretch lower
-  /// bound at eviction). Its slot is recycled immediately in streaming mode
-  /// — nothing in flight references a never-started job released before
-  /// this batch.
-  void shed(JobId id, ReasonCode reason) {
-    const std::int32_t slot = find_slot(id);
-    JobState& s = states_[slot];
-    if (trace_ != nullptr) {
-      obs::TraceRecord rec;
-      rec.kind = obs::TraceKind::kInstant;
-      rec.point = obs::TracePoint::kShed;
-      rec.job = id;
-      rec.run = run_index_.empty() ? 0 : run_index_[slot];
-      rec.origin = s.job.origin;
-      rec.alloc = s.alloc;
-      rec.begin = rec.end = now_;
-      rec.value = stretch_lower_bound(s);
-      rec.reason = static_cast<int>(reason);
-      trace_->record(rec);
-    }
-    live_erase(slot);
-    s.released = false;  // expelled: live() is false from here on
-    ++entry_version_[slot];
-    ++stats_.sheds;
-    --remaining_jobs_;
-    if (config_.record_admission) {
-      admission_log_.push_back(AdmissionRecord{id, now_, reason, true});
-    }
-    if (streaming_) retire_slot(slot);
+/// Stretch lower bound of a never-started resident: even started now on
+/// its best resource it finishes no earlier than now_ + best_time.
+double EngineCore::stretch_lower_bound(std::int32_t slot) const {
+  const double best = pool_.best_time(slot);
+  const double denom = best > 0.0 ? best : 1.0;
+  return (now_ - pool_.job(slot).release + best) / denom;
+}
+
+/// A resident may be shed only if it never started (so the "no recorded
+/// activity" invariant holds) and was released strictly before this
+/// event batch (so no event in flight can still reference it).
+bool EngineCore::sheddable(std::int32_t slot) const {
+  return started_[slot] == 0 && !time_le(now_, pool_.job(slot).release);
+}
+
+/// kShedInfeasible: evicts every sheddable resident whose stretch lower
+/// bound already exceeds `limit` — its deadline release + limit *
+/// best_time cannot be met no matter what the policy does.
+void EngineCore::shed_infeasible(double limit) {
+  victims_.clear();
+  for (const soa::LiveIndex::Entry& e : live_) {
+    if (!sheddable(e.slot)) continue;
+    if (stretch_lower_bound(e.slot) > limit) victims_.push_back(e.id);
   }
+  std::sort(victims_.begin(), victims_.end());
+  for (const JobId id : victims_) {
+    shed(id, ReasonCode::kAdmissionDeadlineInfeasible);
+  }
+}
 
-  /// Recycles a slot (streaming only): harvests its run record and
-  /// completion time into the result logs, kills stale heap entries and
-  /// returns the slot to the free list.
-  void retire_slot(std::int32_t slot) {
-    JobState& s = states_[slot];
-    Recorder& rec = recorders_[slot];
-    if (config_.record_schedule) {
-      rec.close(now_);
-      final_runs_.emplace_back(s.job.id, std::move(rec.current));
+/// kRejectHopeless: evicts the sheddable resident with the worst stretch
+/// lower bound, provided it is worse than the arrival's own (1.0 at its
+/// release). Ties prefer the newest (largest id). Returns true when a
+/// victim was shed, making room for the arrival.
+bool EngineCore::shed_most_hopeless() {
+  JobId worst = -1;
+  double worst_lb = 1.0;
+  for (const soa::LiveIndex::Entry& e : live_) {
+    if (!sheddable(e.slot)) continue;
+    const double lb = stretch_lower_bound(e.slot);
+    if (lb > worst_lb) {
+      worst = e.id;
+      worst_lb = lb;
+    } else if (lb == worst_lb && worst >= 0 && e.id > worst) {
+      worst = e.id;
     }
-    if (config_.record_completions && s.done) {
-      completion_log_.emplace_back(s.job.id, s.completion);
-    }
+  }
+  if (worst < 0) return false;
+  shed(worst, ReasonCode::kAdmissionStretchHopeless);
+  return true;
+}
+
+/// Refuses an arrival: no state, no kRelease event, only the kReject
+/// instant (value = resident count at refusal) and the admission log.
+void EngineCore::reject(const Job& job) {
+  ++stats_.rejections;
+  if (!streaming_) --remaining_jobs_;
+  if (config_.record_admission) {
+    admission_log_.push_back(
+        AdmissionRecord{job.id, now_, ReasonCode::kAdmissionQueueFull, false});
+  }
+  if (trace_ != nullptr) {
+    obs::TraceRecord rec;
+    rec.kind = obs::TraceKind::kInstant;
+    rec.point = obs::TracePoint::kReject;
+    rec.job = job.id;
+    rec.origin = job.origin;
+    rec.begin = rec.end = now_;
+    rec.value = static_cast<double>(live_.size());
+    rec.reason = static_cast<int>(ReasonCode::kAdmissionQueueFull);
+    trace_->record(rec);
+  }
+  // A rejected id acquires no slot and is never entered into the id map,
+  // so there is nothing to clean up in streaming mode.
+}
+
+/// Evicts an admitted, never-started resident (value = its stretch lower
+/// bound at eviction). Its slot is recycled immediately in streaming mode
+/// — nothing in flight references a never-started job released before
+/// this batch.
+void EngineCore::shed(JobId id, ReasonCode reason) {
+  const std::int32_t slot = find_slot(id);
+  if (trace_ != nullptr) {
+    obs::TraceRecord rec;
+    rec.kind = obs::TraceKind::kInstant;
+    rec.point = obs::TracePoint::kShed;
+    rec.job = id;
+    rec.run = run_index_.empty() ? 0 : run_index_[slot];
+    rec.origin = pool_.job(slot).origin;
+    rec.alloc = pool_.alloc(slot);
+    rec.begin = rec.end = now_;
+    rec.value = stretch_lower_bound(slot);
+    rec.reason = static_cast<int>(reason);
+    trace_->record(rec);
+  }
+  live_.erase(slot);
+  pool_.released(slot) = 0;  // expelled: live() is false from here on
+  ++entry_version_[slot];
+  ++stats_.sheds;
+  --remaining_jobs_;
+  if (config_.record_admission) {
+    admission_log_.push_back(AdmissionRecord{id, now_, reason, true});
+  }
+  if (streaming_) {
+    retire_slot(slot);
+  } else {
+    // The slot left the live set with new state (released = false); the
+    // policy snapshot must show that on the next round.
+    dirty_slots_.push_back(slot);
+  }
+}
+
+/// Recycles a slot (streaming only): harvests its run record and
+/// completion time into the result logs, kills stale heap entries and
+/// returns the slot to the free list.
+void EngineCore::retire_slot(std::int32_t slot) {
+  const JobId id = pool_.job(slot).id;
+  ActivityRecorder& rec = recorders_[slot];
+  if (config_.record_schedule) {
+    rec.close(now_);
+    final_runs_.emplace_back(id, std::move(rec.current));
     rec.current = RunRecord{};
-    ++entry_version_[slot];
-    window_clear(s.job.id);
-    free_slots_.push_back(slot);
   }
-
-  /// Retires every job whose completion events the policy has now seen.
-  void flush_retired() {
-    for (const std::int32_t slot : retire_queue_) retire_slot(slot);
-    retire_queue_.clear();
+  if (config_.record_completions && pool_.done(slot) != 0) {
+    completion_log_.emplace_back(id, pool_.completion(slot));
   }
+  ++entry_version_[slot];
+  id_map_.erase(id);
+  free_slots_.push_back(slot);
+}
 
-  // --- trace emission helpers; callers guard on trace_ != nullptr ---
+/// Retires every job whose completion events the policy has now seen.
+void EngineCore::flush_retired() {
+  for (const std::int32_t slot : retire_queue_) retire_slot(slot);
+  retire_queue_.clear();
+}
 
-  /// Closes the slot's open activity span, emitting it ending at `now_`.
-  void trace_close_span(std::int32_t slot) {
-    SpanState& span = spans_[slot];
-    if (span.activity == Activity::kNone) return;
-    obs::TraceRecord rec;
-    rec.kind = obs::TraceKind::kSpan;
-    rec.point = span_point(span.activity);
-    rec.job = states_[slot].job.id;
+// --- trace emission helpers; callers guard on trace_ != nullptr ---
+
+/// Closes the slot's open activity span, emitting it ending at `now_`.
+void EngineCore::trace_close_span(std::int32_t slot) {
+  SpanState& span = spans_[slot];
+  if (span.activity == Activity::kNone) return;
+  obs::TraceRecord rec;
+  rec.kind = obs::TraceKind::kSpan;
+  rec.point = span_point(span.activity);
+  rec.job = pool_.job(slot).id;
+  rec.run = run_index_[slot];
+  rec.alloc = span.alloc;
+  rec.origin = pool_.job(slot).origin;
+  rec.begin = span.begin;
+  rec.end = now_;
+  trace_->record(rec);
+  span.activity = Activity::kNone;
+}
+
+/// `slot` < 0 emits a job-less instant (rec.job = -1).
+void EngineCore::trace_instant(obs::TracePoint point, std::int32_t slot,
+                               int cloud, double value) {
+  obs::TraceRecord rec;
+  rec.kind = obs::TraceKind::kInstant;
+  rec.point = point;
+  rec.cloud = cloud;
+  rec.begin = rec.end = now_;
+  rec.value = value;
+  if (slot >= 0) {
+    rec.job = pool_.job(slot).id;
     rec.run = run_index_[slot];
-    rec.alloc = span.alloc;
-    rec.origin = states_[slot].job.origin;
-    rec.begin = span.begin;
-    rec.end = now_;
-    trace_->record(rec);
-    span.activity = Activity::kNone;
+    rec.origin = pool_.job(slot).origin;
+    rec.alloc = pool_.alloc(slot);
   }
+  trace_->record(rec);
+}
 
-  /// `slot` < 0 emits a job-less instant (rec.job = -1).
-  void trace_instant(obs::TracePoint point, std::int32_t slot, int cloud,
-                     double value) {
-    obs::TraceRecord rec;
-    rec.kind = obs::TraceKind::kInstant;
-    rec.point = point;
-    rec.cloud = cloud;
-    rec.begin = rec.end = now_;
-    rec.value = value;
-    if (slot >= 0) {
-      const JobState& s = states_[slot];
-      rec.job = s.job.id;
-      rec.run = run_index_[slot];
-      rec.origin = s.job.origin;
-      rec.alloc = s.alloc;
-    }
-    trace_->record(rec);
+/// Emits one decision-provenance instant (TracePoint::kDirective):
+/// alloc = resolved target, cloud = allocation before the directive,
+/// value = priority, reason = the policy's ReasonCode. Caller guards on
+/// provenance_on_.
+void EngineCore::trace_directive(std::int32_t slot, int source, int target,
+                                 const Directive& d) {
+  obs::TraceRecord rec;
+  rec.kind = obs::TraceKind::kInstant;
+  rec.point = obs::TracePoint::kDirective;
+  rec.job = pool_.job(slot).id;
+  rec.run = run_index_[slot];
+  rec.origin = pool_.job(slot).origin;
+  rec.alloc = target;
+  rec.cloud = source;
+  rec.begin = rec.end = now_;
+  rec.value = d.priority;
+  rec.reason = static_cast<int>(d.reason);
+  trace_->record(rec);
+  last_dir_target_[slot] = target;
+  last_dir_reason_[slot] = static_cast<int>(d.reason);
+}
+
+/// Provenance for a directive that does not move the job (kTargetKeep or
+/// an explicit re-confirmation of the current allocation). Policies emit
+/// these at EVERY event, so identical repeats are deduplicated: a keep is
+/// recorded when its resolved target or reason differs from the job's
+/// last emitted directive.
+void EngineCore::trace_keep_directive(const Directive& d) {
+  const std::int32_t slot = find_slot(d.job);
+  if (slot < 0) return;
+  if (!pool_.live(slot)) return;
+  const int alloc = pool_.alloc(slot);
+  if (last_dir_target_[slot] == alloc &&
+      last_dir_reason_[slot] == static_cast<int>(d.reason)) {
+    return;
   }
+  trace_directive(slot, alloc, alloc, d);
+}
 
-  /// Emits one decision-provenance instant (TracePoint::kDirective):
-  /// alloc = resolved target, cloud = allocation before the directive,
-  /// value = priority, reason = the policy's ReasonCode. Caller guards on
-  /// provenance_on_.
-  void trace_directive(std::int32_t slot, int source, int target,
-                       const Directive& d) {
-    obs::TraceRecord rec;
-    rec.kind = obs::TraceKind::kInstant;
-    rec.point = obs::TracePoint::kDirective;
-    rec.job = states_[slot].job.id;
-    rec.run = run_index_[slot];
-    rec.origin = states_[slot].job.origin;
-    rec.alloc = target;
-    rec.cloud = source;
-    rec.begin = rec.end = now_;
-    rec.value = d.priority;
-    rec.reason = static_cast<int>(d.reason);
-    trace_->record(rec);
-    last_dir_target_[slot] = target;
-    last_dir_reason_[slot] = static_cast<int>(d.reason);
+void EngineCore::trace_counter(obs::TracePoint point, double value) {
+  obs::TraceRecord rec;
+  rec.kind = obs::TraceKind::kCounter;
+  rec.point = point;
+  rec.begin = rec.end = now_;
+  rec.value = value;
+  trace_->record(rec);
+}
+
+void EngineCore::step() {
+  decide_and_activate();
+  advance_to_next_event();
+}
+
+/// Refreshes the policy-facing AoS snapshot for every slot whose state may
+/// have changed since the last decision round: the live set (all progress,
+/// allocation and activation changes happen to live jobs), the slots of
+/// this batch's events (a just-completed job has left the live set but its
+/// completion event still references it), and slots dirtied out-of-band
+/// (sheds). Any other slot is untouched since its last publish, so the
+/// snapshot is exact everywhere a policy can look.
+void EngineCore::publish_policy_view() {
+  for (const soa::LiveIndex::Entry& e : live_) pool_.publish(e.slot);
+  for (const Event& ev : events_) {
+    if (ev.job < 0) continue;
+    const std::int32_t slot = find_slot(ev.job);
+    if (slot >= 0) pool_.publish(slot);
   }
+  for (const std::int32_t slot : dirty_slots_) pool_.publish(slot);
+  dirty_slots_.clear();
+}
 
-  /// Provenance for a directive that does not move the job (kTargetKeep or
-  /// an explicit re-confirmation of the current allocation). Policies emit
-  /// these at EVERY event, so identical repeats are deduplicated: a keep is
-  /// recorded when its resolved target or reason differs from the job's
-  /// last emitted directive.
-  void trace_keep_directive(const Directive& d) {
-    const std::int32_t slot = find_slot(d.job);
-    if (slot < 0) return;
-    const JobState& s = states_[slot];
-    if (!s.live()) return;
-    if (last_dir_target_[slot] == s.alloc &&
-        last_dir_reason_[slot] == static_cast<int>(d.reason)) {
-      return;
-    }
-    trace_directive(slot, s.alloc, s.alloc, d);
-  }
-
-  void trace_counter(obs::TracePoint point, double value) {
-    obs::TraceRecord rec;
-    rec.kind = obs::TraceKind::kCounter;
-    rec.point = point;
-    rec.begin = rec.end = now_;
-    rec.value = value;
-    trace_->record(rec);
-  }
-
-  void step() {
-    decide_and_activate();
-    advance_to_next_event();
-  }
-
-  void decide_and_activate() {
-    // 1. Ask the policy what to do about the events that just fired. The
-    //    sorted live index gives SimView::live_jobs() in O(live) and, below,
-    //    the id-ordered implicit-keep walk the old full-state scan provided.
-    live_sorted_.assign(live_ids_.begin(), live_ids_.end());
-    std::sort(live_sorted_.begin(), live_sorted_.end());
-    const SimView view =
-        streaming_
-            ? SimView(instance_, states_, now_, &live_sorted_,
-                      window_.data() + window_start_,
-                      static_cast<std::int64_t>(window_.size() -
-                                                window_start_),
-                      window_base_)
-            : SimView(instance_, states_, now_, &live_sorted_);
-    const auto t0 = std::chrono::steady_clock::now();
-    // One buffer, reused round after round: with the per-policy workspaces
-    // (DESIGN.md §6) the steady-state policy hot path allocates nothing.
-    std::vector<Directive>& directives = directives_;
-    directives.clear();
-    policy_.decide(view, events_, directives);
+void EngineCore::decide_and_activate() {
+  // 1. Ask the policy what to do about the events that just fired. The
+  //    sorted live index gives SimView::live_jobs() in O(live) and, below,
+  //    the id-ordered implicit-keep walk the old full-state scan provided.
+  live_sorted_.clear();
+  for (const soa::LiveIndex::Entry& e : live_) live_sorted_.push_back(e.id);
+  std::sort(live_sorted_.begin(), live_sorted_.end());
+  publish_policy_view();
+  const SimView view =
+      streaming_ ? SimView(*instance_, pool_.policy_view(), now_,
+                           &live_sorted_, &id_map_)
+                 : SimView(*instance_, pool_.policy_view(), now_,
+                           &live_sorted_);
+  // Two steady-clock reads per round are measurable at batch scale, so the
+  // policy timer sits behind a switch (EngineConfig::time_policy); a
+  // metrics registry needs the readings for its phase timer either way.
+  const bool timed = config_.time_policy || metrics_ != nullptr;
+  std::chrono::steady_clock::time_point t0;
+  if (timed) t0 = std::chrono::steady_clock::now();
+  // One buffer, reused round after round: with the per-policy workspaces
+  // (DESIGN.md §6) the steady-state policy hot path allocates nothing.
+  std::vector<Directive>& directives = directives_;
+  directives.clear();
+  policy_->decide(view, events_, directives);
+  if (timed) {
     const auto t1 = std::chrono::steady_clock::now();
-    stats_.policy_seconds +=
-        std::chrono::duration<double>(t1 - t0).count();
-    ++stats_.decisions;
+    stats_.policy_seconds += std::chrono::duration<double>(t1 - t0).count();
     if (metrics_ != nullptr) {
       metrics_->add_nanos(
           ids_->phase_policy,
@@ -813,774 +694,717 @@ class Engine {
               std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
                   .count()));
     }
-    if (trace_ != nullptr) {
-      trace_instant(obs::TracePoint::kDecision, -1, -1,
-                    static_cast<double>(directives.size()));
-    }
-    events_.clear();
+  }
+  ++stats_.decisions;
+  if (trace_ != nullptr) {
+    trace_instant(obs::TracePoint::kDecision, -1, -1,
+                  static_cast<double>(directives.size()));
+  }
+  events_.clear();
 
-    // 2. Close all open intervals; they will reopen seamlessly below
-    //    (IntervalSet::add merges touching pieces). A job still mid-activity
-    //    is flagged so arbitration can spot preemptions: only these jobs —
-    //    at most one per processor or port — can lose a resource they still
-    //    need. The flag is consumed inside this round (apply_directive or
-    //    try_activate), never carried over. Only members of the active set
-    //    can be mid-activity; entries already stopped by a completion,
-    //    fault abort or message loss are skipped.
-    for (const std::int32_t slot : active_ids_) {
-      JobState& s = states_[slot];
-      if (s.active != Activity::kNone) {
-        s.was_active = true;
-        recorders_[slot].close(now_);
-        s.active = Activity::kNone;
-      }
+  // 2. Close all open intervals; they will reopen seamlessly below
+  //    (IntervalSet::add merges touching pieces). A job still mid-activity
+  //    is flagged so arbitration can spot preemptions: only these jobs —
+  //    at most one per processor or port — can lose a resource they still
+  //    need. The flag is consumed inside this round (apply_directive or
+  //    try_activate), never carried over. Only members of the active set
+  //    can be mid-activity; entries already stopped by a completion,
+  //    fault abort or message loss are skipped.
+  for (const std::int32_t slot : active_ids_) {
+    if (pool_.active(slot) != Activity::kNone) {
+      pool_.was_active(slot) = 1;
+      if (record_schedule_) recorders_[slot].close(now_);
+      pool_.active(slot) = Activity::kNone;
     }
-    active_ids_.clear();
-    // Completed jobs retire only now: the policy has consumed their
-    // completion events above, so nothing references the slots any more.
-    if (streaming_ && !retire_queue_.empty()) flush_retired();
+  }
+  active_ids_.clear();
+  // Completed jobs retire only now: the policy has consumed their
+  // completion events above, so nothing references the slots any more.
+  if (streaming_ && !retire_queue_.empty()) flush_retired();
 
-    // 3. Apply allocation changes (the re-execution rule).
-    {
-      const obs::ScopeTimer timer(metrics_,
-                                  metrics_ != nullptr ? ids_->phase_allocate
-                                                      : 0);
-      for (const Directive& d : directives) {
-        apply_directive(d);
-      }
+  // 3. Apply allocation changes (the re-execution rule).
+  {
+    const obs::ScopeTimer timer(
+        metrics_, metrics_ != nullptr ? ids_->phase_allocate : 0);
+    for (const Directive& d : directives) {
+      apply_directive(d);
     }
-
-    // 4. Activate activities in priority order. Jobs without an explicit
-    //    directive keep their allocation at the lowest priority, ordered by
-    //    id, so the engine stays work-conserving and deterministic.
-    granted_ = 0;
-    {
-      const obs::ScopeTimer timer(metrics_,
-                                  metrics_ != nullptr ? ids_->phase_activate
-                                                      : 0);
-      order_.clear();
-      for (const Directive& d : directives) {
-        const std::int32_t slot = find_slot(d.job);
-        if (slot >= 0 && states_[slot].live()) {
-          order_.push_back({d.priority, d.job});
-        }
-      }
-      // Round stamps replace a per-round O(n) boolean reset: a job is
-      // "seen" iff its stamp equals the current round's.
-      if (++round_ == 0) {  // wrap: old stamps could collide, wipe them
-        seen_round_.assign(seen_round_.size(), 0);
-        round_ = 1;
-      }
-      for (const auto& [prio, id] : order_) {
-        seen_round_[find_slot(id)] = round_;
-      }
-      for (const JobId id : live_sorted_) {
-        if (seen_round_[find_slot(id)] != round_) {
-          order_.push_back({kTimeInfinity, id});
-        }
-      }
-      std::stable_sort(order_.begin(), order_.end(),
-                       [](const auto& a, const auto& b) {
-                         return a.first != b.first ? a.first < b.first
-                                                   : a.second < b.second;
-                       });
-
-      busy_.clear();
-      for (const auto& [prio, id] : order_) {
-        try_activate(find_slot(id));
-      }
-      // Completions must fire in job-id order (policies and traces observe
-      // the event order), so keep the active set id-sorted between rounds.
-      // Slots are not id-ordered in streaming mode, hence the comparator;
-      // in materialized mode slot == id and this is a plain sort.
-      std::sort(active_ids_.begin(), active_ids_.end(),
-                [this](std::int32_t a, std::int32_t b) {
-                  return states_[a].job.id < states_[b].job.id;
-                });
-      maybe_compact_heap();
-    }
-
-    // 5. Ready-queue depth after arbitration: live jobs holding no
-    //    resource. A job holds a resource iff try_activate granted it one
-    //    this round, so the depth falls out of two counters with no extra
-    //    pass over states_.
-    const std::uint64_t waiting = live_ids_.size() - granted_;
-    if (waiting > stats_.max_queue_depth) stats_.max_queue_depth = waiting;
-    if (metrics_ != nullptr) {
-      metrics_->gauge_set(ids_->queue_depth, static_cast<double>(waiting));
-    }
-    if (trace_ != nullptr) sample_counters(waiting);
   }
 
-  /// Emits the event-granularity time series into the trace.
-  void sample_counters(std::uint64_t waiting) {
-    trace_counter(obs::TracePoint::kReadyQueueDepth,
-                  static_cast<double>(waiting));
-    double live_max = stats_.max_stretch;
+  // 4. Activate activities in priority order. Jobs without an explicit
+  //    directive keep their allocation at the lowest priority, ordered by
+  //    id, so the engine stays work-conserving and deterministic.
+  granted_ = 0;
+  {
+    const obs::ScopeTimer timer(
+        metrics_, metrics_ != nullptr ? ids_->phase_activate : 0);
+    order_.clear();
+    for (const Directive& d : directives) {
+      const std::int32_t slot = find_slot(d.job);
+      if (slot >= 0 && pool_.live(slot)) {
+        order_.push_back({d.priority, d.job});
+      }
+    }
+    // Round stamps replace a per-round O(n) boolean reset: a job is
+    // "seen" iff its stamp equals the current round's.
+    if (++round_ == 0) {  // wrap: old stamps could collide, wipe them
+      seen_round_.assign(seen_round_.size(), 0);
+      round_ = 1;
+    }
+    for (const auto& [prio, id] : order_) {
+      seen_round_[find_slot(id)] = round_;
+    }
     for (const JobId id : live_sorted_) {
-      const JobState& s = states_[find_slot(id)];
-      const double denom = s.best_time > 0.0 ? s.best_time : 1.0;
-      live_max = std::max(live_max, (now_ - s.job.release) / denom);
+      if (seen_round_[find_slot(id)] != round_) {
+        order_.push_back({kTimeInfinity, id});
+      }
     }
-    trace_counter(obs::TracePoint::kLiveMaxStretch, live_max);
-    if (platform_.edge_count() > 0) {
-      int busy = 0;
-      for (const JobId id : busy_.edge_cpu) busy += id != -1 ? 1 : 0;
-      trace_counter(obs::TracePoint::kEdgeUtilization,
-                    static_cast<double>(busy) / platform_.edge_count());
+    // (priority, id) pairs only tie when they are fully identical
+    // (duplicate directives), so a plain sort yields the same sequence a
+    // stable sort would — without libstdc++'s temporary buffer.
+    std::sort(order_.begin(), order_.end(),
+              [](const auto& a, const auto& b) {
+                return a.first != b.first ? a.first < b.first
+                                          : a.second < b.second;
+              });
+
+    busy_.clear();
+    for (const auto& [prio, id] : order_) {
+      try_activate(find_slot(id));
     }
-    if (platform_.cloud_count() > 0) {
-      int busy = 0;
-      for (const JobId id : busy_.cloud_cpu) busy += id != -1 ? 1 : 0;
-      trace_counter(obs::TracePoint::kCloudUtilization,
-                    static_cast<double>(busy) / platform_.cloud_count());
-    }
+    // Completions must fire in job-id order (policies and traces observe
+    // the event order), so keep the active set id-sorted between rounds.
+    // Slots are not id-ordered in streaming mode, hence the comparator;
+    // in materialized mode slot == id and this is a plain sort.
+    std::sort(active_ids_.begin(), active_ids_.end(),
+              [this](std::int32_t a, std::int32_t b) {
+                return pool_.job(a).id < pool_.job(b).id;
+              });
+    maybe_compact_heap();
   }
 
-  void apply_directive(const Directive& d) {
-    if (d.target == kTargetKeep) {
-      // Keeps skip all validation (a keep for a finished or unknown job is
-      // harmless); provenance still wants the deduplicated decision.
-      if (provenance_on_) trace_keep_directive(d);
-      return;
-    }
-    if (d.job < 0 ||
-        (!streaming_ && d.job >= static_cast<JobId>(states_.size())) ||
-        (streaming_ && d.job >= next_id_)) {
-      throw std::runtime_error("policy " + policy_.name() +
-                               " issued a directive for unknown job " +
-                               std::to_string(d.job));
-    }
-    const std::int32_t slot = find_slot(d.job);
-    if (slot < 0) return;  // streaming: retired or rejected, stale directive
-    JobState& s = states_[slot];
-    if (!s.live()) return;
-    if (d.target != kAllocEdge &&
-        (!is_cloud_alloc(d.target) || d.target >= platform_.cloud_count())) {
-      throw std::runtime_error("policy " + policy_.name() +
-                               " issued invalid target " +
-                               std::to_string(d.target) + " for job " +
-                               std::to_string(d.job));
-    }
-    if (d.target == s.alloc) {
-      if (provenance_on_) trace_keep_directive(d);
-      return;
-    }
-    if (provenance_on_) trace_directive(slot, s.alloc, d.target, d);
+  // 5. Ready-queue depth after arbitration: live jobs holding no
+  //    resource. A job holds a resource iff try_activate granted it one
+  //    this round, so the depth falls out of two counters with no extra
+  //    pass over the pool.
+  const std::uint64_t waiting = live_.size() - granted_;
+  if (waiting > stats_.max_queue_depth) stats_.max_queue_depth = waiting;
+  if (metrics_ != nullptr) {
+    metrics_->gauge_set(ids_->queue_depth, static_cast<double>(waiting));
+  }
+  if (trace_ != nullptr) sample_counters(waiting);
+}
 
-    Recorder& rec = recorders_[slot];
-    rec.close(now_);
-    const int old_alloc = s.alloc;
-    if (s.alloc != kAllocUnassigned) {
-      // Abandon the current run; its history stays on the books because it
-      // physically occupied resources.
-      ++s.reassignments;
-      ++stats_.reassignments;
-      if (config_.record_schedule && rec.has_history()) {
+/// Emits the event-granularity time series into the trace.
+void EngineCore::sample_counters(std::uint64_t waiting) {
+  trace_counter(obs::TracePoint::kReadyQueueDepth,
+                static_cast<double>(waiting));
+  double live_max = stats_.max_stretch;
+  for (const JobId id : live_sorted_) {
+    const std::int32_t slot = find_slot(id);
+    const double best = pool_.best_time(slot);
+    const double denom = best > 0.0 ? best : 1.0;
+    live_max = std::max(live_max, (now_ - pool_.job(slot).release) / denom);
+  }
+  trace_counter(obs::TracePoint::kLiveMaxStretch, live_max);
+  if (platform_->edge_count() > 0) {
+    int busy = 0;
+    for (const JobId id : busy_.edge_cpu) busy += id != -1 ? 1 : 0;
+    trace_counter(obs::TracePoint::kEdgeUtilization,
+                  static_cast<double>(busy) / platform_->edge_count());
+  }
+  if (platform_->cloud_count() > 0) {
+    int busy = 0;
+    for (const JobId id : busy_.cloud_cpu) busy += id != -1 ? 1 : 0;
+    trace_counter(obs::TracePoint::kCloudUtilization,
+                  static_cast<double>(busy) / platform_->cloud_count());
+  }
+}
+
+void EngineCore::apply_directive(const Directive& d) {
+  if (d.target == kTargetKeep) {
+    // Keeps skip all validation (a keep for a finished or unknown job is
+    // harmless); provenance still wants the deduplicated decision.
+    if (provenance_on_) trace_keep_directive(d);
+    return;
+  }
+  if (d.job < 0 ||
+      (!streaming_ && d.job >= static_cast<JobId>(pool_.size())) ||
+      (streaming_ && d.job >= next_id_)) {
+    throw std::runtime_error("policy " + policy_->name() +
+                             " issued a directive for unknown job " +
+                             std::to_string(d.job));
+  }
+  const std::int32_t slot = find_slot(d.job);
+  if (slot < 0) return;  // streaming: retired or rejected, stale directive
+  if (!pool_.live(slot)) return;
+  if (d.target != kAllocEdge &&
+      (!is_cloud_alloc(d.target) || d.target >= platform_->cloud_count())) {
+    throw std::runtime_error("policy " + policy_->name() +
+                             " issued invalid target " +
+                             std::to_string(d.target) + " for job " +
+                             std::to_string(d.job));
+  }
+  if (d.target == pool_.alloc(slot)) {
+    if (provenance_on_) trace_keep_directive(d);
+    return;
+  }
+  if (provenance_on_) trace_directive(slot, pool_.alloc(slot), d.target, d);
+
+  ActivityRecorder& rec = recorders_[slot];
+  if (record_schedule_) rec.close(now_);
+  const int old_alloc = pool_.alloc(slot);
+  if (old_alloc != kAllocUnassigned) {
+    // Abandon the current run; its history stays on the books because it
+    // physically occupied resources.
+    ++pool_.reassignments(slot);
+    ++stats_.reassignments;
+    if (record_schedule_) {
+      if (rec.has_history()) {
         abandoned_runs_.emplace_back(d.job, std::move(rec.current));
       }
       rec.current = RunRecord{};
     }
-    // A reassignment is not a preemption: the job lost its resource because
-    // its allocation changed, so drop the round's mid-activity flag.
-    s.was_active = false;
-    if (trace_ != nullptr) {
-      trace_close_span(slot);
-      if (old_alloc != kAllocUnassigned) ++run_index_[slot];
-    }
-    s.alloc = d.target;
-    rec.current.alloc = d.target;
-    if (d.target == kAllocEdge) {
-      s.rem_up = 0.0;
-      s.rem_work = s.job.work;
-      s.rem_down = 0.0;
-    } else {
-      s.rem_up = s.job.up;
-      s.rem_work = s.job.work;
-      s.rem_down = s.job.down;
-    }
-    if (trace_ != nullptr && old_alloc != kAllocUnassigned) {
-      trace_instant(obs::TracePoint::kReassignment, slot, -1,
-                    static_cast<double>(old_alloc));
-    }
   }
-
-  /// Consumes a job's was_active flag after it failed arbitration: a job
-  /// that was mid-activity, kept its allocation, and got nothing was
-  /// preempted (outprioritized, or its cloud entered an outage / crash
-  /// window). A no-op for jobs that were idle or already re-granted.
-  void note_preemption(JobState& s, std::int32_t slot) {
-    if (!s.was_active) return;
-    s.was_active = false;
-    ++stats_.preemptions;
-    if (trace_ != nullptr) {
-      trace_close_span(slot);
-      trace_instant(obs::TracePoint::kPreemption, slot, -1, 0.0);
-    }
+  // A reassignment is not a preemption: the job lost its resource because
+  // its allocation changed, so drop the round's mid-activity flag.
+  pool_.was_active(slot) = 0;
+  if (trace_ != nullptr) {
+    trace_close_span(slot);
+    if (old_alloc != kAllocUnassigned) ++run_index_[slot];
   }
+  pool_.alloc(slot) = d.target;
+  if (record_schedule_) rec.current.alloc = d.target;
+  if (d.target == kAllocEdge) {
+    pool_.rem_up(slot) = 0.0;
+    pool_.rem_work(slot) = pool_.job(slot).work;
+    pool_.rem_down(slot) = 0.0;
+  } else {
+    pool_.rem_up(slot) = pool_.job(slot).up;
+    pool_.rem_work(slot) = pool_.job(slot).work;
+    pool_.rem_down(slot) = pool_.job(slot).down;
+  }
+  if (trace_ != nullptr && old_alloc != kAllocUnassigned) {
+    trace_instant(obs::TracePoint::kReassignment, slot, -1,
+                  static_cast<double>(old_alloc));
+  }
+}
 
-  void try_activate(const std::int32_t slot) {
-    JobState& s = states_[slot];
-    if (!s.live()) return;
-    const Activity needed = s.next_activity();
-    if (needed == Activity::kNone) {
-      note_preemption(s, slot);
-      return;
-    }
-    const EdgeId o = s.job.origin;
-    const JobId id = s.job.id;
-    // A cloud processor inside an availability outage serves nothing —
-    // neither computation nor communication involving it. The same holds
-    // for an unannounced crash, except that the policy was never told.
-    if (is_cloud_alloc(s.alloc) &&
-        (!instance_.cloud_available(s.alloc, now_) ||
-         cloud_down_[s.alloc] != 0)) {
-      note_preemption(s, slot);
-      return;
-    }
-    switch (needed) {
-      case Activity::kCompute:
-        if (s.alloc == kAllocEdge) {
-          if (busy_.edge_cpu[o] != -1) {
-            note_preemption(s, slot);
-            return;
-          }
-          busy_.edge_cpu[o] = id;
-        } else {
-          if (busy_.cloud_cpu[s.alloc] != -1) {
-            note_preemption(s, slot);
-            return;
-          }
-          busy_.cloud_cpu[s.alloc] = id;
-        }
-        break;
-      case Activity::kUplink:
-        if (busy_.edge_send[o] != -1 || busy_.cloud_recv[s.alloc] != -1) {
-          note_preemption(s, slot);
+/// Consumes a job's was_active flag after it failed arbitration: a job
+/// that was mid-activity, kept its allocation, and got nothing was
+/// preempted (outprioritized, or its cloud entered an outage / crash
+/// window). A no-op for jobs that were idle or already re-granted.
+void EngineCore::note_preemption(std::int32_t slot) {
+  if (pool_.was_active(slot) == 0) return;
+  pool_.was_active(slot) = 0;
+  ++stats_.preemptions;
+  if (trace_ != nullptr) {
+    trace_close_span(slot);
+    trace_instant(obs::TracePoint::kPreemption, slot, -1, 0.0);
+  }
+}
+
+void EngineCore::try_activate(const std::int32_t slot) {
+  if (!pool_.live(slot)) return;
+  const Activity needed = pool_.next_activity(slot);
+  if (needed == Activity::kNone) {
+    note_preemption(slot);
+    return;
+  }
+  const int alloc = pool_.alloc(slot);
+  const EdgeId o = pool_.job(slot).origin;
+  const JobId id = pool_.job(slot).id;
+  // A cloud processor inside an availability outage serves nothing —
+  // neither computation nor communication involving it. The same holds
+  // for an unannounced crash, except that the policy was never told.
+  if (is_cloud_alloc(alloc) && (!instance_->cloud_available(alloc, now_) ||
+                                cloud_down_[alloc] != 0)) {
+    note_preemption(slot);
+    return;
+  }
+  switch (needed) {
+    case Activity::kCompute:
+      if (alloc == kAllocEdge) {
+        if (busy_.edge_cpu[o] != -1) {
+          note_preemption(slot);
           return;
         }
-        busy_.edge_send[o] = id;
-        busy_.cloud_recv[s.alloc] = id;
-        break;
-      case Activity::kDownlink:
-        if (busy_.cloud_send[s.alloc] != -1 || busy_.edge_recv[o] != -1) {
-          note_preemption(s, slot);
+        busy_.edge_cpu[o] = id;
+      } else {
+        if (busy_.cloud_cpu[alloc] != -1) {
+          note_preemption(slot);
           return;
         }
-        busy_.cloud_send[s.alloc] = id;
-        busy_.edge_recv[o] = id;
-        break;
-      case Activity::kNone:
+        busy_.cloud_cpu[alloc] = id;
+      }
+      break;
+    case Activity::kUplink:
+      if (busy_.edge_send[o] != -1 || busy_.cloud_recv[alloc] != -1) {
+        note_preemption(slot);
         return;
-    }
-    s.active = needed;
-    s.was_active = false;
-    // Lazy progress accounting: anchor the activity at now_ with its
-    // consumption rate, enter the active set, and predict the end time
-    // analytically. The prediction is exact — rates only change through a
-    // re-grant, which pushes a fresh (versioned) entry.
-    s.rate = needed == Activity::kCompute
-                 ? (s.alloc == kAllocEdge ? platform_.edge_speed(o)
-                                          : platform_.cloud_speed(s.alloc))
-                 : 1.0;
-    s.last_update = now_;
-    active_ids_.push_back(slot);
-    heap_push(slot, activity_end(s));
-    ++granted_;
-    recorders_[slot].open(needed, now_);
-    if (started_[slot] == 0) {
-      started_[slot] = 1;
-      if (metrics_ != nullptr) {
-        metrics_->observe(ids_->queue_wait, now_ - s.job.release);
       }
-    }
-    if (trace_ != nullptr) {
-      // Reopening the same activity on the same allocation continues the
-      // current span; anything else starts a fresh one.
-      SpanState& span = spans_[slot];
-      if (span.activity != needed || span.alloc != s.alloc) {
-        trace_close_span(slot);
-        span.activity = needed;
-        span.alloc = s.alloc;
-        span.begin = now_;
+      busy_.edge_send[o] = id;
+      busy_.cloud_recv[alloc] = id;
+      break;
+    case Activity::kDownlink:
+      if (busy_.cloud_send[alloc] != -1 || busy_.edge_recv[o] != -1) {
+        note_preemption(slot);
+        return;
       }
+      busy_.cloud_send[alloc] = id;
+      busy_.edge_recv[o] = id;
+      break;
+    case Activity::kNone:
+      return;
+  }
+  pool_.active(slot) = needed;
+  pool_.was_active(slot) = 0;
+  // Lazy progress accounting: anchor the activity at now_ with its
+  // consumption rate, enter the active set, and predict the end time
+  // analytically. The prediction is exact — rates only change through a
+  // re-grant, which pushes a fresh (versioned) entry.
+  pool_.rate(slot) = needed == Activity::kCompute
+                         ? (alloc == kAllocEdge ? platform_->edge_speed(o)
+                                                : platform_->cloud_speed(alloc))
+                         : 1.0;
+  pool_.last_update(slot) = now_;
+  active_ids_.push_back(slot);
+  heap_push(slot, activity_end(slot));
+  ++granted_;
+  if (record_schedule_) recorders_[slot].open(needed, now_);
+  if (started_[slot] == 0) {
+    started_[slot] = 1;
+    if (metrics_ != nullptr) {
+      metrics_->observe(ids_->queue_wait, now_ - pool_.job(slot).release);
     }
   }
+  if (trace_ != nullptr) {
+    // Reopening the same activity on the same allocation continues the
+    // current span; anything else starts a fresh one.
+    SpanState& span = spans_[slot];
+    if (span.activity != needed || span.alloc != alloc) {
+      trace_close_span(slot);
+      span.activity = needed;
+      span.alloc = alloc;
+      span.begin = now_;
+    }
+  }
+}
 
-  [[nodiscard]] Time activity_end(const JobState& s) const {
-    switch (s.active) {
+Time EngineCore::activity_end(std::int32_t slot) const {
+  switch (pool_.active(slot)) {
+    case Activity::kUplink:
+      return now_ + clamp_amount(pool_.rem_up(slot));
+    case Activity::kCompute:
+      if (pool_.alloc(slot) == kAllocEdge) {
+        return now_ + clamp_amount(pool_.rem_work(slot)) /
+                          platform_->edge_speed(pool_.job(slot).origin);
+      }
+      return now_ + clamp_amount(pool_.rem_work(slot)) /
+                        platform_->cloud_speed(pool_.alloc(slot));
+    case Activity::kDownlink:
+      return now_ + clamp_amount(pool_.rem_down(slot));
+    case Activity::kNone:
+      return kTimeInfinity;
+  }
+  return kTimeInfinity;
+}
+
+void EngineCore::advance_to_next_event() {
+  // Earliest predicted activity end, straight off the heap top — no scan.
+  Time next = next_activity_end();
+  if (streaming_) {
+    if (pending_) next = std::min(next, pending_->release);
+  } else if (next_release_ < release_order_.size()) {
+    next = std::min(next, pool_.job(release_order_[next_release_]).release);
+  }
+  while (next_boundary_ < boundaries_.size() &&
+         time_le(boundaries_[next_boundary_], now_)) {
+    ++next_boundary_;
+  }
+  if (next_boundary_ < boundaries_.size()) {
+    next = std::min(next, boundaries_[next_boundary_]);
+  }
+  if (next_wake_ < wakes_.size()) {
+    next = std::min(next, wakes_[next_wake_].time);
+  }
+  if (next == kTimeInfinity) {
+    std::ostringstream os;
+    os << "simulation stalled at t=" << now_ << ": policy "
+       << policy_->name() << " left all " << remaining_jobs_
+       << " live job(s) without a runnable activity and no event is "
+          "pending; live jobs: "
+       << describe_live_jobs();
+    throw std::runtime_error(os.str());
+  }
+
+  // Materialize progress for the active set only (every member was
+  // re-anchored at now_ this round, so the elapsed span is next - now_).
+  for (const std::int32_t slot : active_ids_) {
+    pool_.advance_progress(slot, next);
+  }
+  now_ = next;
+
+  // Fire completions. active_ids_ is id-sorted, so completion events are
+  // emitted in job-id order — the order policies and traces observe.
+  bool job_completed = false;
+  for (const std::int32_t slot : active_ids_) {
+    const Activity active = pool_.active(slot);
+    if (active == Activity::kNone) continue;
+    const JobId id = pool_.job(slot).id;
+    bool fired = false;
+    switch (active) {
       case Activity::kUplink:
-        return now_ + clamp_amount(s.rem_up);
+        if (amount_done(pool_.rem_up(slot))) {
+          pool_.rem_up(slot) = 0.0;
+          events_.push_back(Event{EventKind::kUplinkDone, id, now_});
+          fired = true;
+        }
+        break;
       case Activity::kCompute:
-        if (s.alloc == kAllocEdge) {
-          return now_ +
-                 clamp_amount(s.rem_work) / platform_.edge_speed(s.job.origin);
+        if (amount_done(pool_.rem_work(slot))) {
+          pool_.rem_work(slot) = 0.0;
+          events_.push_back(Event{EventKind::kComputeDone, id, now_});
+          fired = true;
         }
-        return now_ + clamp_amount(s.rem_work) / platform_.cloud_speed(s.alloc);
+        break;
       case Activity::kDownlink:
-        return now_ + clamp_amount(s.rem_down);
-      case Activity::kNone:
-        return kTimeInfinity;
-    }
-    return kTimeInfinity;
-  }
-
-  void advance_to_next_event() {
-    // Earliest predicted activity end, straight off the heap top — no scan.
-    Time next = next_activity_end();
-    if (streaming_) {
-      if (pending_) next = std::min(next, pending_->release);
-    } else if (next_release_ < release_order_.size()) {
-      next = std::min(next,
-                      states_[release_order_[next_release_]].job.release);
-    }
-    while (next_boundary_ < boundaries_.size() &&
-           time_le(boundaries_[next_boundary_], now_)) {
-      ++next_boundary_;
-    }
-    if (next_boundary_ < boundaries_.size()) {
-      next = std::min(next, boundaries_[next_boundary_]);
-    }
-    if (next_wake_ < wakes_.size()) {
-      next = std::min(next, wakes_[next_wake_].time);
-    }
-    if (next == kTimeInfinity) {
-      std::ostringstream os;
-      os << "simulation stalled at t=" << now_ << ": policy "
-         << policy_.name() << " left all " << remaining_jobs_
-         << " live job(s) without a runnable activity and no event is "
-            "pending; live jobs: "
-         << describe_live_jobs();
-      throw std::runtime_error(os.str());
-    }
-
-    // Materialize progress for the active set only (every member was
-    // re-anchored at now_ this round, so the elapsed span is next - now_).
-    for (const std::int32_t slot : active_ids_) {
-      states_[slot].advance_progress(next);
-    }
-    now_ = next;
-
-    // Fire completions. active_ids_ is id-sorted, so completion events are
-    // emitted in job-id order — the order policies and traces observe.
-    bool job_completed = false;
-    for (const std::int32_t slot : active_ids_) {
-      JobState& s = states_[slot];
-      if (s.active == Activity::kNone) continue;
-      bool fired = false;
-      switch (s.active) {
-        case Activity::kUplink:
-          if (amount_done(s.rem_up)) {
-            s.rem_up = 0.0;
-            events_.push_back(Event{EventKind::kUplinkDone, s.job.id, now_});
-            fired = true;
-          }
-          break;
-        case Activity::kCompute:
-          if (amount_done(s.rem_work)) {
-            s.rem_work = 0.0;
-            events_.push_back(Event{EventKind::kComputeDone, s.job.id, now_});
-            fired = true;
-          }
-          break;
-        case Activity::kDownlink:
-          if (amount_done(s.rem_down)) {
-            s.rem_down = 0.0;
-            events_.push_back(
-                Event{EventKind::kDownlinkDone, s.job.id, now_});
-            fired = true;
-          }
-          break;
-        case Activity::kNone:
-          break;
-      }
-      if (fired) {
-        recorders_[slot].close(now_);
-        s.active = Activity::kNone;
-        if (trace_ != nullptr) trace_close_span(slot);
-        if (s.all_amounts_done()) {
-          s.done = true;
-          job_completed = true;
-          live_erase(slot);
-          s.completion = now_;
-          --remaining_jobs_;
-          ++stats_.completed;
-          const double denom = s.best_time > 0.0 ? s.best_time : 1.0;
-          const double stretch = (now_ - s.job.release) / denom;
-          stats_.max_stretch = std::max(stats_.max_stretch, stretch);
-          if (metrics_ != nullptr) {
-            metrics_->observe(ids_->stretch, stretch);
-          }
-          if (trace_ != nullptr) {
-            trace_instant(obs::TracePoint::kCompletion, slot, -1, stretch);
-          }
-          // Retirement is deferred to the next decision round: the policy
-          // must still see this completion event with the state attached.
-          if (streaming_) retire_queue_.push_back(slot);
+        if (amount_done(pool_.rem_down(slot))) {
+          pool_.rem_down(slot) = 0.0;
+          events_.push_back(Event{EventKind::kDownlinkDone, id, now_});
+          fired = true;
         }
+        break;
+      case Activity::kNone:
+        break;
+    }
+    if (fired) {
+      if (record_schedule_) recorders_[slot].close(now_);
+      pool_.active(slot) = Activity::kNone;
+      if (trace_ != nullptr) trace_close_span(slot);
+      if (pool_.all_amounts_done(slot)) {
+        pool_.done(slot) = 1;
+        job_completed = true;
+        live_.erase(slot);
+        pool_.completion(slot) = now_;
+        --remaining_jobs_;
+        ++stats_.completed;
+        const double best = pool_.best_time(slot);
+        const double denom = best > 0.0 ? best : 1.0;
+        const double stretch = (now_ - pool_.job(slot).release) / denom;
+        stats_.max_stretch = std::max(stats_.max_stretch, stretch);
+        if (metrics_ != nullptr) {
+          metrics_->observe(ids_->stretch, stretch);
+        }
+        if (trace_ != nullptr) {
+          trace_instant(obs::TracePoint::kCompletion, slot, -1, stretch);
+        }
+        // Retirement is deferred to the next decision round: the policy
+        // must still see this completion event with the state attached.
+        if (streaming_) retire_queue_.push_back(slot);
       }
     }
-    fire_faults();
-    fire_releases();
+  }
+  fire_faults();
+  fire_releases();
 
-    stats_.events += events_.size();
-    if (config_.max_events != 0 && stats_.events > config_.max_events) {
+  stats_.events += events_.size();
+  if (config_.max_events != 0 && stats_.events > config_.max_events) {
+    std::ostringstream os;
+    os << "event cap (" << config_.max_events << ") exceeded at t=" << now_
+       << " by policy " << policy_->name() << " with " << remaining_jobs_
+       << " live job(s) after " << stats_.reassignments
+       << " reassignment(s) and " << stats_.fault_aborts
+       << " fault abort(s); the policy is likely thrashing "
+          "re-executions; live jobs: "
+       << describe_live_jobs();
+    throw std::runtime_error(os.str());
+  }
+  // Progress watchdog: a thrashing policy fires activity events forever
+  // without completing a job, so count events since the last completion —
+  // meaningful even when the total event count is unbounded (streaming).
+  if (job_completed) {
+    events_since_completion_ = 0;
+  } else {
+    events_since_completion_ += events_.size();
+    const std::uint64_t cap =
+        config_.stall_events != 0
+            ? config_.stall_events
+            : std::max<std::uint64_t>(
+                  kStallFloor,
+                  512 * static_cast<std::uint64_t>(live_.size()));
+    if (events_since_completion_ > cap) {
       std::ostringstream os;
-      os << "event cap (" << config_.max_events << ") exceeded at t=" << now_
-         << " by policy " << policy_.name() << " with " << remaining_jobs_
-         << " live job(s) after " << stats_.reassignments
-         << " reassignment(s) and " << stats_.fault_aborts
+      os << "progress watchdog: " << events_since_completion_
+         << " event(s) since the last job completion (cap " << cap
+         << ") at t=" << now_ << " under policy " << policy_->name()
+         << " with " << live_.size() << " live job(s) after "
+         << stats_.reassignments << " reassignment(s) and "
+         << stats_.fault_aborts
          << " fault abort(s); the policy is likely thrashing "
             "re-executions; live jobs: "
          << describe_live_jobs();
       throw std::runtime_error(os.str());
     }
-    // Progress watchdog: a thrashing policy fires activity events forever
-    // without completing a job, so count events since the last completion —
-    // meaningful even when the total event count is unbounded (streaming).
-    if (job_completed) {
-      events_since_completion_ = 0;
+  }
+}
+
+/// Compact dump of the live jobs — id, allocation, current activity —
+/// for the stall / event-cap diagnostics. Capped at 8 entries.
+std::string EngineCore::describe_live_jobs() const {
+  std::vector<soa::LiveIndex::Entry> live(live_.begin(), live_.end());
+  std::sort(live.begin(), live.end(),
+            [](const soa::LiveIndex::Entry& a,
+               const soa::LiveIndex::Entry& b) { return a.id < b.id; });
+  std::ostringstream os;
+  int shown = 0;
+  for (const soa::LiveIndex::Entry& e : live) {
+    const std::int32_t slot = e.slot;
+    if (shown == 8) {
+      os << ", ...";
+      break;
+    }
+    if (shown > 0) os << ", ";
+    os << "J" << pool_.job(slot).id << "(";
+    const int alloc = pool_.alloc(slot);
+    if (alloc == kAllocUnassigned) {
+      os << "unassigned";
+    } else if (alloc == kAllocEdge) {
+      os << "edge" << pool_.job(slot).origin;
     } else {
-      events_since_completion_ += events_.size();
-      const std::uint64_t cap =
-          config_.stall_events != 0
-              ? config_.stall_events
-              : std::max<std::uint64_t>(
-                    kStallFloor, 512 * static_cast<std::uint64_t>(
-                                           live_ids_.size()));
-      if (events_since_completion_ > cap) {
-        std::ostringstream os;
-        os << "progress watchdog: " << events_since_completion_
-           << " event(s) since the last job completion (cap " << cap
-           << ") at t=" << now_ << " under policy " << policy_.name()
-           << " with " << live_ids_.size() << " live job(s) after "
-           << stats_.reassignments << " reassignment(s) and "
-           << stats_.fault_aborts
-           << " fault abort(s); the policy is likely thrashing "
-              "re-executions; live jobs: "
-           << describe_live_jobs();
-        throw std::runtime_error(os.str());
-      }
+      os << "cloud" << alloc;
+      if (cloud_down_[alloc] != 0) os << ":down";
     }
+    os << "/" << to_string(pool_.active(slot)) << ")";
+    ++shown;
   }
+  if (shown == 0) os << "none";
+  return os.str();
+}
 
-  /// Compact dump of the live jobs — id, allocation, current activity —
-  /// for the stall / event-cap diagnostics. Capped at 8 entries.
-  [[nodiscard]] std::string describe_live_jobs() const {
-    std::vector<JobId> live(live_ids_.begin(), live_ids_.end());
-    std::sort(live.begin(), live.end());
-    std::ostringstream os;
-    int shown = 0;
-    for (const JobId id : live) {
-      const JobState& s = states_[find_slot(id)];
-      if (shown == 8) {
-        os << ", ...";
-        break;
-      }
-      if (shown > 0) os << ", ";
-      os << "J" << s.job.id << "(";
-      if (s.alloc == kAllocUnassigned) {
-        os << "unassigned";
-      } else if (s.alloc == kAllocEdge) {
-        os << "edge" << s.job.origin;
-      } else {
-        os << "cloud" << s.alloc;
-        if (cloud_down_[s.alloc] != 0) os << ":down";
-      }
-      os << "/" << to_string(s.active) << ")";
-      ++shown;
-    }
-    if (shown == 0) os << "none";
-    return os.str();
+/// Processes every fault-timeline wake-up that is due at `now_`: flips
+/// the down/up state, fires the monitoring events, aborts crash victims
+/// (progress fully discarded — the machine's memory is gone) and corrupts
+/// in-flight messages at loss instants.
+void EngineCore::fire_faults() {
+  if (next_wake_ >= wakes_.size() ||
+      !time_le(wakes_[next_wake_].time, now_)) {
+    return;  // nothing due; skip the phase timer's clock reads
   }
-
-  /// Processes every fault-timeline wake-up that is due at `now_`: flips
-  /// the down/up state, fires the monitoring events, aborts crash victims
-  /// (progress fully discarded — the machine's memory is gone) and corrupts
-  /// in-flight messages at loss instants.
-  void fire_faults() {
-    if (next_wake_ >= wakes_.size() ||
-        !time_le(wakes_[next_wake_].time, now_)) {
-      return;  // nothing due; skip the phase timer's clock reads
-    }
-    const obs::ScopeTimer timer(metrics_,
-                                metrics_ != nullptr ? ids_->phase_faults : 0);
-    while (next_wake_ < wakes_.size() &&
-           time_le(wakes_[next_wake_].time, now_)) {
-      const FaultWake& wake = wakes_[next_wake_];
-      const FaultSpec& spec = config_.faults.faults[wake.spec];
-      if (wake.recovery) {
-        cloud_down_[spec.cloud] = 0;
-        push_fault_event(Event{EventKind::kRecovery, -1, now_, spec.cloud});
-        if (trace_ != nullptr) {
-          trace_instant(obs::TracePoint::kRecovery, -1, spec.cloud, 0.0);
-        }
-      } else if (spec.kind == FaultKind::kCrash) {
-        cloud_down_[spec.cloud] = 1;
-        push_fault_event(Event{EventKind::kFault, -1, now_, spec.cloud});
-        if (trace_ != nullptr) {
-          trace_instant(obs::TracePoint::kFault, -1, spec.cloud, 0.0);
-        }
-        abort_jobs_on_cloud(spec.cloud);
-      } else {
-        corrupt_in_flight_message(spec);
-      }
-      ++next_wake_;
-    }
-  }
-
-  /// Crash semantics: every job allocated to the crashed cloud loses ALL
-  /// progress (uplink included — the data sat on the dead machine, not in
-  /// the network) and returns to the unassigned state; the partial run
-  /// stays on the books as an abandoned run because it physically occupied
-  /// resources.
-  void abort_jobs_on_cloud(CloudId crashed) {
-    // Victims come from the live set (no instance-wide sweep); sort so the
-    // abort events keep firing in job-id order like the old full scan.
-    victims_.clear();
-    for (const JobId id : live_ids_) {
-      if (states_[find_slot(id)].alloc == crashed) victims_.push_back(id);
-    }
-    std::sort(victims_.begin(), victims_.end());
-    for (const JobId id : victims_) {
-      const std::int32_t slot = find_slot(id);
-      JobState& s = states_[slot];
+  const obs::ScopeTimer timer(metrics_,
+                              metrics_ != nullptr ? ids_->phase_faults : 0);
+  while (next_wake_ < wakes_.size() &&
+         time_le(wakes_[next_wake_].time, now_)) {
+    const FaultWake& wake = wakes_[next_wake_];
+    const FaultSpec& spec = config_.faults.faults[wake.spec];
+    if (wake.recovery) {
+      cloud_down_[spec.cloud] = 0;
+      push_fault_event(Event{EventKind::kRecovery, -1, now_, spec.cloud});
       if (trace_ != nullptr) {
-        trace_close_span(slot);
-        trace_instant(obs::TracePoint::kFault, slot, crashed, 0.0);
-        ++run_index_[slot];
+        trace_instant(obs::TracePoint::kRecovery, -1, spec.cloud, 0.0);
       }
-      Recorder& rec = recorders_[slot];
+    } else if (spec.kind == FaultKind::kCrash) {
+      cloud_down_[spec.cloud] = 1;
+      push_fault_event(Event{EventKind::kFault, -1, now_, spec.cloud});
+      if (trace_ != nullptr) {
+        trace_instant(obs::TracePoint::kFault, -1, spec.cloud, 0.0);
+      }
+      abort_jobs_on_cloud(spec.cloud);
+    } else {
+      corrupt_in_flight_message(spec);
+    }
+    ++next_wake_;
+  }
+}
+
+/// Crash semantics: every job allocated to the crashed cloud loses ALL
+/// progress (uplink included — the data sat on the dead machine, not in
+/// the network) and returns to the unassigned state; the partial run
+/// stays on the books as an abandoned run because it physically occupied
+/// resources.
+void EngineCore::abort_jobs_on_cloud(CloudId crashed) {
+  // Victims come from the live set (no instance-wide sweep); sort so the
+  // abort events keep firing in job-id order like the old full scan.
+  victims_.clear();
+  for (const soa::LiveIndex::Entry& e : live_) {
+    if (pool_.alloc(e.slot) == crashed) victims_.push_back(e.id);
+  }
+  std::sort(victims_.begin(), victims_.end());
+  for (const JobId id : victims_) {
+    const std::int32_t slot = find_slot(id);
+    if (trace_ != nullptr) {
+      trace_close_span(slot);
+      trace_instant(obs::TracePoint::kFault, slot, crashed, 0.0);
+      ++run_index_[slot];
+    }
+    if (record_schedule_) {
+      ActivityRecorder& rec = recorders_[slot];
       rec.close(now_);
-      if (config_.record_schedule && rec.has_history()) {
-        abandoned_runs_.emplace_back(s.job.id, std::move(rec.current));
+      if (rec.has_history()) {
+        abandoned_runs_.emplace_back(id, std::move(rec.current));
       }
       rec.current = RunRecord{};
-      s.alloc = kAllocUnassigned;
-      s.rem_up = 0.0;
-      s.rem_work = 0.0;
-      s.rem_down = 0.0;
-      s.active = Activity::kNone;
-      // The abort changed the allocation without a directive: the next
-      // keep/assign decision is new information and must be re-emitted.
-      if (provenance_on_) last_dir_target_[slot] = kDirectiveNone;
-      ++stats_.fault_aborts;
-      push_fault_event(Event{EventKind::kFault, s.job.id, now_, crashed});
     }
+    pool_.alloc(slot) = kAllocUnassigned;
+    pool_.rem_up(slot) = 0.0;
+    pool_.rem_work(slot) = 0.0;
+    pool_.rem_down(slot) = 0.0;
+    pool_.active(slot) = Activity::kNone;
+    // The abort changed the allocation without a directive: the next
+    // keep/assign decision is new information and must be re-emitted.
+    if (provenance_on_) last_dir_target_[slot] = kDirectiveNone;
+    ++stats_.fault_aborts;
+    push_fault_event(Event{EventKind::kFault, id, now_, crashed});
   }
+}
 
-  /// Loss semantics: the message in flight on the hit direction of the
-  /// cloud's link at this instant is corrupted and must be retransmitted
-  /// from zero. A downlink loss keeps the execution progress (the result
-  /// still sits on the cloud); an uplink loss re-pays the whole upload.
-  /// Nothing in flight => the loss is unobservable and hits nobody.
-  void corrupt_in_flight_message(const FaultSpec& spec) {
-    const Activity hit = spec.kind == FaultKind::kUplinkLoss
-                             ? Activity::kUplink
-                             : Activity::kDownlink;
-    // Only an active job can be mid-transmission; active_ids_ is id-sorted,
-    // so the first match is the lowest id, as with the old full scan.
-    for (const std::int32_t slot : active_ids_) {
-      JobState& s = states_[slot];
-      if (s.alloc != spec.cloud || s.active != hit) continue;
-      // The corrupted transmission physically used the link: its interval
-      // stays recorded in the current run (quantity checks are >=).
-      recorders_[slot].close(now_);
-      s.active = Activity::kNone;
-      if (hit == Activity::kUplink) {
-        s.rem_up = s.job.up;
-        ++stats_.uplink_retransmits;
-      } else {
-        s.rem_down = s.job.down;
-        ++stats_.downlink_retransmits;
-      }
-      ++stats_.message_losses;
-      if (trace_ != nullptr) {
-        trace_close_span(slot);
-        trace_instant(hit == Activity::kUplink
-                          ? obs::TracePoint::kUplinkLoss
-                          : obs::TracePoint::kDownlinkLoss,
-                      slot, spec.cloud, 0.0);
-      }
-      push_fault_event(Event{EventKind::kFault, s.job.id, now_, spec.cloud});
-      break;  // one-port: at most one message per direction per cloud
+/// Loss semantics: the message in flight on the hit direction of the
+/// cloud's link at this instant is corrupted and must be retransmitted
+/// from zero. A downlink loss keeps the execution progress (the result
+/// still sits on the cloud); an uplink loss re-pays the whole upload.
+/// Nothing in flight => the loss is unobservable and hits nobody.
+void EngineCore::corrupt_in_flight_message(const FaultSpec& spec) {
+  const Activity hit = spec.kind == FaultKind::kUplinkLoss
+                           ? Activity::kUplink
+                           : Activity::kDownlink;
+  // Only an active job can be mid-transmission; active_ids_ is id-sorted,
+  // so the first match is the lowest id, as with the old full scan.
+  for (const std::int32_t slot : active_ids_) {
+    if (pool_.alloc(slot) != spec.cloud || pool_.active(slot) != hit) {
+      continue;
     }
+    // The corrupted transmission physically used the link: its interval
+    // stays recorded in the current run (quantity checks are >=).
+    if (record_schedule_) recorders_[slot].close(now_);
+    pool_.active(slot) = Activity::kNone;
+    if (hit == Activity::kUplink) {
+      pool_.rem_up(slot) = pool_.job(slot).up;
+      ++stats_.uplink_retransmits;
+    } else {
+      pool_.rem_down(slot) = pool_.job(slot).down;
+      ++stats_.downlink_retransmits;
+    }
+    ++stats_.message_losses;
+    if (trace_ != nullptr) {
+      trace_close_span(slot);
+      trace_instant(hit == Activity::kUplink
+                        ? obs::TracePoint::kUplinkLoss
+                        : obs::TracePoint::kDownlinkLoss,
+                    slot, spec.cloud, 0.0);
+    }
+    push_fault_event(Event{EventKind::kFault, pool_.job(slot).id, now_,
+                           spec.cloud});
+    break;  // one-port: at most one message per direction per cloud
   }
+}
 
-  void push_fault_event(const Event& event) {
-    events_.push_back(event);
-    fault_log_.push_back(event);
+void EngineCore::push_fault_event(const Event& event) {
+  events_.push_back(event);
+  fault_log_.push_back(event);
+}
+
+bool EngineCore::step_rounds(std::uint64_t rounds) {
+  if (rounds == 0) {
+    while (!done()) step();
+    return true;
   }
+  for (std::uint64_t i = 0; i < rounds && !done(); ++i) step();
+  return done();
+}
 
-  SimResult finish() {
-    // Streaming: the last completions of the run never saw another decision
-    // round, so their slots still sit in the retire queue — harvest them.
-    if (streaming_) flush_retired();
-    // Counters mirroring SimStats are added in bulk here so the registry and
-    // the returned stats are consistent by construction.
-    if (metrics_ != nullptr) {
-      metrics_->add(ids_->events, stats_.events);
-      metrics_->add(ids_->decisions, stats_.decisions);
-      metrics_->add(ids_->reassignments, stats_.reassignments);
-      metrics_->add(ids_->preemptions, stats_.preemptions);
-      metrics_->add(ids_->fault_aborts, stats_.fault_aborts);
-      metrics_->add(ids_->uplink_retransmits, stats_.uplink_retransmits);
-      metrics_->add(ids_->downlink_retransmits, stats_.downlink_retransmits);
-      metrics_->add(ids_->message_losses, stats_.message_losses);
-      metrics_->add(ids_->rejections, stats_.rejections);
-      metrics_->add(ids_->sheds, stats_.sheds);
-      metrics_->gauge_set(ids_->peak_live,
-                          static_cast<double>(stats_.peak_live));
-    }
-    if (trace_ != nullptr) trace_->end_trace(now_);
-    SimResult result;
-    result.stats = stats_;
-    result.fault_log = std::move(fault_log_);
-    result.admission_log = std::move(admission_log_);
-    const std::size_t total_jobs =
-        streaming_ ? static_cast<std::size_t>(next_id_) : states_.size();
-    if (config_.record_completions) {
-      // -1 marks rejected / shed jobs (they never completed).
-      result.completions.assign(total_jobs, -1.0);
-      if (streaming_) {
-        for (const auto& [id, completion] : completion_log_) {
-          result.completions[id] = completion;
-        }
-      } else {
-        for (const JobState& s : states_) {
-          if (s.done) result.completions[s.job.id] = s.completion;
-        }
+void EngineCore::finish_into(SimResult& out) {
+  // Streaming: the last completions of the run never saw another decision
+  // round, so their slots still sit in the retire queue — harvest them.
+  if (streaming_) flush_retired();
+  // Counters mirroring SimStats are added in bulk here so the registry and
+  // the returned stats are consistent by construction.
+  if (metrics_ != nullptr) {
+    metrics_->add(ids_->events, stats_.events);
+    metrics_->add(ids_->decisions, stats_.decisions);
+    metrics_->add(ids_->reassignments, stats_.reassignments);
+    metrics_->add(ids_->preemptions, stats_.preemptions);
+    metrics_->add(ids_->fault_aborts, stats_.fault_aborts);
+    metrics_->add(ids_->uplink_retransmits, stats_.uplink_retransmits);
+    metrics_->add(ids_->downlink_retransmits, stats_.downlink_retransmits);
+    metrics_->add(ids_->message_losses, stats_.message_losses);
+    metrics_->add(ids_->rejections, stats_.rejections);
+    metrics_->add(ids_->sheds, stats_.sheds);
+    metrics_->gauge_set(ids_->peak_live,
+                        static_cast<double>(stats_.peak_live));
+  }
+  if (trace_ != nullptr) trace_->end_trace(now_);
+  out.stats = stats_;
+  // Swap rather than move: the caller's old buffers land in the core's
+  // logs, where the next prepare() clears them for reuse — so a resident
+  // (core, result) pair recycles capacity in both directions.
+  out.fault_log.swap(fault_log_);
+  out.admission_log.swap(admission_log_);
+  const std::size_t total_jobs =
+      streaming_ ? static_cast<std::size_t>(next_id_) : pool_.size();
+  out.completions.clear();
+  if (config_.record_completions) {
+    // -1 marks rejected / shed jobs (they never completed).
+    out.completions.assign(total_jobs, -1.0);
+    if (streaming_) {
+      for (const auto& [id, completion] : completion_log_) {
+        out.completions[id] = completion;
       }
-    }
-    if (config_.record_schedule) {
-      result.schedule = Schedule(static_cast<int>(total_jobs));
-      for (auto& [id, run] : abandoned_runs_) {
-        result.schedule.job(id).abandoned.push_back(std::move(run));
-      }
-      if (streaming_) {
-        // Retired jobs harvested their final run on the way out; rejected
-        // ids keep an empty record, like never-started jobs do.
-        for (auto& [id, run] : final_runs_) {
-          result.schedule.job(id).final_run = std::move(run);
-        }
-      } else {
-        for (JobState& s : states_) {
-          Recorder& rec = recorders_[s.job.id];
-          rec.close(now_);
-          result.schedule.job(s.job.id).final_run = std::move(rec.current);
+    } else {
+      for (std::int32_t s = 0; s < static_cast<std::int32_t>(pool_.size());
+           ++s) {
+        if (pool_.done(s) != 0) {
+          out.completions[pool_.job(s).id] = pool_.completion(s);
         }
       }
     }
-    return result;
   }
+  if (config_.record_schedule) {
+    out.schedule = Schedule(static_cast<int>(total_jobs));
+    for (auto& [id, run] : abandoned_runs_) {
+      out.schedule.job(id).abandoned.push_back(std::move(run));
+    }
+    if (streaming_) {
+      // Retired jobs harvested their final run on the way out; rejected
+      // ids keep an empty record, like never-started jobs do.
+      for (auto& [id, run] : final_runs_) {
+        out.schedule.job(id).final_run = std::move(run);
+      }
+    } else {
+      for (std::int32_t s = 0; s < static_cast<std::int32_t>(pool_.size());
+           ++s) {
+        ActivityRecorder& rec = recorders_[s];
+        rec.close(now_);
+        out.schedule.job(pool_.job(s).id).final_run = std::move(rec.current);
+      }
+    }
+  } else {
+    out.schedule = Schedule();
+  }
+}
 
-  const Instance& instance_;
-  const Platform& platform_;
-  Policy& policy_;
-  EngineConfig config_;
-  BusyMap busy_;
-  ArrivalStream* stream_;   ///< null in materialized mode
-  bool streaming_;
+SimResult EngineCore::run() {
+  while (!done()) step();
+  SimResult out;
+  finish_into(out);
+  return out;
+}
 
-  std::vector<JobState> states_;
-  std::vector<Recorder> recorders_;
-  std::vector<std::pair<JobId, RunRecord>> abandoned_runs_;
-  std::vector<JobId> release_order_;
-  std::size_t next_release_ = 0;
-  std::vector<Time> boundaries_;  ///< sorted outage begin/end wake-ups
-  std::size_t next_boundary_ = 0;
-  std::vector<FaultWake> wakes_;  ///< sorted fault-timeline wake-ups
-  std::size_t next_wake_ = 0;
-  std::vector<char> cloud_down_;  ///< crashed-and-not-yet-repaired flags
-  std::vector<Event> fault_log_;  ///< realized kFault/kRecovery trace
-  int remaining_jobs_ = 0;
-  Time now_ = 0.0;
-  std::vector<Event> events_;
-  SimStats stats_;
-
-  // --- active-set core: everything the per-event hot path touches ---
-  /// Slots of jobs mid-activity, job-id-sorted per round (slot == id
-  /// outside streaming, so this is id-sorted there too).
-  std::vector<std::int32_t> active_ids_;
-  std::vector<JobId> live_ids_;    ///< released-and-unfinished ids, unordered
-  std::vector<std::int32_t> live_pos_;  ///< slot -> index in live_ids_, or -1
-  std::vector<JobId> live_sorted_;      ///< per-round sorted copy of live_ids_
-  std::vector<HeapEntry> heap_;         ///< lazy-deletion end-time min-heap
-  std::vector<std::uint32_t> entry_version_;  ///< current heap version per slot
-  std::vector<std::uint32_t> seen_round_;     ///< round stamp per slot
-  std::uint32_t round_ = 0;
-  std::vector<JobId> victims_;  ///< scratch for crash-abort / shed collection
-
-  // --- streaming mode (engaged iff streaming_) ---
-  static constexpr std::int32_t kSlotRetired = -1;  ///< id done, compactable
-  static constexpr std::int32_t kSlotUnseen = -2;   ///< id hole, blocks base
-  std::optional<Job> pending_;       ///< next arrival, not yet released
-  Time last_arrival_ = -kTimeInfinity;
-  JobId next_id_ = 0;                ///< one past the largest id ever seen
-  /// id -> slot for ids in [window_base_, next emission): entry i (offset by
-  /// window_start_) maps id window_base_ + i. Retired prefixes advance the
-  /// base; storage compacts once the dead prefix dominates.
-  std::vector<std::int32_t> window_;
-  std::size_t window_start_ = 0;
-  JobId window_base_ = 0;
-  std::vector<std::int32_t> free_slots_;    ///< recycled state slots
-  std::vector<std::int32_t> retire_queue_;  ///< completed, one round grace
-  std::vector<std::pair<JobId, Time>> completion_log_;
-  std::vector<std::pair<JobId, RunRecord>> final_runs_;
-
-  // --- admission control ---
-  bool admission_on_ = false;
-  std::vector<AdmissionRecord> admission_log_;
-
-  // --- progress watchdog ---
-  static constexpr std::uint64_t kStallFloor = 100'000;
-  std::uint64_t events_since_completion_ = 0;
-
-  // Scratch buffers reused across decision rounds.
-  std::vector<std::pair<double, JobId>> order_;
-  std::vector<Directive> directives_;  ///< policy output, reused per round
-
-  // --- observability (null sinks = everything below stays idle) ---
-  obs::TraceSink* trace_ = nullptr;
-  obs::MetricsRegistry* metrics_ = nullptr;
-  std::optional<Instruments> ids_;  ///< engaged iff metrics_ != nullptr
-  obs::TeeTraceSink tee_;  ///< user sink + watchdog, when a watchdog is set
-  bool provenance_on_ = false;
-  /// Sentinel for "no directive emitted yet" in last_dir_target_ (any
-  /// value no allocation can take).
-  static constexpr int kDirectiveNone = std::numeric_limits<int>::min();
-  std::vector<int> last_dir_target_;  ///< keep-dedup state (provenance only)
-  std::vector<int> last_dir_reason_;
-
-  /// Open trace span per job. Tracked separately from Recorder because
-  /// recorder intervals close and reopen on every decision round, while a
-  /// trace span runs until a true boundary: completion, preemption,
-  /// reassignment, fault abort, or message loss.
-  struct SpanState {
-    Activity activity = Activity::kNone;
-    int alloc = kAllocUnassigned;
-    Time begin = 0.0;
-  };
-  std::vector<SpanState> spans_;  ///< sized only when tracing
-  std::vector<int> run_index_;    ///< bumped per reassignment / fault abort
-  std::vector<char> started_;     ///< first activation already observed
-  std::uint64_t granted_ = 0;     ///< resources granted this decision round
-};
-
-}  // namespace
+}  // namespace detail
 
 SimResult simulate(const Instance& instance, Policy& policy,
                    const EngineConfig& config) {
   policy.reset(instance);
-  Engine engine(instance, policy, config);
-  return engine.run();
+  detail::EngineCore core;
+  core.prepare(instance, nullptr, policy, config);
+  return core.run();
 }
 
 SimResult simulate_stream(const Instance& base, ArrivalStream& arrivals,
                           Policy& policy, const EngineConfig& config) {
   policy.reset(base);
-  Engine engine(base, &arrivals, policy, config);
-  return engine.run();
+  detail::EngineCore core;
+  core.prepare(base, &arrivals, policy, config);
+  return core.run();
 }
 
 }  // namespace ecs

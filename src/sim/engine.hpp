@@ -115,6 +115,12 @@ struct EngineConfig {
   /// for soak-scale streaming runs where only the stats matter — with both
   /// off a streaming run's memory is O(live), independent of total jobs.
   bool record_completions = true;
+  /// Measure the wall time spent inside the policy (two steady-clock reads
+  /// per decision round, accumulated into SimStats::policy_seconds). The
+  /// batch driver turns this off — at thousands of tiny replications the
+  /// clock reads are measurable, and the driver times whole runs itself —
+  /// so policy_seconds reads 0 there. Never affects simulation results.
+  bool time_policy = true;
   /// Fill SimResult::admission_log (one record per rejection or shed).
   /// Under sustained overload the log grows with the REFUSED count, not the
   /// live set, so soak-scale runs must turn it off along with the two
@@ -174,6 +180,11 @@ struct SimStats {
   /// High-water mark of the live set — the run's true working-set size.
   /// Under streaming this is the memory bound: it tracks load, not total n.
   std::uint64_t peak_live = 0;
+  /// Streaming only: high-water mark of the id -> slot map (live jobs plus
+  /// completed jobs awaiting their one-round retirement grace). The memory
+  /// regression tests pin peak_tracked = O(peak_live) under adversarial
+  /// completion orders; 0 in materialized runs.
+  std::uint64_t peak_tracked = 0;
   std::uint64_t admitted = 0;    ///< jobs released past admission control
   std::uint64_t completed = 0;   ///< admitted jobs that finished
   std::uint64_t rejections = 0;  ///< arrivals refused at release

@@ -1,0 +1,302 @@
+// engine_core.hpp - The reusable engine behind simulate(), simulate_stream()
+// and the batch driver (sim/batch.hpp).
+//
+// EngineCore is the event loop of engine.hpp's contract, restructured for
+// reuse: a default-constructed core is prepare()d against an (instance,
+// policy, config) triple, stepped to completion, harvested with
+// finish_into(), and then prepared again for the next run — every internal
+// buffer keeps its capacity across runs, so a resident core performs zero
+// steady-state allocations per replication. simulate() uses a throwaway
+// core; BatchEngine keeps one per world slot.
+//
+// This header is internal (namespace ecs::detail): the supported entry
+// points remain simulate() / simulate_stream() / BatchEngine. Tests include
+// it to pin the reuse contract (a reused core is bit-identical to a fresh
+// one).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/platform.hpp"
+#include "core/schedule.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/engine.hpp"
+#include "sim/policy.hpp"
+#include "sim/soa.hpp"
+
+namespace ecs {
+
+class ArrivalStream;
+
+namespace detail {
+
+/// Metric-instrument handles, resolved once per run so the hot path never
+/// touches the registry's name maps. Only valid when a registry is set.
+struct EngineInstruments {
+  using Id = obs::MetricsRegistry::Id;
+  Id events, decisions, reassignments, preemptions, fault_aborts;
+  Id uplink_retransmits, downlink_retransmits, message_losses;
+  Id rejections, sheds;       ///< admission-control refusals
+  Id queue_depth;             ///< gauge; its max mirrors max_queue_depth
+  Id peak_live;               ///< gauge; live-set high-water mark
+  Id stretch, queue_wait;     ///< histograms
+  Id phase_policy, phase_allocate, phase_activate, phase_faults;  ///< timers
+
+  explicit EngineInstruments(obs::MetricsRegistry& registry);
+};
+
+/// Per-job recording of the currently open activity interval plus the
+/// in-progress run record.
+struct ActivityRecorder {
+  RunRecord current;
+  Activity open_activity = Activity::kNone;
+  Time open_start = 0.0;
+
+  void open(Activity activity, Time now) {
+    open_activity = activity;
+    open_start = now;
+  }
+
+  void close(Time now) {
+    if (open_activity == Activity::kNone) return;
+    switch (open_activity) {
+      case Activity::kUplink:
+        current.uplink.add(open_start, now);
+        break;
+      case Activity::kCompute:
+        current.exec.add(open_start, now);
+        break;
+      case Activity::kDownlink:
+        current.downlink.add(open_start, now);
+        break;
+      case Activity::kNone:
+        break;
+    }
+    open_activity = Activity::kNone;
+  }
+
+  [[nodiscard]] bool has_history() const noexcept {
+    return !current.uplink.empty() || !current.exec.empty() ||
+           !current.downlink.empty();
+  }
+};
+
+/// Busy markers for one decision round: which job holds each resource.
+struct BusyMap {
+  std::vector<JobId> edge_cpu, edge_send, edge_recv;
+  std::vector<JobId> cloud_cpu, cloud_send, cloud_recv;
+
+  void resize(const Platform& platform) {
+    edge_cpu.assign(platform.edge_count(), -1);
+    edge_send.assign(platform.edge_count(), -1);
+    edge_recv.assign(platform.edge_count(), -1);
+    cloud_cpu.assign(platform.cloud_count(), -1);
+    cloud_send.assign(platform.cloud_count(), -1);
+    cloud_recv.assign(platform.cloud_count(), -1);
+  }
+
+  void clear() {
+    std::fill(edge_cpu.begin(), edge_cpu.end(), -1);
+    std::fill(edge_send.begin(), edge_send.end(), -1);
+    std::fill(edge_recv.begin(), edge_recv.end(), -1);
+    std::fill(cloud_cpu.begin(), cloud_cpu.end(), -1);
+    std::fill(cloud_send.begin(), cloud_send.end(), -1);
+    std::fill(cloud_recv.begin(), cloud_recv.end(), -1);
+  }
+};
+
+/// One wake-up of the fault timeline: a crash start, a crash repair
+/// (recovery), or a message-loss instant.
+struct FaultWake {
+  Time time = 0.0;
+  std::size_t spec = 0;  ///< index into the plan
+  bool recovery = false;
+};
+
+/// Versioned entry of the lazy-deletion min-heap over predicted activity
+/// end times, keyed by state *slot* (== job id in materialized mode). An
+/// entry is valid while its version matches the slot's current one AND the
+/// slot's job is still mid-activity; preemption, completion, re-execution,
+/// fault aborts and slot retirement never search the heap — they simply
+/// leave the entry behind to be skipped (or compacted away) later.
+struct HeapEntry {
+  Time time = 0.0;
+  std::int32_t slot = -1;
+  std::uint32_t version = 0;
+};
+
+class EngineCore {
+ public:
+  EngineCore() = default;
+  EngineCore(const EngineCore&) = delete;
+  EngineCore& operator=(const EngineCore&) = delete;
+
+  /// Binds the core to one run and resets every piece of run state (buffer
+  /// capacity survives). Materialized mode: all jobs come from `instance`,
+  /// slot == job id. Streaming mode (stream != nullptr): `instance` carries
+  /// the platform and outage calendar only; jobs arrive from the stream and
+  /// completed jobs retire, so per-job state is O(peak_live). The caller is
+  /// responsible for policy.reset() — simulate() and BatchEngine both call
+  /// it immediately before prepare(), preserving the historical order.
+  void prepare(const Instance& instance, ArrivalStream* stream,
+               Policy& policy, const EngineConfig& config);
+
+  /// Runs at most `rounds` decision rounds (0 = unbounded); returns done().
+  /// Chunked stepping is what lets a batch driver interleave worlds.
+  bool step_rounds(std::uint64_t rounds);
+
+  [[nodiscard]] bool done() const noexcept {
+    if (!prepared_) return true;
+    return streaming_ ? remaining_jobs_ <= 0 && !pending_.has_value()
+                      : remaining_jobs_ <= 0;
+  }
+
+  /// Harvests the run into `out` (reusing its buffer capacity where
+  /// possible) and emits the end-of-run observability records. Call once,
+  /// after done().
+  void finish_into(SimResult& out);
+
+  /// Convenience: steps to completion and returns the harvested result.
+  SimResult run();
+
+ private:
+  void init();
+  [[nodiscard]] std::int32_t find_slot(JobId id) const noexcept;
+  void advance_stream();
+  void heap_push(std::int32_t slot, Time end);
+  [[nodiscard]] bool heap_entry_valid(const HeapEntry& e) const;
+  [[nodiscard]] Time next_activity_end();
+  void maybe_compact_heap();
+  void fire_releases();
+  void admit(const Job& job);
+  std::int32_t acquire_slot(const Job& job);
+  bool admission_allows(const Job& job);
+  [[nodiscard]] std::uint64_t queued_count() const;
+  [[nodiscard]] double stretch_lower_bound(std::int32_t slot) const;
+  [[nodiscard]] bool sheddable(std::int32_t slot) const;
+  void shed_infeasible(double limit);
+  bool shed_most_hopeless();
+  void reject(const Job& job);
+  void shed(JobId id, ReasonCode reason);
+  void retire_slot(std::int32_t slot);
+  void flush_retired();
+  void trace_close_span(std::int32_t slot);
+  void trace_instant(obs::TracePoint point, std::int32_t slot, int cloud,
+                     double value);
+  void trace_directive(std::int32_t slot, int source, int target,
+                       const Directive& d);
+  void trace_keep_directive(const Directive& d);
+  void trace_counter(obs::TracePoint point, double value);
+  void step();
+  void publish_policy_view();
+  void decide_and_activate();
+  void sample_counters(std::uint64_t waiting);
+  void apply_directive(const Directive& d);
+  void note_preemption(std::int32_t slot);
+  void try_activate(std::int32_t slot);
+  [[nodiscard]] Time activity_end(std::int32_t slot) const;
+  void advance_to_next_event();
+  [[nodiscard]] std::string describe_live_jobs() const;
+  void fire_faults();
+  void abort_jobs_on_cloud(CloudId crashed);
+  void corrupt_in_flight_message(const FaultSpec& spec);
+  void push_fault_event(const Event& event);
+
+  const Instance* instance_ = nullptr;
+  const Platform* platform_ = nullptr;
+  Policy* policy_ = nullptr;
+  EngineConfig config_;
+  BusyMap busy_;
+  ArrivalStream* stream_ = nullptr;  ///< null in materialized mode
+  bool streaming_ = false;
+  bool prepared_ = false;
+  bool record_schedule_ = true;  ///< cached config flag; gates the recorders
+
+  soa::StatePool pool_;  ///< SoA per-slot state + policy-facing snapshot
+  std::vector<ActivityRecorder> recorders_;
+  std::vector<std::pair<JobId, RunRecord>> abandoned_runs_;
+  std::vector<JobId> release_order_;
+  std::size_t next_release_ = 0;
+  std::vector<Time> boundaries_;  ///< sorted outage begin/end wake-ups
+  std::size_t next_boundary_ = 0;
+  std::vector<FaultWake> wakes_;  ///< sorted fault-timeline wake-ups
+  std::size_t next_wake_ = 0;
+  std::vector<char> cloud_down_;  ///< crashed-and-not-yet-repaired flags
+  std::vector<Event> fault_log_;  ///< realized kFault/kRecovery trace
+  int remaining_jobs_ = 0;
+  Time now_ = 0.0;
+  std::vector<Event> events_;
+  SimStats stats_;
+
+  // --- active-set core: everything the per-event hot path touches ---
+  /// Slots of jobs mid-activity, job-id-sorted per round (slot == id
+  /// outside streaming, so this is id-sorted there too).
+  std::vector<std::int32_t> active_ids_;
+  soa::LiveIndex live_;            ///< sparse-set (id, slot) live index
+  std::vector<JobId> live_sorted_; ///< per-round sorted copy of the live ids
+  std::vector<HeapEntry> heap_;    ///< lazy-deletion end-time min-heap
+  std::vector<std::uint32_t> entry_version_;  ///< current heap version per slot
+  std::vector<std::uint32_t> seen_round_;     ///< round stamp per slot
+  std::uint32_t round_ = 0;
+  std::vector<JobId> victims_;  ///< scratch for crash-abort / shed collection
+  /// Slots mutated outside the live set since the last publish (sheds):
+  /// their snapshot entries refresh on the next decision round.
+  std::vector<std::int32_t> dirty_slots_;
+
+  // --- streaming mode (engaged iff streaming_) ---
+  static constexpr std::int32_t kSlotRetired = -1;  ///< no state: id is done
+  std::optional<Job> pending_;       ///< next arrival, not yet released
+  Time last_arrival_ = -kTimeInfinity;
+  JobId next_id_ = 0;                ///< one past the largest id ever seen
+  soa::IdMap id_map_;                ///< id -> slot for tracked ids
+  std::vector<std::int32_t> free_slots_;    ///< recycled state slots
+  std::vector<std::int32_t> retire_queue_;  ///< completed, one round grace
+  std::vector<std::pair<JobId, Time>> completion_log_;
+  std::vector<std::pair<JobId, RunRecord>> final_runs_;
+
+  // --- admission control ---
+  bool admission_on_ = false;
+  std::vector<AdmissionRecord> admission_log_;
+
+  // --- progress watchdog ---
+  static constexpr std::uint64_t kStallFloor = 100'000;
+  std::uint64_t events_since_completion_ = 0;
+
+  // Scratch buffers reused across decision rounds.
+  std::vector<std::pair<double, JobId>> order_;
+  std::vector<Directive> directives_;  ///< policy output, reused per round
+
+  // --- observability (null sinks = everything below stays idle) ---
+  obs::TraceSink* trace_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  std::optional<EngineInstruments> ids_;  ///< engaged iff metrics_ != nullptr
+  obs::TeeTraceSink tee_;  ///< user sink + watchdog, when a watchdog is set
+  bool provenance_on_ = false;
+  /// Sentinel for "no directive emitted yet" in last_dir_target_ (any
+  /// value no allocation can take).
+  static constexpr int kDirectiveNone = std::numeric_limits<int>::min();
+  std::vector<int> last_dir_target_;  ///< keep-dedup state (provenance only)
+  std::vector<int> last_dir_reason_;
+
+  /// Open trace span per job. Tracked separately from ActivityRecorder
+  /// because recorder intervals close and reopen on every decision round,
+  /// while a trace span runs until a true boundary: completion, preemption,
+  /// reassignment, fault abort, or message loss.
+  struct SpanState {
+    Activity activity = Activity::kNone;
+    int alloc = kAllocUnassigned;
+    Time begin = 0.0;
+  };
+  std::vector<SpanState> spans_;  ///< sized only when tracing
+  std::vector<int> run_index_;    ///< bumped per reassignment / fault abort
+  std::vector<char> started_;     ///< first activation already observed
+  std::uint64_t granted_ = 0;     ///< resources granted this decision round
+};
+
+}  // namespace detail
+}  // namespace ecs

@@ -27,6 +27,7 @@
 
 #include "core/platform.hpp"
 #include "obs/reason.hpp"
+#include "sim/soa.hpp"
 #include "sim/state.hpp"
 
 namespace ecs {
@@ -59,19 +60,15 @@ class SimView {
   /// `live_sorted`, when provided (the engine always does), is the list of
   /// released, unfinished job ids sorted ascending — it lets live_jobs()
   /// answer in O(live) instead of scanning every job state.
-  /// `slot_window` (streaming engine only) maps id - window_base to a state
-  /// slot for the window_len ids currently tracked; ids outside the window
-  /// or mapped negative are retired/rejected and have no state.
+  /// `id_map` (streaming engine only) translates a job id to its state
+  /// slot; ids absent from the map are retired/rejected and have no state.
   SimView(const Instance& instance, const std::vector<JobState>& states,
           Time now, const std::vector<JobId>* live_sorted = nullptr,
-          const std::int32_t* slot_window = nullptr,
-          std::int64_t window_len = 0, JobId window_base = 0)
+          const soa::IdMap* id_map = nullptr)
       : instance_(&instance),
         states_(&states),
         live_sorted_(live_sorted),
-        slot_window_(slot_window),
-        window_len_(window_len),
-        window_base_(window_base),
+        id_map_(id_map),
         now_(now) {}
 
   [[nodiscard]] const Instance& instance() const noexcept {
@@ -84,14 +81,12 @@ class SimView {
   [[nodiscard]] const std::vector<JobState>& states() const noexcept {
     return *states_;
   }
-  /// Index of `id`'s state in states(). Identity without a slot window;
+  /// Index of `id`'s state in states(). Identity without an id map;
   /// negative when the job is retired, rejected or unknown (streaming).
   /// Always >= 0 for live ids and for the jobs of the current event batch.
   [[nodiscard]] std::int32_t slot(JobId id) const noexcept {
-    if (slot_window_ == nullptr) return static_cast<std::int32_t>(id);
-    const std::int64_t off = static_cast<std::int64_t>(id) - window_base_;
-    if (off < 0 || off >= window_len_) return -1;
-    return slot_window_[off];
+    if (id_map_ == nullptr) return static_cast<std::int32_t>(id);
+    return id_map_->find(id);
   }
   [[nodiscard]] const JobState& state(JobId id) const {
     return states_->at(static_cast<std::size_t>(slot(id)));
@@ -118,9 +113,7 @@ class SimView {
   const Instance* instance_;
   const std::vector<JobState>* states_;
   const std::vector<JobId>* live_sorted_ = nullptr;
-  const std::int32_t* slot_window_ = nullptr;  ///< streaming id -> slot map
-  std::int64_t window_len_ = 0;
-  JobId window_base_ = 0;
+  const soa::IdMap* id_map_ = nullptr;  ///< streaming id -> slot map
   mutable std::vector<JobId> fallback_live_;  ///< lazy; null live_sorted_ only
   mutable bool fallback_built_ = false;
   Time now_;

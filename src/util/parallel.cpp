@@ -1,4 +1,4 @@
-#include "exp/parallel.hpp"
+#include "util/parallel.hpp"
 
 #include <algorithm>
 #include <atomic>

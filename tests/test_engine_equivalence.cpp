@@ -11,13 +11,16 @@
 // immediately and exactly, with no tolerance to hide behind.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 #include <tuple>
 #include <vector>
 
 #include "obs/trace.hpp"
 #include "sched/factory.hpp"
+#include "sim/batch.hpp"
 #include "sim/engine.hpp"
+#include "sim/engine_core.hpp"
 #include "util/rng.hpp"
 #include "workloads/outages.hpp"
 #include "workloads/random_instances.hpp"
@@ -86,12 +89,9 @@ void expect_same_fault_log(const std::vector<Event>& a,
   }
 }
 
-class EngineEquivalence
-    : public ::testing::TestWithParam<std::tuple<std::string, int>> {};
-
-TEST_P(EngineEquivalence, ObserversDoNotPerturbTheRun) {
-  const auto& [policy_name, seed] = GetParam();
-
+/// The randomized scenario of the equivalence matrix: outage calendars on
+/// odd seeds, unannounced fault plans on most, varying load and CCR.
+Instance equivalence_instance(int seed, FaultPlan* faults) {
   RandomInstanceConfig cfg;
   cfg.n = 150;
   cfg.cloud_count = 3;
@@ -112,7 +112,6 @@ TEST_P(EngineEquivalence, ObserversDoNotPerturbTheRun) {
         make_cloud_outages(cfg.cloud_count, outage_cfg, outage_rng);
   }
 
-  FaultPlan faults;
   if (seed % 3 != 0) {  // unannounced crashes + losses on most seeds
     FaultConfig fault_cfg;
     fault_cfg.crash_rate = 0.002;
@@ -120,8 +119,29 @@ TEST_P(EngineEquivalence, ObserversDoNotPerturbTheRun) {
     fault_cfg.loss_rate = 0.005;
     fault_cfg.horizon = 500.0;
     Rng fault_rng(3000 + seed);
-    faults = make_fault_plan(cfg.cloud_count, fault_cfg, fault_rng);
+    *faults = make_fault_plan(cfg.cloud_count, fault_cfg, fault_rng);
   }
+  return instance;
+}
+
+/// Completions + stats + fault log + schedule, exact.
+void expect_same_result(const SimResult& a, const SimResult& b) {
+  ASSERT_EQ(a.completions.size(), b.completions.size());
+  for (std::size_t i = 0; i < a.completions.size(); ++i) {
+    EXPECT_EQ(a.completions[i], b.completions[i]) << "job " << i;
+  }
+  expect_same_stats(a.stats, b.stats);
+  expect_same_fault_log(a.fault_log, b.fault_log);
+  expect_same_schedule(a.schedule, b.schedule);
+}
+
+class EngineEquivalence
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {};
+
+TEST_P(EngineEquivalence, ObserversDoNotPerturbTheRun) {
+  const auto& [policy_name, seed] = GetParam();
+  FaultPlan faults;
+  const Instance instance = equivalence_instance(seed, &faults);
 
   const Variant rec_traced =
       run_variant(instance, policy_name, faults, true, true);
@@ -167,6 +187,166 @@ INSTANTIATE_TEST_SUITE_P(
       }
       return name + "_seed" + std::to_string(std::get<1>(info.param));
     });
+
+// ----------------------------------------------------- batched execution
+//
+// The batch driver's contract: a world's result depends only on its
+// (instance, policy, config) triple — never on core reuse, chunked
+// stepping, interleaving with other worlds, or which worker ran it.
+
+const std::vector<std::string> kAllPolicies = {
+    "edge-only", "greedy", "srpt", "ssf-edf", "fcfs", "failover-srpt"};
+constexpr int kSeedCount = 4;
+
+TEST(BatchEquivalence, BatchedWorldMatrixMatchesSimulateBitForBit) {
+  // Every (policy, seed) cell as a world, on few threads with a tiny
+  // rounds_per_visit so worlds genuinely interleave mid-run, against a
+  // fresh simulate() per cell.
+  struct Cell {
+    Instance instance;
+    FaultPlan faults;
+    SimResult batched;
+  };
+  std::vector<Cell> cells(kAllPolicies.size() * kSeedCount);
+  for (int seed = 0; seed < kSeedCount; ++seed) {
+    for (std::size_t p = 0; p < kAllPolicies.size(); ++p) {
+      Cell& cell = cells[seed * kAllPolicies.size() + p];
+      cell.instance = equivalence_instance(seed, &cell.faults);
+    }
+  }
+
+  BatchOptions options;
+  options.threads = 3;
+  options.worlds_per_thread = 2;
+  options.rounds_per_visit = 17;  // deliberately tiny and odd
+  BatchEngine batch(
+      kAllPolicies.size(),
+      [](std::size_t p) { return make_policy(kAllPolicies[p]); }, options);
+  batch.run(
+      cells.size(),
+      [&](std::size_t index, Instance& instance, WorldSetup& setup) {
+        instance = cells[index].instance;
+        setup.policy = index % kAllPolicies.size();
+        setup.config = EngineConfig{};
+        setup.config.record_schedule = true;
+        setup.config.faults = cells[index].faults;
+      },
+      [&](std::size_t index, const Instance&, SimResult& result, double) {
+        cells[index].batched = std::move(result);
+      });
+
+  for (int seed = 0; seed < kSeedCount; ++seed) {
+    for (std::size_t p = 0; p < kAllPolicies.size(); ++p) {
+      const Cell& cell = cells[seed * kAllPolicies.size() + p];
+      const auto policy = make_policy(kAllPolicies[p]);
+      EngineConfig config;
+      config.record_schedule = true;
+      config.faults = cell.faults;
+      const SimResult reference = simulate(cell.instance, *policy, config);
+      SCOPED_TRACE(kAllPolicies[p] + " seed " + std::to_string(seed));
+      expect_same_result(cell.batched, reference);
+    }
+  }
+}
+
+TEST(BatchEquivalence, InterleavedWorldsOnOneStatefulPolicyStayIsolated) {
+  // Regression: a single worker interleaves its two resident worlds in
+  // round-robin chunks. Give BOTH worlds the same stateful policy
+  // (ssf-edf carries deadlines and a warm-started target stretch across
+  // decide() calls) — if the resident slots shared one policy object, the
+  // interleaving would bleed one world's search state into the other.
+  struct Cell {
+    Instance instance;
+    FaultPlan faults;
+    SimResult batched;
+  };
+  std::vector<Cell> cells(kSeedCount);
+  for (int seed = 0; seed < kSeedCount; ++seed) {
+    cells[seed].instance = equivalence_instance(seed, &cells[seed].faults);
+  }
+
+  BatchOptions options;
+  options.threads = 1;             // one worker, fully deterministic
+  options.worlds_per_thread = 2;   // two interleaved resident worlds
+  options.rounds_per_visit = 3;    // swap between them constantly
+  BatchEngine batch(
+      1, [](std::size_t) { return make_policy("ssf-edf"); }, options);
+  batch.run(
+      cells.size(),
+      [&](std::size_t index, Instance& instance, WorldSetup& setup) {
+        instance = cells[index].instance;
+        setup.config.record_schedule = true;
+        setup.config.faults = cells[index].faults;
+      },
+      [&](std::size_t index, const Instance&, SimResult& result, double) {
+        cells[index].batched = std::move(result);
+      });
+
+  for (int seed = 0; seed < kSeedCount; ++seed) {
+    const auto policy = make_policy("ssf-edf");
+    EngineConfig config;
+    config.record_schedule = true;
+    config.faults = cells[seed].faults;
+    const SimResult reference =
+        simulate(cells[seed].instance, *policy, config);
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    expect_same_result(cells[seed].batched, reference);
+  }
+}
+
+TEST(BatchEquivalence, ReusedCoreIsBitIdenticalToFreshCores) {
+  // One core and one policy object, prepared over and over across runs
+  // with DIFFERENT instances in between (so leftover capacity from a big
+  // run faces a small run, and vice versa), versus a fresh core per run.
+  detail::EngineCore reused;
+  const auto policy = make_policy("srpt");
+  for (int seed = 0; seed < kSeedCount; ++seed) {
+    FaultPlan faults;
+    const Instance instance = equivalence_instance(seed, &faults);
+    EngineConfig config;
+    config.record_schedule = true;
+    config.faults = faults;
+
+    policy->reset(instance);
+    reused.prepare(instance, nullptr, *policy, config);
+    const SimResult warm = reused.run();
+
+    detail::EngineCore fresh;
+    const auto fresh_policy = make_policy("srpt");
+    fresh_policy->reset(instance);
+    fresh.prepare(instance, nullptr, *fresh_policy, config);
+    const SimResult cold = fresh.run();
+
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    expect_same_result(warm, cold);
+  }
+}
+
+TEST(BatchEquivalence, ChunkSizeOfSteppingNeverAffectsResults) {
+  FaultPlan faults;
+  const Instance instance = equivalence_instance(1, &faults);
+  EngineConfig config;
+  config.record_schedule = true;
+  config.faults = faults;
+
+  SimResult results[3];
+  const std::uint64_t chunks[3] = {1, 7, 0};  // 0 = run to completion
+  for (int i = 0; i < 3; ++i) {
+    detail::EngineCore core;
+    const auto policy = make_policy("ssf-edf");
+    policy->reset(instance);
+    core.prepare(instance, nullptr, *policy, config);
+    if (chunks[i] == 0) {
+      results[i] = core.run();
+    } else {
+      while (!core.step_rounds(chunks[i])) {
+      }
+      core.finish_into(results[i]);
+    }
+  }
+  expect_same_result(results[0], results[2]);
+  expect_same_result(results[1], results[2]);
+}
 
 }  // namespace
 }  // namespace ecs

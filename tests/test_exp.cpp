@@ -5,7 +5,7 @@
 #include <atomic>
 #include <sstream>
 
-#include "exp/parallel.hpp"
+#include "util/parallel.hpp"
 #include "exp/report.hpp"
 #include "exp/runner.hpp"
 #include "exp/sweep.hpp"
@@ -136,6 +136,61 @@ TEST(Sweep, DeterministicAcrossThreadCounts) {
                    b.policy("srpt").max_stretch.mean());
   EXPECT_DOUBLE_EQ(a.policy("srpt").max_stretch.stddev(),
                    b.policy("srpt").max_stretch.stddev());
+}
+
+TEST(Sweep, SweepSeedMixesThePointIndex) {
+  // Backward compatibility: index -1 IS the historical derivation.
+  EXPECT_EQ(sweep_seed(42, -1, "x", 3), replication_seed(42, "x", 3));
+  // Same label at different sweep points must draw distinct seed streams —
+  // the collision two points whose values format identically used to hit.
+  const std::uint64_t p0 = sweep_seed(42, 0, "0.50", 0);
+  const std::uint64_t p1 = sweep_seed(42, 1, "0.50", 0);
+  const std::uint64_t no_index = sweep_seed(42, -1, "0.50", 0);
+  EXPECT_NE(p0, p1);
+  EXPECT_NE(p0, no_index);
+  EXPECT_NE(p1, no_index);
+  // Deterministic, and still distinct across replications and bases.
+  EXPECT_EQ(p0, sweep_seed(42, 0, "0.50", 0));
+  EXPECT_NE(p0, sweep_seed(42, 0, "0.50", 1));
+  EXPECT_NE(p0, sweep_seed(43, 0, "0.50", 0));
+}
+
+TEST(Sweep, BatchAndTaskDriversAgreeBitForBit) {
+  // The contract documented on SweepDriver: identical aggregates from both
+  // drivers, wall_seconds excepted (it is wall time). Compare every
+  // deterministic accumulator and the merged sketches on a multi-policy,
+  // multi-replication point, with validation on (rep 0 takes the
+  // record+validate path in both drivers).
+  const auto factory = [](std::uint64_t seed) { return tiny_instance(seed); };
+  const std::vector<std::string> policies = {"srpt", "greedy", "ssf-edf"};
+  SweepOptions batch;
+  batch.replications = 6;
+  batch.threads = 3;
+  batch.driver = SweepDriver::kBatch;
+  batch.point_index = 2;
+  SweepOptions tasks = batch;
+  tasks.driver = SweepDriver::kTasks;
+
+  const SweepPointResult a = run_sweep_point("p", factory, policies, batch);
+  const SweepPointResult b = run_sweep_point("p", factory, policies, tasks);
+  for (const std::string& name : policies) {
+    SCOPED_TRACE(name);
+    const PolicyAggregate& pa = a.policy(name);
+    const PolicyAggregate& pb = b.policy(name);
+    EXPECT_DOUBLE_EQ(pa.max_stretch.mean(), pb.max_stretch.mean());
+    EXPECT_DOUBLE_EQ(pa.max_stretch.stddev(), pb.max_stretch.stddev());
+    EXPECT_DOUBLE_EQ(pa.mean_stretch.mean(), pb.mean_stretch.mean());
+    EXPECT_DOUBLE_EQ(pa.reassignments.mean(), pb.reassignments.mean());
+    EXPECT_DOUBLE_EQ(pa.events.mean(), pb.events.mean());
+    EXPECT_EQ(pa.stretch_sketch.count(), pb.stretch_sketch.count());
+    EXPECT_DOUBLE_EQ(pa.stretch_sketch.sum(), pb.stretch_sketch.sum());
+    EXPECT_DOUBLE_EQ(pa.stretch_sketch.quantile(0.99),
+                     pb.stretch_sketch.quantile(0.99));
+    EXPECT_DOUBLE_EQ(pa.flow_sketch.quantile(0.5),
+                     pb.flow_sketch.quantile(0.5));
+    EXPECT_DOUBLE_EQ(pa.queue_depth_sketch.max(),
+                     pb.queue_depth_sketch.max());
+  }
 }
 
 TEST(Report, TableAlignmentAndCsv) {

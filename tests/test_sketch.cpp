@@ -153,6 +153,126 @@ TEST(Sketch, ZeroNegativeAndNonFiniteInputs) {
   EXPECT_THROW(obs::QuantileSketch{1.0}, std::invalid_argument);
 }
 
+TEST(Sketch, MergeWithEmptyIsIdentityBothDirections) {
+  obs::QuantileSketch filled;
+  std::vector<double> values;
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = std::pow(10.0, rng.uniform(-1.0, 2.0));
+    values.push_back(v);
+    filled.observe(v);
+  }
+  // Nonempty.merge(empty): a no-op.
+  obs::QuantileSketch empty;
+  const std::uint64_t count_before = filled.count();
+  const double p50_before = filled.quantile(0.5);
+  filled.merge(empty);
+  EXPECT_EQ(filled.count(), count_before);
+  EXPECT_DOUBLE_EQ(filled.quantile(0.5), p50_before);
+  // Empty.merge(nonempty): adopts the other's distribution exactly.
+  obs::QuantileSketch adopted;
+  adopted.merge(filled);
+  EXPECT_EQ(adopted.count(), filled.count());
+  EXPECT_DOUBLE_EQ(adopted.min(), filled.min());
+  EXPECT_DOUBLE_EQ(adopted.max(), filled.max());
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    EXPECT_DOUBLE_EQ(adopted.quantile(q), filled.quantile(q)) << "q = " << q;
+  }
+  // Empty.merge(empty): still empty, still returns 0 quantiles.
+  obs::QuantileSketch a, b;
+  a.merge(b);
+  EXPECT_TRUE(a.empty());
+  EXPECT_DOUBLE_EQ(a.quantile(0.5), 0.0);
+}
+
+TEST(Sketch, SelfMergeEqualsMergingACopy) {
+  // merge(*this) aliases source and destination; it must behave exactly
+  // like merging an independent copy (every count doubles, extremes and
+  // quantile estimates unchanged).
+  obs::QuantileSketch sketch;
+  Rng rng(21);
+  for (int i = 0; i < 2000; ++i) {
+    sketch.observe(std::pow(10.0, rng.uniform(-2.0, 3.0)));
+  }
+  sketch.observe(0.0);  // engage the zero bucket too
+  obs::QuantileSketch copy_merged = sketch;
+  const obs::QuantileSketch copy = sketch;
+  copy_merged.merge(copy);
+  sketch.merge(sketch);
+  EXPECT_EQ(sketch.count(), copy_merged.count());
+  EXPECT_DOUBLE_EQ(sketch.min(), copy_merged.min());
+  EXPECT_DOUBLE_EQ(sketch.max(), copy_merged.max());
+  EXPECT_DOUBLE_EQ(sketch.sum(), copy_merged.sum());
+  for (double q = 0.0; q <= 1.0; q += 0.01) {
+    EXPECT_DOUBLE_EQ(sketch.quantile(q), copy_merged.quantile(q))
+        << "q = " << q;
+  }
+}
+
+TEST(Sketch, MergeAcrossDisjointRangesAndCollapseStates) {
+  // Shards in different regimes: one entirely in the zero bucket, one in
+  // the small-value decades (negative bucket offsets), one in the large
+  // decades (offsets past the other's range). Merging must grow the bucket
+  // array in both directions and reproduce the single-observer sketch
+  // bit-for-bit, regardless of merge direction.
+  obs::QuantileSketch zeros, small, large, whole;
+  for (int i = 0; i < 100; ++i) {
+    zeros.observe(0.0);
+    whole.observe(0.0);
+  }
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double lo = std::pow(10.0, rng.uniform(-6.0, -3.0));
+    const double hi = std::pow(10.0, rng.uniform(3.0, 6.0));
+    small.observe(lo);
+    large.observe(hi);
+    whole.observe(lo);
+    whole.observe(hi);
+  }
+  // large first, then small: forces a front-prepend of the bucket array.
+  obs::QuantileSketch down;
+  down.merge(large);
+  down.merge(small);
+  down.merge(zeros);
+  // small first, then large: forces a back-resize instead.
+  obs::QuantileSketch up;
+  up.merge(zeros);
+  up.merge(small);
+  up.merge(large);
+  EXPECT_EQ(down.count(), whole.count());
+  EXPECT_EQ(up.count(), whole.count());
+  for (double q = 0.0; q <= 1.0; q += 0.01) {
+    EXPECT_DOUBLE_EQ(down.quantile(q), whole.quantile(q)) << "q = " << q;
+    EXPECT_DOUBLE_EQ(up.quantile(q), whole.quantile(q)) << "q = " << q;
+  }
+}
+
+TEST(Sketch, MergedShardsKeepRelativeErrorBound) {
+  // The documented 1% bound must hold for the MERGED sketch against the
+  // exact order statistics of the union sample — merging shards of very
+  // different ranges must not degrade the estimate.
+  Rng rng(17);
+  std::vector<obs::QuantileSketch> shards(4, obs::QuantileSketch{});
+  std::vector<double> values;
+  for (int s = 0; s < 4; ++s) {
+    // Each shard covers its own decade band: [10^(s-2), 10^(s-1)).
+    for (int i = 0; i < 3000; ++i) {
+      const double v = std::pow(
+          10.0, rng.uniform(static_cast<double>(s) - 2.0,
+                            static_cast<double>(s) - 1.0));
+      shards[static_cast<std::size_t>(s)].observe(v);
+      values.push_back(v);
+    }
+  }
+  obs::QuantileSketch merged;
+  for (const obs::QuantileSketch& shard : shards) merged.merge(shard);
+  ASSERT_EQ(merged.count(), values.size());
+  EXPECT_DOUBLE_EQ(merged.alpha(), obs::QuantileSketch::kDefaultAlpha);
+  for (const double q : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}) {
+    expect_quantile_within(merged, values, q);
+  }
+}
+
 TEST(Sketch, ClearResetsEverything) {
   obs::QuantileSketch sketch;
   for (int i = 1; i <= 100; ++i) sketch.observe(static_cast<double>(i));

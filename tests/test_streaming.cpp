@@ -363,6 +363,66 @@ TEST(Admission, OnlineWatchdogStaysGreenWithRejections) {
   }();
 }
 
+// ---------------------------------------------------- adversarial churn
+
+/// One enormous job released first, then a long train of tiny jobs that
+/// each complete while it is still running. Completions therefore happen
+/// maximally out of release order: id 0 outlives ids 1..n-1. The engine's
+/// id -> slot map must track the COUNT of live ids — a map keyed on the id
+/// span (everything from the oldest live id up) would hold ~n entries here
+/// and the working set would grow linearly with the stream length.
+Instance churn_instance(int n) {
+  RandomInstanceConfig pcfg;
+  pcfg.cloud_count = 2;
+  pcfg.slow_edges = 1;
+  pcfg.fast_edges = 1;
+  Instance instance;
+  instance.platform = make_random_platform(pcfg);
+
+  Job big;
+  big.id = 0;
+  big.origin = 0;
+  big.work = 1.0e5;  // outlives every small job below
+  big.release = 0.0;
+  instance.jobs.push_back(big);
+  for (int i = 1; i < n; ++i) {
+    Job small;
+    small.id = i;
+    small.origin = 1;
+    small.work = 1.0;
+    // Spaced far enough apart that each one is done (at any processor
+    // speed of the platform) before the next arrives: the live set is the
+    // big job plus at most a couple of small ones, forever.
+    small.release = static_cast<Time>(i) * 25.0;
+    instance.jobs.push_back(small);
+  }
+  return instance;
+}
+
+TEST(StreamingChurn, OutOfReleaseOrderCompletionsKeepTrackedSetFlat) {
+  SimStats at[2];
+  const int sizes[2] = {500, 5000};
+  for (int round = 0; round < 2; ++round) {
+    const Instance instance = churn_instance(sizes[round]);
+    const auto policy = make_policy("srpt");
+    EngineConfig config;
+    config.record_schedule = false;
+    config.record_completions = false;
+    InstanceArrivalStream arrivals(instance);
+    const Instance base = platform_of(instance);
+    at[round] = simulate_stream(base, arrivals, *policy, config).stats;
+
+    EXPECT_EQ(at[round].completed, static_cast<std::uint64_t>(sizes[round]));
+    EXPECT_LE(at[round].peak_live, 4u) << "n = " << sizes[round];
+    // The regression assertion: tracked ids stay within a retire-queue's
+    // breadth of the live set, not of the stream.
+    EXPECT_LE(at[round].peak_tracked, at[round].peak_live + 2)
+        << "n = " << sizes[round];
+  }
+  // Flat means flat: 10x the stream length, identical high-water mark.
+  EXPECT_EQ(at[0].peak_tracked, at[1].peak_tracked);
+}
+
 // ------------------------------------------------------------------ soak
 
 TEST(StreamingSoak, MillionJobOverloadKeepsTheWorkingSetFlat) {

@@ -23,7 +23,7 @@ import sys
 
 
 def per_item_ns(row):
-    for key in ("per_decision_ns", "per_event_ns"):
+    for key in ("per_decision_ns", "per_event_ns", "per_world_ns"):
         if row.get(key) is not None:
             return float(row[key])
     # Fall back to wall time for rows without a rate counter.

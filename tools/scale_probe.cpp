@@ -52,12 +52,19 @@
 
 namespace {
 
-/// Process peak RSS in MiB (Linux ru_maxrss is in KiB). A high-water mark:
-/// it never decreases, which is exactly what the ascending-n probe needs.
+/// Process peak RSS in MiB. ru_maxrss units are platform-specific — KiB on
+/// Linux, BYTES on macOS (see getrusage(2) on each) — so normalize per
+/// platform instead of assuming KiB everywhere; the printed unit is MiB on
+/// both. A high-water mark: it never decreases, which is exactly what the
+/// ascending-n probe needs.
 double peak_rss_mib() {
   struct rusage usage{};
   if (getrusage(RUSAGE_SELF, &usage) != 0) return -1.0;
+#if defined(__APPLE__)
+  return static_cast<double>(usage.ru_maxrss) / (1024.0 * 1024.0);
+#else
   return static_cast<double>(usage.ru_maxrss) / 1024.0;
+#endif
 }
 
 int run_stream_probe(const ecs::Args& args) {
@@ -79,8 +86,8 @@ int run_stream_probe(const ecs::Args& args) {
               "max-live %llu (0 = admission off)\n",
               family.c_str(), rate, policy_name.c_str(),
               static_cast<unsigned long long>(max_live));
-  std::printf("%10s %12s %10s %10s %10s %10s\n", "jobs", "events",
-              "peak_live", "refused", "wall[s]", "rss[MiB]");
+  std::printf("%10s %12s %10s %10s %10s %10s %10s\n", "jobs", "events",
+              "peak_live", "tracked", "refused", "wall[s]", "rss[MiB]");
   for (const std::int64_t n : stages) {
     ArrivalConfig acfg;
     acfg.family = parse_arrival_family(family);
@@ -104,10 +111,11 @@ int run_stream_probe(const ecs::Args& args) {
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)
             .count();
-    std::printf("%10lld %12llu %10llu %10llu %10.3f %10.1f\n",
+    std::printf("%10lld %12llu %10llu %10llu %10llu %10.3f %10.1f\n",
                 static_cast<long long>(n),
                 static_cast<unsigned long long>(result.stats.events),
                 static_cast<unsigned long long>(result.stats.peak_live),
+                static_cast<unsigned long long>(result.stats.peak_tracked),
                 static_cast<unsigned long long>(result.stats.rejections +
                                                 result.stats.sheds),
                 wall, peak_rss_mib());
